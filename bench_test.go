@@ -1,0 +1,300 @@
+package peertrack
+
+// One benchmark per evaluation figure (Fig. 6a, 6b, 7a, 7b, 8a, 8b)
+// plus the ablation benches DESIGN.md calls out. Each iteration runs
+// the complete experiment at a laptop scale and reports the figure's
+// headline numbers as custom benchmark metrics, so `go test -bench=.`
+// regenerates every result. cmd/peertrack-bench prints the full tables
+// and supports the paper's exact scale (-scale full).
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"peertrack/internal/core"
+	"peertrack/internal/experiments"
+	"peertrack/internal/moods"
+)
+
+// benchScale keeps one iteration under a few seconds.
+func benchScale(b *testing.B) experiments.Scale {
+	b.Helper()
+	s := experiments.Tiny()
+	if testing.Short() {
+		s.MaxVolume = 100
+	}
+	return s
+}
+
+func BenchmarkFig6aIndexingDataVolume(b *testing.B) {
+	s := benchScale(b)
+	var last []experiments.Fig6aRow
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig6a(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = rows
+	}
+	top := last[len(last)-1]
+	b.ReportMetric(top.IndividualKMsgs, "individual-kmsgs")
+	b.ReportMetric(top.GroupKMsgs, "group-kmsgs")
+	b.ReportMetric(top.IndividualKMsgs/top.GroupKMsgs, "saving-x")
+}
+
+func BenchmarkFig6bIndexingNetworkSize(b *testing.B) {
+	s := benchScale(b)
+	var last []experiments.Fig6bRow
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig6b(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = rows
+	}
+	top := last[len(last)-1]
+	b.ReportMetric(top.IndividualKMsgs, "individual-kmsgs")
+	b.ReportMetric(top.GroupMovedKMsgs, "group-moved-kmsgs")
+	b.ReportMetric(top.GroupSingleKMsgs, "group-single-kmsgs")
+}
+
+func BenchmarkFig7aQueryNetworkSize(b *testing.B) {
+	s := benchScale(b)
+	var last []experiments.Fig7Row
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig7a(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = rows
+	}
+	top := last[len(last)-1]
+	b.ReportMetric(top.P2PMillis, "p2p-ms")
+	b.ReportMetric(top.CentralMillis, "central-ms")
+	b.ReportMetric(top.MeanHops, "hops")
+}
+
+func BenchmarkFig7bQueryDataVolume(b *testing.B) {
+	s := benchScale(b)
+	var last []experiments.Fig7Row
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig7b(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = rows
+	}
+	top := last[len(last)-1]
+	b.ReportMetric(top.P2PMillis, "p2p-ms")
+	b.ReportMetric(top.CentralMillis, "central-ms")
+}
+
+func BenchmarkFig8aLoadBalance(b *testing.B) {
+	s := benchScale(b)
+	var sums []experiments.Fig8aSummary
+	for i := 0; i < b.N; i++ {
+		var err error
+		_, sums, err = experiments.Fig8a(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, sum := range sums {
+		b.ReportMetric(sum.Gini, fmt.Sprintf("gini-scheme%d", sum.Scheme))
+	}
+}
+
+func BenchmarkFig8bPrefixCost(b *testing.B) {
+	s := benchScale(b)
+	var last []experiments.Fig8bRow
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig8b(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = rows
+	}
+	top := last[len(last)-1]
+	b.ReportMetric(top.Scheme1Log2, "log2msgs-scheme1")
+	b.ReportMetric(top.Scheme2Log2, "log2msgs-scheme2")
+	b.ReportMetric(top.Scheme3Log2, "log2msgs-scheme3")
+}
+
+func BenchmarkAblationNoTriangle(b *testing.B) {
+	s := benchScale(b)
+	s.Queries = 20
+	var rows []experiments.TriangleRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.AblationTriangle(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		label := "off"
+		if r.Delegation {
+			label = "on"
+		}
+		b.ReportMetric(r.MaxMeanRatio, "maxmean-delegation-"+label)
+	}
+}
+
+func BenchmarkAblationAdaptiveWindow(b *testing.B) {
+	s := benchScale(b)
+	var rows []experiments.WindowRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.AblationAdaptiveWindow(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		label := "fixed"
+		if r.Adaptive {
+			label = "adaptive"
+		}
+		b.ReportMetric(float64(r.MaxBatch), "maxbatch-"+label)
+	}
+}
+
+func BenchmarkAblationAlphaSweep(b *testing.B) {
+	s := benchScale(b)
+	s.Nodes = 16
+	s.MaxVolume = 200
+	s.Queries = 10
+	var rows []experiments.AlphaRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.AblationAlphaSweep(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.MaxMeanRatio, fmt.Sprintf("maxmean-alpha%.0f", r.Alpha*100))
+	}
+}
+
+func BenchmarkAblationGatewayCache(b *testing.B) {
+	s := benchScale(b)
+	var rows []experiments.CacheRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.AblationGatewayCache(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		label := "off"
+		if r.Cache {
+			label = "on"
+		}
+		b.ReportMetric(r.KMsgs, "kmsgs-cache-"+label)
+	}
+}
+
+func BenchmarkIntermediateShortCircuit(b *testing.B) {
+	s := benchScale(b)
+	s.Queries = 40
+	var rows []experiments.IntermediateRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.ExpIntermediate(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].MeanHops, "hops-iterative")
+	b.ReportMetric(rows[1].MeanHops, "hops-routed")
+	b.ReportMetric(rows[1].IntermediateRate, "intermediate-rate")
+}
+
+func BenchmarkOverlayComparison(b *testing.B) {
+	s := benchScale(b)
+	s.Queries = 30
+	var rows []experiments.OverlayRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.ExpOverlayComparison(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.MeanHops, "hops-"+r.Overlay)
+		b.ReportMetric(r.KMsgs, "kmsgs-"+r.Overlay)
+	}
+}
+
+func BenchmarkExtensionChurnCost(b *testing.B) {
+	s := benchScale(b)
+	s.Nodes = 16
+	s.MaxVolume = 200
+	s.Queries = 10
+	var rows []experiments.ChurnRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.ExpChurn(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		name := "grow"
+		if r.LpAfter < r.LpBefore {
+			name = "shrink"
+		}
+		b.ReportMetric(r.KMsgsPerRecord, "msgs-per-record-"+name)
+	}
+}
+
+func BenchmarkExtensionPrediction(b *testing.B) {
+	s := benchScale(b)
+	var rows []experiments.PredictionRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.ExpPrediction(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.TopHitRate, fmt.Sprintf("hitrate-det%.0f", r.Determinism*100))
+	}
+}
+
+// BenchmarkChurn measures indexing plus query correctness across a 4x
+// network growth with full re-levelling (split/re-home), the dynamics
+// experiment behind Section IV-A2.
+func BenchmarkChurn(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		nw, err := core.BuildNetwork(core.NetworkConfig{
+			Nodes: 16,
+			Seed:  int64(i + 1),
+			Peer:  core.Config{Mode: core.GroupIndexing},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for o := 0; o < 200; o++ {
+			obj := moods.ObjectID(fmt.Sprintf("churn-%d", o))
+			nw.ScheduleObservation(moods.Observation{Object: obj, Node: nw.Peers()[o%16].Name(), At: time.Second})
+			nw.ScheduleObservation(moods.Observation{Object: obj, Node: nw.Peers()[(o+5)%16].Name(), At: time.Minute})
+		}
+		nw.StartWindows(2 * time.Minute)
+		nw.Run()
+		if _, _, err := nw.Grow(48); err != nil {
+			b.Fatal(err)
+		}
+		for o := 0; o < 200; o += 20 {
+			obj := moods.ObjectID(fmt.Sprintf("churn-%d", o))
+			if _, err := nw.Peers()[60].FullTrace(obj); err != nil {
+				b.Fatalf("post-churn trace: %v", err)
+			}
+		}
+	}
+}

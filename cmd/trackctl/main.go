@@ -1,0 +1,146 @@
+// Command trackctl is the client for trackd's control API.
+//
+// Usage:
+//
+//	trackctl [-d http://127.0.0.1:7070] observe <object-id>
+//	trackctl [-d http://127.0.0.1:7070] locate <object-id> [RFC3339-time]
+//	trackctl [-d http://127.0.0.1:7070] trace <object-id>
+//	trackctl [-d http://127.0.0.1:7070] predict <object-id>
+//	trackctl [-d http://127.0.0.1:7070] inventory
+//	trackctl [-d http://127.0.0.1:7070] status
+//	trackctl [-d http://127.0.0.1:7070] snapshot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"peertrack/internal/ctlapi"
+)
+
+func main() {
+	daemon := flag.String("d", "http://127.0.0.1:7070", "trackd control API base URL")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+	c := &ctlapi.Client{Base: *daemon}
+	var err error
+	switch args[0] {
+	case "observe":
+		if len(args) != 2 {
+			usage()
+		}
+		if err = c.Observe(args[1]); err == nil {
+			fmt.Println("observed", args[1])
+		}
+	case "locate":
+		if len(args) < 2 || len(args) > 3 {
+			usage()
+		}
+		at := time.Time{}
+		if len(args) == 3 {
+			at, err = time.Parse(time.RFC3339, args[2])
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "trackctl: bad time %q: %v\n", args[2], err)
+				os.Exit(2)
+			}
+		}
+		var loc ctlapi.LocateResponse
+		if loc, err = c.Locate(args[1], at); err == nil {
+			if loc.Node == "" {
+				fmt.Printf("%s: nowhere (not yet in the network at that time)\n", args[1])
+			} else {
+				fmt.Printf("%s is at %s (%d hops)\n", args[1], loc.Node, loc.Hops)
+			}
+		}
+	case "trace":
+		if len(args) != 2 {
+			usage()
+		}
+		var tr ctlapi.TraceResponse
+		if tr, err = c.Trace(args[1]); err == nil {
+			printTrace(args[1], tr)
+		}
+	case "resolve":
+		if len(args) != 2 {
+			usage()
+		}
+		var tr ctlapi.TraceResponse
+		if tr, err = c.ResolveTrace(args[1]); err == nil {
+			printTrace(args[1], tr)
+		}
+	case "pack", "unpack":
+		if len(args) < 3 {
+			usage()
+		}
+		if args[0] == "pack" {
+			err = c.Pack(args[1], args[2:])
+		} else {
+			err = c.Unpack(args[1], args[2:])
+		}
+		if err == nil {
+			fmt.Printf("%sed %d children %s %s\n", args[0], len(args)-2, map[string]string{"pack": "into", "unpack": "from"}[args[0]], args[1])
+		}
+	case "predict":
+		if len(args) != 2 {
+			usage()
+		}
+		var f ctlapi.Forecast
+		if f, err = c.Predict(args[1]); err == nil {
+			fmt.Printf("%s is at %s; predicted next: %s (p=%.2f, ETA %s)\n",
+				args[1], f.Current, f.Next, f.Probability, f.ETA.Format(time.RFC3339))
+		}
+	case "inventory":
+		var inv ctlapi.InventoryResponse
+		if inv, err = c.Inventory(); err == nil {
+			fmt.Printf("%d objects currently here:\n", inv.Count)
+			for _, o := range inv.Objects {
+				fmt.Println("  " + o)
+			}
+		}
+	case "status":
+		var st ctlapi.StatusResponse
+		if st, err = c.Status(); err == nil {
+			fmt.Printf("node %s: %d visit records, %d index records\n", st.Addr, st.Visits, st.Indexed)
+			fmt.Printf("  ring: successor=%s predecessor=%s Lp=%d\n", st.Successor, st.Predecessor, st.PrefixLen)
+		}
+	case "snapshot":
+		var sr ctlapi.SnapshotResponse
+		if sr, err = c.Snapshot(); err == nil {
+			fmt.Printf("state persisted (%d bytes)\n", sr.Bytes)
+		}
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "trackctl:", err)
+		os.Exit(1)
+	}
+}
+
+func printTrace(obj string, tr ctlapi.TraceResponse) {
+	fmt.Printf("trace of %s (%d stops, %d hops):\n", obj, len(tr.Stops), tr.Hops)
+	for i, s := range tr.Stops {
+		fmt.Printf("  %2d. %s  @ %s\n", i+1, s.Node, s.Arrived.Format(time.RFC3339))
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: trackctl [-d url] <command>
+commands:
+  observe <id>              ingest a capture event for <id> at this node
+  locate <id> [time]        where was <id> at [time] (default: now)
+  trace <id>                full trajectory of <id>
+  resolve <id>              trajectory including containment (pallet legs)
+  pack <parent> <child...>  record an aggregation event at this node
+  unpack <parent> <child..> record a disaggregation event
+  predict <id>              likely next location of <id>
+  inventory                 objects currently at this node
+  status                    node identity and storage counters
+  snapshot                  persist the node's durable state`)
+	os.Exit(2)
+}

@@ -1,0 +1,226 @@
+// Command trackd runs one live PeerTrack node: a Chord/PeerTrack
+// participant on a TCP listen address, plus a local HTTP control API
+// (internal/ctlapi) for feeding capture events and issuing queries —
+// see cmd/trackctl for the client.
+//
+// Start a network:
+//
+//	trackd -listen 10.0.0.1:7000 -control 127.0.0.1:7070 -netsize 3
+//	trackd -listen 10.0.0.2:7000 -control 127.0.0.1:7070 -netsize 3 -join 10.0.0.1:7000
+//
+// With -data PATH the node restores its durable state (local
+// repository, gateway index, replicas, learned flows) at startup and
+// persists it on shutdown and on POST /snapshot.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"peertrack"
+	"peertrack/internal/ctlapi"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7000", "P2P listen address (host:port, port 0 for ephemeral)")
+	control := flag.String("control", "127.0.0.1:7070", "HTTP control address")
+	join := flag.String("join", "", "bootstrap peer to join (host:port); empty starts a new network")
+	netsize := flag.Float64("netsize", 0, "pin the network-size estimate (recommended for small static deployments)")
+	mode := flag.String("mode", "group", "indexing mode: group or individual")
+	dataPath := flag.String("data", "", "snapshot file for durable state (restored at start, saved at exit)")
+	secret := flag.String("secret", "", "shared network secret enabling HMAC frame authentication")
+	flag.Parse()
+
+	opts := peertrack.NodeOptions{NetworkSize: *netsize, NetworkSecret: *secret}
+	switch *mode {
+	case "group":
+		opts.Mode = peertrack.Grouped
+	case "individual":
+		opts.Mode = peertrack.Individual
+	default:
+		log.Fatalf("unknown mode %q", *mode)
+	}
+
+	node, err := peertrack.StartNode(*listen, opts)
+	if err != nil {
+		log.Fatalf("start node: %v", err)
+	}
+	defer node.Close()
+	log.Printf("peertrack node listening on %s", node.Addr())
+
+	if *dataPath != "" {
+		if f, err := os.Open(*dataPath); err == nil {
+			err := node.Restore(f)
+			f.Close()
+			if err != nil {
+				log.Fatalf("restore %s: %v", *dataPath, err)
+			}
+			visits, indexed := node.StorageStats()
+			log.Printf("restored state: %d visits, %d index records", visits, indexed)
+		} else if !errors.Is(err, os.ErrNotExist) {
+			log.Fatalf("open %s: %v", *dataPath, err)
+		}
+	}
+
+	if *join != "" {
+		// Bootstrap peers often start simultaneously; retry with
+		// backoff instead of dying on a race.
+		var err error
+		for attempt := 1; attempt <= 10; attempt++ {
+			if err = node.Join(*join); err == nil {
+				break
+			}
+			log.Printf("join %s (attempt %d): %v", *join, attempt, err)
+			time.Sleep(time.Duration(attempt) * 500 * time.Millisecond)
+		}
+		if err != nil {
+			log.Fatalf("join %s: giving up: %v", *join, err)
+		}
+		log.Printf("joined network via %s", *join)
+	}
+
+	backend := &nodeBackend{node: node, dataPath: *dataPath}
+	httpSrv := &http.Server{Addr: *control, Handler: ctlapi.Handler(backend)}
+	go func() {
+		log.Printf("control API on http://%s", *control)
+		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("control api: %v", err)
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Print("shutting down")
+	httpSrv.Close()
+	if *dataPath != "" {
+		if n, err := backend.Persist(); err != nil {
+			log.Printf("final snapshot failed: %v", err)
+		} else {
+			log.Printf("state persisted to %s (%d bytes)", *dataPath, n)
+		}
+	}
+}
+
+// nodeBackend adapts peertrack.Node to the control API.
+type nodeBackend struct {
+	node     *peertrack.Node
+	dataPath string
+}
+
+func (b *nodeBackend) Addr() string { return b.node.Addr() }
+
+func (b *nodeBackend) ObserveAt(object string, at time.Time) error {
+	return b.node.ObserveAt(object, at)
+}
+
+func (b *nodeBackend) LocateAt(object string, at time.Time) (string, int, error) {
+	node, stats, err := b.node.Locate(object, at)
+	return node, stats.Hops, mapErr(err)
+}
+
+func (b *nodeBackend) TraceOf(object string) ([]ctlapi.Stop, int, error) {
+	stops, stats, err := b.node.Trace(object)
+	if err != nil {
+		return nil, stats.Hops, mapErr(err)
+	}
+	return toCtlStops(stops), stats.Hops, nil
+}
+
+func (b *nodeBackend) TraceBetween(object string, from, to time.Time) ([]ctlapi.Stop, int, error) {
+	stops, stats, err := b.node.TraceBetween(object, from, to)
+	if err != nil {
+		return nil, stats.Hops, mapErr(err)
+	}
+	return toCtlStops(stops), stats.Hops, nil
+}
+
+func (b *nodeBackend) ResolveTrace(object string) ([]ctlapi.Stop, int, error) {
+	stops, stats, err := b.node.ResolveTrace(object)
+	if err != nil {
+		return nil, stats.Hops, mapErr(err)
+	}
+	return toCtlStops(stops), stats.Hops, nil
+}
+
+func (b *nodeBackend) Pack(parent string, children []string) error {
+	return b.node.Pack(parent, children)
+}
+
+func (b *nodeBackend) Unpack(parent string, children []string) error {
+	return b.node.Unpack(parent, children)
+}
+
+func toCtlStops(stops []peertrack.Stop) []ctlapi.Stop {
+	out := make([]ctlapi.Stop, len(stops))
+	for i, s := range stops {
+		out[i] = ctlapi.Stop{Node: s.Node, Arrived: time.Unix(0, 0).Add(s.Arrived)}
+	}
+	return out
+}
+
+func (b *nodeBackend) PredictOf(object string) (ctlapi.Forecast, error) {
+	pred, stats, err := b.node.PredictNext(object)
+	if err != nil {
+		return ctlapi.Forecast{}, mapErr(err)
+	}
+	return ctlapi.Forecast{
+		Current:     pred.Current,
+		Next:        pred.Next,
+		Probability: pred.Probability,
+		ETA:         time.Unix(0, 0).Add(pred.ETA),
+		Hops:        stats.Hops,
+	}, nil
+}
+
+func (b *nodeBackend) InventoryList() []string { return b.node.Inventory() }
+
+func (b *nodeBackend) Stats() (int, int) { return b.node.StorageStats() }
+
+func (b *nodeBackend) Ring() (string, string, int) { return b.node.RingInfo() }
+
+func (b *nodeBackend) Persist() (int64, error) {
+	if b.dataPath == "" {
+		return 0, errors.New("no -data path configured")
+	}
+	tmp := b.dataPath + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return 0, err
+	}
+	if err := b.node.Snapshot(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return 0, err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	info, err := os.Stat(tmp)
+	if err != nil {
+		return 0, err
+	}
+	if err := os.Rename(tmp, b.dataPath); err != nil {
+		return 0, err
+	}
+	return info.Size(), nil
+}
+
+// mapErr converts facade errors into API sentinel errors.
+func mapErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, peertrack.ErrNotTracked) || errors.Is(err, peertrack.ErrNoPrediction) {
+		return fmt.Errorf("%w: %v", ctlapi.ErrNotTracked, err)
+	}
+	return err
+}

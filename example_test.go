@@ -1,0 +1,66 @@
+package peertrack_test
+
+import (
+	"fmt"
+	"time"
+
+	"peertrack"
+)
+
+// ExampleSimulation tracks one EPC-tagged pallet through a simulated
+// 32-organisation network and answers the two core queries.
+func ExampleSimulation() {
+	sim, err := peertrack.NewSimulation(peertrack.SimOptions{Nodes: 32, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	nodes := sim.Nodes()
+
+	const pallet = "urn:epc:id:sgtin:0614141.812345.6789"
+	sim.Observe(nodes[3], pallet, 0)
+	sim.Observe(nodes[10], pallet, 30*time.Minute)
+	sim.Observe(nodes[20], pallet, time.Hour)
+	sim.Run(2 * time.Hour)
+
+	stops, _, err := sim.Trace(nodes[0], pallet)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("stops:", len(stops))
+
+	where, _, err := sim.Locate(nodes[0], pallet, 45*time.Minute)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("at 45m the pallet was at the second stop:", where == stops[1].Node)
+	// Output:
+	// stops: 3
+	// at 45m the pallet was at the second stop: true
+}
+
+// ExampleSimulation_containment shows case-level tracing through
+// pallet aggregation: the case is only read at the ends, yet its
+// resolved trace includes the pallet's transit stop.
+func ExampleSimulation_containment() {
+	sim, err := peertrack.NewSimulation(peertrack.SimOptions{Nodes: 16, Seed: 2})
+	if err != nil {
+		panic(err)
+	}
+	n := sim.Nodes()
+	const pallet = "urn:epc:id:sscc:0614141.0000000001"
+	const box = "urn:epc:id:sgtin:0614141.812345.1"
+
+	sim.Observe(n[1], box, time.Minute)
+	sim.Observe(n[1], pallet, time.Minute)
+	sim.Pack(n[1], pallet, []string{box}, 2*time.Minute)
+	sim.Observe(n[6], pallet, time.Hour) // only the pallet is read here
+	sim.Unpack(n[6], pallet, []string{box}, time.Hour+time.Minute)
+	sim.Observe(n[12], box, 2*time.Hour)
+	sim.Run(3 * time.Hour)
+
+	plain, _, _ := sim.Trace(n[0], box)
+	resolved, _, _ := sim.ResolveTrace(n[0], box)
+	fmt.Println("plain stops:", len(plain), "resolved stops:", len(resolved))
+	// Output:
+	// plain stops: 2 resolved stops: 3
+}

@@ -1,0 +1,72 @@
+// Aggregation: cases packed onto an SSCC pallet are invisible to RFID
+// portals — only the pallet is read in transit. Containment events
+// (EPCIS-style Pack/Unpack) let the network answer case-level trace
+// queries anyway, by splicing the pallet's movements into each case's
+// history.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"peertrack"
+)
+
+func main() {
+	sim, err := peertrack.NewSimulation(peertrack.SimOptions{Nodes: 32, Seed: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	nodes := sim.Nodes()
+	factory, dc, warehouse, store := nodes[2], nodes[9], nodes[17], nodes[26]
+
+	// One pallet (SSCC) and 12 cases (SGTIN).
+	pallet := "urn:epc:id:sscc:0614141.1234567890"
+	cases := make([]string, 12)
+	for i := range cases {
+		cases[i] = fmt.Sprintf("urn:epc:id:sgtin:0614141.812345.%d", 9000+i)
+	}
+
+	// The factory reads every case and the pallet, packs, and ships.
+	for _, c := range cases {
+		sim.Observe(factory, c, time.Minute)
+	}
+	sim.Observe(factory, pallet, time.Minute)
+	sim.Pack(factory, pallet, cases, 2*time.Minute)
+
+	// In transit only the pallet is read.
+	sim.Observe(dc, pallet, 1*time.Hour)
+	sim.Observe(warehouse, pallet, 2*time.Hour)
+
+	// The warehouse unpacks; one case is shelved at a store.
+	sim.Unpack(warehouse, pallet, cases, 2*time.Hour+5*time.Minute)
+	sim.Observe(store, cases[0], 3*time.Hour)
+
+	sim.Run(4 * time.Hour)
+
+	// A plain trace sees only the case's own reads...
+	plain, _, err := sim.Trace(nodes[0], cases[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("plain trace of %s (%d stops):\n", cases[0], len(plain))
+	for _, s := range plain {
+		fmt.Printf("  %-10s t+%v\n", s.Node, s.Arrived)
+	}
+
+	// ...the resolved trace recovers the transit legs from the pallet.
+	resolved, stats, err := sim.ResolveTrace(nodes[0], cases[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nresolved trace (%d stops, %d hops):\n", len(resolved), stats.Hops)
+	for _, s := range resolved {
+		fmt.Printf("  %-10s t+%v\n", s.Node, s.Arrived)
+	}
+
+	// A case still aboard locates wherever the pallet last was.
+	resolved1, _, _ := sim.ResolveTrace(nodes[0], cases[1])
+	fmt.Printf("\ncase %s (never unpacked-read) resolves through %d stops, last: %s\n",
+		cases[1], len(resolved1), resolved1[len(resolved1)-1].Node)
+}

@@ -1,0 +1,3 @@
+module peertrack
+
+go 1.22

@@ -1,0 +1,132 @@
+package chord
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"peertrack/internal/ids"
+	"peertrack/internal/transport"
+)
+
+// TestChurnStorm interleaves joins, voluntary leaves, crashes, and
+// lookups over many rounds: after each settling period every lookup
+// must resolve to the true successor among live nodes.
+func TestChurnStorm(t *testing.T) {
+	net := transport.NewMemory(1)
+	r := rand.New(rand.NewSource(17))
+
+	alive := make(map[transport.Addr]*Node)
+	var seq int
+	newNode := func() *Node {
+		seq++
+		n, err := New(net, transport.Addr(fmt.Sprintf("storm-%03d", seq)), Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+
+	// Bootstrap a 12-node ring with the protocol.
+	first := newNode()
+	alive[first.Addr()] = first
+	for i := 0; i < 11; i++ {
+		n := newNode()
+		if err := n.Join(first.Self()); err != nil {
+			t.Fatal(err)
+		}
+		alive[n.Addr()] = n
+		settle(alive)
+	}
+
+	anyNode := func() *Node {
+		for _, n := range alive {
+			return n
+		}
+		return nil
+	}
+
+	for round := 0; round < 12; round++ {
+		switch r.Intn(3) {
+		case 0: // join
+			n := newNode()
+			if err := n.Join(anyNode().Self()); err != nil {
+				t.Fatalf("round %d join: %v", round, err)
+			}
+			alive[n.Addr()] = n
+		case 1: // voluntary leave
+			if len(alive) > 4 {
+				victim := pick(r, alive)
+				if err := victim.Leave(); err != nil {
+					t.Fatalf("round %d leave: %v", round, err)
+				}
+				delete(alive, victim.Addr())
+			}
+		case 2: // crash
+			if len(alive) > 4 {
+				victim := pick(r, alive)
+				net.Kill(victim.Addr())
+				delete(alive, victim.Addr())
+			}
+		}
+		settle(alive)
+
+		// Verify lookups against the ground truth.
+		refs := make([]NodeRef, 0, len(alive))
+		for _, n := range alive {
+			refs = append(refs, n.Self())
+		}
+		SortRefs(refs)
+		for q := 0; q < 20; q++ {
+			key := ids.HashString(fmt.Sprintf("storm-key-%d-%d", round, q))
+			want := SuccessorOf(refs, key)
+			res, err := anyNode().Lookup(key)
+			if err != nil {
+				t.Fatalf("round %d lookup: %v", round, err)
+			}
+			if !res.Node.Equal(want) {
+				t.Fatalf("round %d: lookup %s = %s, want %s (n=%d)",
+					round, key.Short(), res.Node.Addr, want.Addr, len(alive))
+			}
+		}
+	}
+}
+
+func pick(r *rand.Rand, m map[transport.Addr]*Node) *Node {
+	keys := make([]transport.Addr, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	// Deterministic order for reproducibility.
+	SortAddrs(keys)
+	return m[keys[r.Intn(len(keys))]]
+}
+
+// SortAddrs orders addresses lexicographically (test helper).
+func SortAddrs(addrs []transport.Addr) {
+	for i := 1; i < len(addrs); i++ {
+		for j := i; j > 0 && addrs[j] < addrs[j-1]; j-- {
+			addrs[j], addrs[j-1] = addrs[j-1], addrs[j]
+		}
+	}
+}
+
+// settle runs maintenance until the live membership converges.
+func settle(alive map[transport.Addr]*Node) {
+	nodes := make([]*Node, 0, len(alive))
+	for _, n := range alive {
+		nodes = append(nodes, n)
+	}
+	for r := 0; r < 4*len(nodes)+8; r++ {
+		for _, n := range nodes {
+			n.CheckPredecessor()
+			n.Stabilize()
+		}
+		if Converged(nodes) {
+			break
+		}
+	}
+	for _, n := range nodes {
+		n.FixAllFingers()
+	}
+}

@@ -1,0 +1,175 @@
+package chord
+
+import (
+	"errors"
+	"fmt"
+
+	"peertrack/internal/ids"
+	"peertrack/internal/overlay"
+	"peertrack/internal/transport"
+)
+
+// LookupResult reports the outcome of a key lookup: the successor
+// responsible for the key and the number of remote routing RPCs issued
+// (a key owned locally costs 0 hops). It is the shared overlay result
+// type.
+type LookupResult = overlay.Result
+
+// ErrLookupFailed is returned when routing cannot make progress (all
+// candidate next hops are dead or a step limit was exceeded).
+var ErrLookupFailed = errors.New("chord: lookup failed")
+
+// Lookup finds the node responsible for key using iterative routing:
+// starting from this node, repeatedly ask the current candidate for its
+// closest preceding finger until the successor of the key is found.
+// Takes O(log N) hops with high probability on a stabilized ring.
+//
+// Nodes that fail to answer are remembered for the duration of the
+// lookup, and routing detours around them via successor lists, so
+// lookups keep working with stale fingers during churn (the repair
+// itself is stabilization's job).
+func (n *Node) Lookup(key ids.ID) (LookupResult, error) {
+	n.mu.RLock()
+	left := n.left
+	n.mu.RUnlock()
+	if left {
+		return LookupResult{}, ErrLeft
+	}
+	// Fast path: we own the key.
+	if n.Owns(key) {
+		return LookupResult{Node: n.self, Hops: 0}, nil
+	}
+
+	hops := 0
+	dead := make(map[transport.Addr]bool)
+	// Seed from the local routing state (free: no RPC).
+	local := n.closestPreceding(key)
+	cur, done := local.Node, local.Done
+	if cur.Equal(n.self) {
+		done = true // degenerate single-node ring
+	}
+	if done {
+		return LookupResult{Node: cur, Hops: hops}, nil
+	}
+	for step := 0; step < n.cfg.MaxLookupSteps; step++ {
+		resp, err := n.call(cur, closestPrecedingReq{Key: key})
+		if err != nil {
+			// Current hop is dead: detour from local routing state.
+			dead[cur.Addr] = true
+			next, derr := n.detour(key, dead)
+			if derr != nil {
+				return LookupResult{}, fmt.Errorf("%w: %v", ErrLookupFailed, err)
+			}
+			cur = next
+			hops++
+			continue
+		}
+		hops++
+		cp := resp.(closestPrecedingResp)
+		switch {
+		case cp.Done:
+			if dead[cp.Node.Addr] {
+				return LookupResult{}, fmt.Errorf("%w: owner %s unreachable", ErrLookupFailed, cp.Node.Addr)
+			}
+			return LookupResult{Node: cp.Node, Hops: hops}, nil
+		case cp.Node.Equal(cur):
+			// No progress: cur believes its successor is responsible.
+			return LookupResult{Node: cp.Node, Hops: hops}, nil
+		case dead[cp.Node.Addr]:
+			// cur handed us a node we already know is dead (stale
+			// finger). Step along cur's successor list instead, which
+			// guarantees forward progress on the ring.
+			st, serr := n.call(cur, getStateReq{})
+			hops++
+			if serr != nil {
+				dead[cur.Addr] = true
+				next, derr := n.detour(key, dead)
+				if derr != nil {
+					return LookupResult{}, fmt.Errorf("%w: %v", ErrLookupFailed, serr)
+				}
+				cur = next
+				continue
+			}
+			moved := false
+			for _, s := range st.(getStateResp).Successors {
+				if !dead[s.Addr] && !s.Equal(cur) {
+					cur = s
+					moved = true
+					break
+				}
+			}
+			if !moved {
+				return LookupResult{}, fmt.Errorf("%w: no live successor past %s", ErrLookupFailed, cur.Addr)
+			}
+		default:
+			cur = cp.Node
+		}
+	}
+	return LookupResult{}, fmt.Errorf("%w: exceeded %d steps for key %s", ErrLookupFailed, n.cfg.MaxLookupSteps, key.Short())
+}
+
+// detour picks an alternative hop when the current one is unreachable:
+// the closest live candidate preceding key from the local successor
+// list and fingers, excluding known-dead nodes.
+func (n *Node) detour(key ids.ID, dead map[transport.Addr]bool) (NodeRef, error) {
+	n.mu.RLock()
+	cands := make([]NodeRef, 0, len(n.successors)+8)
+	for i := ids.Bits - 1; i >= 0; i-- {
+		if f := n.fingers[i]; !f.IsZero() {
+			cands = append(cands, f)
+		}
+	}
+	cands = append(cands, n.successors...)
+	n.mu.RUnlock()
+
+	var best NodeRef
+	for _, c := range cands {
+		if dead[c.Addr] || c.Equal(n.self) {
+			continue
+		}
+		if !ids.Between(c.ID, n.self.ID, key) {
+			continue
+		}
+		if best.IsZero() || ids.Between(best.ID, n.self.ID, c.ID) {
+			// c is closer to key than best (best precedes c).
+			best = c
+		}
+	}
+	if !best.IsZero() && n.Ping(best) {
+		return best, nil
+	}
+	// Fall back to any live candidate at all.
+	for _, c := range cands {
+		if dead[c.Addr] || c.Equal(n.self) || c.Equal(best) {
+			continue
+		}
+		if n.Ping(c) {
+			return c, nil
+		}
+	}
+	return NodeRef{}, ErrLookupFailed
+}
+
+// NextHop returns the best next routing hop for key from this node's
+// local state, and whether that hop is already the node responsible for
+// the key. It performs no RPCs; recursive-routing layers build on it.
+func (n *Node) NextHop(key ids.ID) (NodeRef, bool) {
+	if n.Owns(key) {
+		return n.self, true
+	}
+	r := n.closestPreceding(key)
+	if r.Node.Equal(n.self) {
+		return n.self, true
+	}
+	return r.Node, r.Done
+}
+
+// FindSuccessor is Lookup returning only the responsible node, the
+// classic Chord API name.
+func (n *Node) FindSuccessor(key ids.ID) (NodeRef, error) {
+	res, err := n.Lookup(key)
+	if err != nil {
+		return NodeRef{}, err
+	}
+	return res.Node, nil
+}

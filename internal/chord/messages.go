@@ -1,0 +1,69 @@
+package chord
+
+import (
+	"peertrack/internal/ids"
+	"peertrack/internal/overlay"
+	"peertrack/internal/transport"
+)
+
+// NodeRef identifies a Chord node: its position on the ring and its
+// transport address. It is the shared overlay reference type, so Chord
+// nodes plug directly into the overlay-generic traceability layer.
+type NodeRef = overlay.NodeRef
+
+// pingReq checks liveness.
+type pingReq struct{}
+
+// pingResp answers a ping with the node's self reference.
+type pingResp struct{ Self NodeRef }
+
+// getStateReq asks a node for its successor list and predecessor, used
+// by stabilization and by iterative lookup's final step.
+type getStateReq struct{}
+
+type getStateResp struct {
+	Self       NodeRef
+	Successors []NodeRef
+	Pred       NodeRef
+}
+
+// closestPrecedingReq asks for the finger closest to Key that strictly
+// precedes it, the core step of iterative Chord lookup.
+type closestPrecedingReq struct{ Key ids.ID }
+
+type closestPrecedingResp struct {
+	// Node is the best next hop. If Done, Node is already the successor
+	// responsible for Key and the lookup can stop.
+	Node NodeRef
+	Done bool
+}
+
+// notifyReq tells a node that the sender believes it is the node's
+// predecessor (Chord's notify()).
+type notifyReq struct{ Candidate NodeRef }
+
+type notifyResp struct{}
+
+// leaveReq announces a voluntary departure. Sent to the successor (with
+// the leaver's predecessor, so the successor can adopt it) and to the
+// predecessor (with the leaver's successor list).
+type leaveReq struct {
+	Leaver     NodeRef
+	Pred       NodeRef   // set when sent to the successor
+	Successors []NodeRef // set when sent to the predecessor
+}
+
+type leaveResp struct{}
+
+func init() {
+	transport.Register(pingReq{})
+	transport.Register(pingResp{})
+	transport.Register(getStateReq{})
+	transport.Register(getStateResp{})
+	transport.Register(closestPrecedingReq{})
+	transport.Register(closestPrecedingResp{})
+	transport.Register(notifyReq{})
+	transport.Register(notifyResp{})
+	transport.Register(leaveReq{})
+	transport.Register(leaveResp{})
+}

@@ -1,0 +1,326 @@
+// Package chord implements the Chord distributed hash table protocol
+// (Stoica et al., SIGCOMM'01), the overlay the paper builds PeerTrack
+// on: "we adopt Chord as the overlay for its adaptiveness as nodes join
+// and leave".
+//
+// The implementation is complete: 160-bit SHA-1 identifier ring, finger
+// tables, successor lists, periodic stabilization with notify, finger
+// repair, failure detection, voluntary leave, and iterative O(log N)
+// lookup. It is transport-agnostic — the same node runs over the
+// instrumented in-memory network used for experiments and over TCP.
+package chord
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"peertrack/internal/ids"
+	"peertrack/internal/transport"
+)
+
+// Config tunes protocol parameters.
+type Config struct {
+	// SuccessorListLen is the number of successors tracked for fault
+	// tolerance (Chord's r). Default 8.
+	SuccessorListLen int
+	// MaxLookupSteps bounds iterative lookup to defend against routing
+	// loops on inconsistent rings. Default 2*Bits.
+	MaxLookupSteps int
+}
+
+func (c *Config) fill() {
+	if c.SuccessorListLen <= 0 {
+		c.SuccessorListLen = 8
+	}
+	if c.MaxLookupSteps <= 0 {
+		c.MaxLookupSteps = 2 * ids.Bits
+	}
+}
+
+// Observer receives ownership-change callbacks so an application layer
+// (the DHT store) can migrate keys. Callbacks run with the node lock
+// released but may be invoked from RPC handler goroutines.
+type Observer interface {
+	// PredecessorChanged fires when the predecessor moves from old to
+	// new. Keys in (old, new] no longer belong to this node.
+	PredecessorChanged(old, new NodeRef)
+}
+
+// Node is one Chord participant.
+type Node struct {
+	self NodeRef
+	net  transport.Network
+	cfg  Config
+
+	mu         sync.RWMutex
+	pred       NodeRef
+	successors []NodeRef // successors[0] is the immediate successor
+	fingers    [ids.Bits]NodeRef
+	nextFinger int
+	observer   Observer
+	appHandler transport.Handler
+	left       bool
+}
+
+// ErrLeft is returned by operations on a node that has departed the
+// ring.
+var ErrLeft = errors.New("chord: node has left the ring")
+
+// New creates a node addressed at addr whose ring position is
+// SHA1(addr), and registers its RPC handler on net. The node starts as a
+// single-node ring; call Join to enter an existing ring.
+func New(net transport.Network, addr transport.Addr, cfg Config) (*Node, error) {
+	return NewWithID(net, addr, ids.Hash([]byte(addr)), cfg)
+}
+
+// NewWithID is New with an explicit ring identifier, used by tests and
+// by deterministic experiment rings.
+func NewWithID(net transport.Network, addr transport.Addr, id ids.ID, cfg Config) (*Node, error) {
+	cfg.fill()
+	n := &Node{
+		self: NodeRef{ID: id, Addr: addr},
+		net:  net,
+		cfg:  cfg,
+	}
+	n.successors = []NodeRef{n.self} // single-node ring points at itself
+	if err := net.Register(addr, n.handleRPC); err != nil {
+		return nil, fmt.Errorf("chord: register %s: %w", addr, err)
+	}
+	return n, nil
+}
+
+// NewPrebound creates a node whose transport handler has already been
+// installed by the caller — used when the address is only known after
+// binding (ephemeral TCP ports). The caller's handler must forward
+// requests to (*Node).HandleRPC.
+func NewPrebound(net transport.Network, addr transport.Addr, id ids.ID, cfg Config) *Node {
+	return newUnregistered(net, addr, id, cfg)
+}
+
+func newUnregistered(net transport.Network, addr transport.Addr, id ids.ID, cfg Config) *Node {
+	cfg.fill()
+	n := &Node{
+		self: NodeRef{ID: id, Addr: addr},
+		net:  net,
+		cfg:  cfg,
+	}
+	n.successors = []NodeRef{n.self}
+	return n
+}
+
+// HandleRPC processes one inbound protocol message; exported for
+// callers that own the transport registration (see NewPrebound).
+func (n *Node) HandleRPC(from transport.Addr, req any) (any, error) {
+	return n.handleRPC(from, req)
+}
+
+// SetObserver installs the ownership-change observer. Must be called
+// before the node joins a ring.
+func (n *Node) SetObserver(o Observer) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.observer = o
+}
+
+// Self returns this node's reference.
+func (n *Node) Self() NodeRef { return n.self }
+
+// ID returns this node's ring identifier.
+func (n *Node) ID() ids.ID { return n.self.ID }
+
+// Addr returns this node's transport address.
+func (n *Node) Addr() transport.Addr { return n.self.Addr }
+
+// Successor returns the current immediate successor.
+func (n *Node) Successor() NodeRef {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.successors[0]
+}
+
+// Neighbors returns the successor list — the nodes that adopt this
+// node's keys if it fails (overlay.Node interface).
+func (n *Node) Neighbors() []NodeRef { return n.Successors() }
+
+// Successors returns a copy of the successor list.
+func (n *Node) Successors() []NodeRef {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	out := make([]NodeRef, len(n.successors))
+	copy(out, n.successors)
+	return out
+}
+
+// Predecessor returns the current predecessor (zero if unknown).
+func (n *Node) Predecessor() NodeRef {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.pred
+}
+
+// Owns reports whether this node is currently responsible for key, i.e.
+// key ∈ (predecessor, self]. With an unknown predecessor a node claims
+// only its own identifier.
+func (n *Node) Owns(key ids.ID) bool {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	if n.pred.IsZero() {
+		return key == n.self.ID || n.successors[0].Equal(n.self) // single-node ring owns all
+	}
+	return ids.BetweenRightIncl(key, n.pred.ID, n.self.ID)
+}
+
+// handleRPC dispatches inbound protocol messages.
+func (n *Node) handleRPC(from transport.Addr, req any) (any, error) {
+	n.mu.RLock()
+	left := n.left
+	n.mu.RUnlock()
+	if left {
+		return nil, ErrLeft
+	}
+	switch r := req.(type) {
+	case pingReq:
+		return pingResp{Self: n.self}, nil
+	case getStateReq:
+		n.mu.RLock()
+		resp := getStateResp{
+			Self:       n.self,
+			Successors: append([]NodeRef(nil), n.successors...),
+			Pred:       n.pred,
+		}
+		n.mu.RUnlock()
+		return resp, nil
+	case closestPrecedingReq:
+		return n.closestPreceding(r.Key), nil
+	case notifyReq:
+		n.notify(r.Candidate)
+		return notifyResp{}, nil
+	case leaveReq:
+		n.handleLeave(r)
+		return leaveResp{}, nil
+	default:
+		n.mu.RLock()
+		app := n.appHandler
+		n.mu.RUnlock()
+		if app != nil {
+			return app(from, req)
+		}
+		return nil, fmt.Errorf("chord: unknown request %T", req)
+	}
+}
+
+// SetAppHandler installs the handler for application-level messages
+// arriving at this node's address (anything the Chord protocol itself
+// does not consume). Layers such as the DHT store and the traceability
+// core chain through it.
+func (n *Node) SetAppHandler(h transport.Handler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.appHandler = h
+}
+
+// closestPreceding implements closest_preceding_node(key) plus the
+// termination test: if key falls between this node and its successor,
+// the successor is the answer and the lookup is done.
+func (n *Node) closestPreceding(key ids.ID) closestPrecedingResp {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	succ := n.successors[0]
+	if ids.BetweenRightIncl(key, n.self.ID, succ.ID) {
+		return closestPrecedingResp{Node: succ, Done: true}
+	}
+	// Scan fingers from the top for the closest node in (self, key).
+	for i := ids.Bits - 1; i >= 0; i-- {
+		f := n.fingers[i]
+		if f.IsZero() {
+			continue
+		}
+		if ids.Between(f.ID, n.self.ID, key) {
+			return closestPrecedingResp{Node: f}
+		}
+	}
+	// Successor list as a fallback routing table.
+	for i := len(n.successors) - 1; i >= 0; i-- {
+		s := n.successors[i]
+		if ids.Between(s.ID, n.self.ID, key) {
+			return closestPrecedingResp{Node: s}
+		}
+	}
+	return closestPrecedingResp{Node: succ}
+}
+
+// notify processes a predecessor candidacy (Chord's notify()).
+func (n *Node) notify(cand NodeRef) {
+	if cand.Equal(n.self) {
+		return
+	}
+	n.mu.Lock()
+	old := n.pred
+	accept := old.IsZero() || ids.Between(cand.ID, old.ID, n.self.ID)
+	var obs Observer
+	if accept {
+		n.pred = cand
+		obs = n.observer
+	}
+	n.mu.Unlock()
+	if accept && obs != nil && !old.Equal(cand) {
+		obs.PredecessorChanged(old, cand)
+	}
+}
+
+// handleLeave relinks around a voluntarily departing neighbour.
+func (n *Node) handleLeave(r leaveReq) {
+	n.mu.Lock()
+	var obs Observer
+	var oldPred NodeRef
+	predChanged := false
+	if !r.Pred.IsZero() && !n.pred.IsZero() && n.pred.Equal(r.Leaver) {
+		// Our predecessor left; adopt its predecessor.
+		oldPred = n.pred
+		n.pred = r.Pred
+		if r.Pred.Equal(n.self) {
+			n.pred = NodeRef{}
+		}
+		obs = n.observer
+		predChanged = true
+	}
+	if len(r.Successors) > 0 && n.successors[0].Equal(r.Leaver) {
+		// Our successor left; adopt its successor list.
+		succs := make([]NodeRef, 0, n.cfg.SuccessorListLen)
+		for _, s := range r.Successors {
+			if !s.Equal(r.Leaver) && !s.Equal(n.self) {
+				succs = append(succs, s)
+			}
+		}
+		if len(succs) == 0 {
+			succs = []NodeRef{n.self}
+		}
+		n.successors = succs
+		// Purge the leaver from fingers.
+		for i := range n.fingers {
+			if n.fingers[i].Equal(r.Leaver) {
+				n.fingers[i] = NodeRef{}
+			}
+		}
+	}
+	n.mu.Unlock()
+	if predChanged && obs != nil {
+		obs.PredecessorChanged(oldPred, r.Pred)
+	}
+}
+
+// call is a typed RPC helper.
+func (n *Node) call(to NodeRef, req any) (any, error) {
+	if to.Addr == n.self.Addr {
+		// Local shortcut: never pay transport cost to talk to yourself.
+		return n.handleRPC(n.self.Addr, req)
+	}
+	return n.net.Call(n.self.Addr, to.Addr, req)
+}
+
+// Ping checks whether a node is alive.
+func (n *Node) Ping(to NodeRef) bool {
+	_, err := n.call(to, pingReq{})
+	return err == nil
+}

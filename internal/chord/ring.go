@@ -1,0 +1,198 @@
+package chord
+
+import (
+	"fmt"
+	"sort"
+
+	"peertrack/internal/ids"
+	"peertrack/internal/transport"
+)
+
+// BuildRing constructs a ring over the given addresses using the real
+// protocol: each node joins through the first and the ring is
+// stabilized to convergence with exact finger tables. Returns the nodes
+// sorted by ring identifier.
+func BuildRing(net transport.Network, addrs []transport.Addr, cfg Config) ([]*Node, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("chord: empty ring")
+	}
+	nodes := make([]*Node, 0, len(addrs))
+	for _, a := range addrs {
+		n, err := New(net, a, cfg)
+		if err != nil {
+			return nil, err
+		}
+		nodes = append(nodes, n)
+	}
+	for i := 1; i < len(nodes); i++ {
+		if err := nodes[i].Join(nodes[0].Self()); err != nil {
+			return nil, fmt.Errorf("chord: join %s: %w", nodes[i].Addr(), err)
+		}
+		// Stabilizing as we go keeps join lookups correct.
+		nodes[i].Stabilize()
+		nodes[0].Stabilize()
+	}
+	// Sequential joins through a single bootstrap can need O(n) rounds
+	// to converge; iterate until the ring is consistent.
+	maxRounds := 3*len(nodes) + 8
+	converged := false
+	for r := 0; r < maxRounds; r += 2 {
+		if err := StabilizeAll(nodes, 2); err != nil {
+			return nil, err
+		}
+		if Converged(nodes) {
+			converged = true
+			break
+		}
+	}
+	if !converged {
+		return nil, fmt.Errorf("chord: ring of %d nodes failed to converge after %d rounds", len(nodes), maxRounds)
+	}
+	for _, n := range nodes {
+		if err := n.FixAllFingers(); err != nil {
+			return nil, fmt.Errorf("chord: fix fingers %s: %w", n.Addr(), err)
+		}
+	}
+	SortByID(nodes)
+	return nodes, nil
+}
+
+// BuildStaticRing constructs a fully converged ring by computing every
+// node's predecessor, successor list and finger table directly, without
+// protocol traffic. Experiments use it so that ring construction does
+// not pollute message counts; the resulting state is exactly what
+// protocol-based construction converges to. Returns the nodes sorted by
+// ring identifier.
+func BuildStaticRing(net transport.Network, addrs []transport.Addr, cfg Config) ([]*Node, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("chord: empty ring")
+	}
+	nodes := make([]*Node, 0, len(addrs))
+	for _, a := range addrs {
+		n, err := New(net, a, cfg)
+		if err != nil {
+			return nil, err
+		}
+		nodes = append(nodes, n)
+	}
+	WireStaticRing(nodes)
+	return nodes, nil
+}
+
+// WireStaticRing sets exact routing state on the given nodes and sorts
+// them by identifier in place.
+func WireStaticRing(nodes []*Node) {
+	SortByID(nodes)
+	m := len(nodes)
+	refs := make([]NodeRef, m)
+	for i, n := range nodes {
+		refs[i] = n.Self()
+	}
+	for i, n := range nodes {
+		n.mu.Lock()
+		n.pred = refs[(i-1+m)%m]
+		if m == 1 {
+			n.pred = NodeRef{}
+		}
+		sl := n.cfg.SuccessorListLen
+		if sl > m-1 && m > 1 {
+			sl = m - 1
+		}
+		if m == 1 {
+			n.successors = []NodeRef{n.self}
+		} else {
+			n.successors = make([]NodeRef, 0, sl)
+			for k := 1; k <= sl; k++ {
+				n.successors = append(n.successors, refs[(i+k)%m])
+			}
+		}
+		for f := 0; f < ids.Bits; f++ {
+			start := n.self.ID.AddPow2(f)
+			n.fingers[f] = refs[successorIndex(refs, start)]
+		}
+		n.mu.Unlock()
+	}
+}
+
+// successorIndex returns the index in refs (sorted by ID) of the
+// successor of key: the first node whose ID >= key, wrapping to 0.
+func successorIndex(refs []NodeRef, key ids.ID) int {
+	i := sort.Search(len(refs), func(i int) bool {
+		return refs[i].ID.Cmp(key) >= 0
+	})
+	if i == len(refs) {
+		return 0
+	}
+	return i
+}
+
+// SuccessorOf returns the reference among refs responsible for key.
+// refs must be sorted by ID. This is the ground-truth ownership oracle
+// used by tests and by experiment verification.
+func SuccessorOf(refs []NodeRef, key ids.ID) NodeRef {
+	return refs[successorIndex(refs, key)]
+}
+
+// SortByID orders nodes by ring identifier.
+func SortByID(nodes []*Node) {
+	sort.Slice(nodes, func(i, j int) bool {
+		return nodes[i].ID().Less(nodes[j].ID())
+	})
+}
+
+// SortRefs orders node references by ring identifier.
+func SortRefs(refs []NodeRef) {
+	sort.Slice(refs, func(i, j int) bool {
+		return refs[i].ID.Less(refs[j].ID)
+	})
+}
+
+// StabilizeAll runs the given number of full stabilization rounds over
+// all nodes.
+func StabilizeAll(nodes []*Node, rounds int) error {
+	for r := 0; r < rounds; r++ {
+		for _, n := range nodes {
+			if n.Left() {
+				continue
+			}
+			if err := n.Stabilize(); err != nil {
+				return fmt.Errorf("chord: stabilize %s: %w", n.Addr(), err)
+			}
+		}
+	}
+	return nil
+}
+
+// Converged verifies that every node's successor and predecessor agree
+// with the sorted ring order; used by tests.
+func Converged(nodes []*Node) bool {
+	live := make([]*Node, 0, len(nodes))
+	for _, n := range nodes {
+		if !n.Left() {
+			live = append(live, n)
+		}
+	}
+	if len(live) == 0 {
+		return true
+	}
+	sorted := append([]*Node(nil), live...)
+	SortByID(sorted)
+	m := len(sorted)
+	for i, n := range sorted {
+		wantSucc := sorted[(i+1)%m].Self()
+		wantPred := sorted[(i-1+m)%m].Self()
+		if m == 1 {
+			if !n.Successor().Equal(n.Self()) {
+				return false
+			}
+			continue
+		}
+		if !n.Successor().Equal(wantSucc) {
+			return false
+		}
+		if !n.Predecessor().Equal(wantPred) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,50 @@
+package core
+
+import (
+	"sync"
+
+	"peertrack/internal/moods"
+)
+
+// BatchTraceResult pairs one object with its trace outcome.
+type BatchTraceResult struct {
+	Object moods.ObjectID
+	Result TraceResult
+	Err    error
+}
+
+// TraceBatch answers full traces for many objects concurrently with at
+// most parallelism in-flight queries — the recall pattern ("trace every
+// item of the contaminated lot") without serializing on network round
+// trips. Results preserve input order.
+//
+// Safe on live (TCP) networks and on simulated networks after the
+// event-driven phase has finished (handlers are concurrency-safe; the
+// DES kernel itself must not be running concurrently).
+func (p *Peer) TraceBatch(objs []moods.ObjectID, parallelism int) []BatchTraceResult {
+	if parallelism <= 0 {
+		parallelism = 8
+	}
+	if parallelism > len(objs) {
+		parallelism = len(objs)
+	}
+	out := make([]BatchTraceResult, len(objs))
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				res, err := p.FullTrace(objs[i])
+				out[i] = BatchTraceResult{Object: objs[i], Result: res, Err: err}
+			}
+		}()
+	}
+	for i := range objs {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"peertrack/internal/moods"
+)
+
+func TestTraceBatchMatchesSequential(t *testing.T) {
+	nw := buildNet(t, 16, Config{Mode: GroupIndexing})
+	objs := make([]moods.ObjectID, 40)
+	for i := range objs {
+		objs[i] = moods.ObjectID(fmt.Sprintf("batch-%d", i))
+		moveObject(t, nw, objs[i], []int{i % 16, (i + 5) % 16, (i + 11) % 16}, time.Second, time.Minute)
+	}
+	nw.StartWindows(5 * time.Minute)
+	nw.Run()
+
+	results := nw.Peers()[0].TraceBatch(objs, 6)
+	if len(results) != len(objs) {
+		t.Fatalf("results = %d", len(results))
+	}
+	for i, r := range results {
+		if r.Object != objs[i] {
+			t.Fatalf("order not preserved at %d", i)
+		}
+		if r.Err != nil {
+			t.Fatalf("trace %s: %v", r.Object, r.Err)
+		}
+		assertPathsEqual(t, r.Result.Path, nw.Oracle.FullTrace(r.Object), string(r.Object))
+	}
+}
+
+func TestTraceBatchMixedOutcomes(t *testing.T) {
+	nw := buildNet(t, 8, Config{Mode: GroupIndexing})
+	known := moods.ObjectID("known")
+	moveObject(t, nw, known, []int{1, 4}, time.Second, time.Minute)
+	nw.StartWindows(2 * time.Minute)
+	nw.Run()
+
+	results := nw.Peers()[0].TraceBatch([]moods.ObjectID{known, "ghost-1", "ghost-2"}, 2)
+	if results[0].Err != nil {
+		t.Fatalf("known object failed: %v", results[0].Err)
+	}
+	for _, r := range results[1:] {
+		if !errors.Is(r.Err, ErrNotTracked) {
+			t.Fatalf("ghost err = %v", r.Err)
+		}
+	}
+}
+
+func TestTraceBatchEmptyAndDegenerateParallelism(t *testing.T) {
+	nw := buildNet(t, 4, Config{})
+	if out := nw.Peers()[0].TraceBatch(nil, 4); len(out) != 0 {
+		t.Fatal("empty batch returned results")
+	}
+	obj := moods.ObjectID("single")
+	nw.ScheduleObservation(moods.Observation{Object: obj, Node: nw.Peers()[1].Name(), At: time.Second})
+	nw.StartWindows(2 * time.Second)
+	nw.Run()
+	out := nw.Peers()[0].TraceBatch([]moods.ObjectID{obj}, 0) // default parallelism
+	if len(out) != 1 || out[0].Err != nil {
+		t.Fatalf("out = %+v", out)
+	}
+}

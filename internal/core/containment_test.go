@@ -1,0 +1,197 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"peertrack/internal/moods"
+)
+
+// Containment scenario: cases are read at the factory, packed onto a
+// pallet, the pallet alone is read at the DC and warehouse, then cases
+// are unpacked and read individually at stores.
+
+func TestResolveTraceSplicesParentSegments(t *testing.T) {
+	nw := buildNet(t, 16, Config{Mode: GroupIndexing})
+	pallet := moods.ObjectID("urn:epc:id:sscc:0614141.1000000001")
+	caseA := moods.ObjectID("urn:epc:id:sgtin:0614141.812345.1")
+	caseB := moods.ObjectID("urn:epc:id:sgtin:0614141.812345.2")
+
+	factory, dc, wh, storeA, storeB := nw.Peers()[1], nw.Peers()[4], nw.Peers()[8], nw.Peers()[12], nw.Peers()[14]
+
+	// t=1m: cases read at the factory. t=2m: packed onto the pallet.
+	nw.ScheduleObservation(moods.Observation{Object: caseA, Node: factory.Name(), At: time.Minute})
+	nw.ScheduleObservation(moods.Observation{Object: caseB, Node: factory.Name(), At: time.Minute})
+	nw.ScheduleObservation(moods.Observation{Object: pallet, Node: factory.Name(), At: time.Minute})
+	nw.Kernel.At(2*time.Minute, func() {
+		if err := factory.Pack(pallet, []moods.ObjectID{caseA, caseB}, 2*time.Minute); err != nil {
+			t.Error(err)
+		}
+	})
+	// Pallet (only) moves: DC at t=10m, warehouse at t=20m.
+	nw.ScheduleObservation(moods.Observation{Object: pallet, Node: dc.Name(), At: 10 * time.Minute})
+	nw.ScheduleObservation(moods.Observation{Object: pallet, Node: wh.Name(), At: 20 * time.Minute})
+	// t=25m: unpacked at the warehouse; cases ship separately.
+	nw.Kernel.At(25*time.Minute, func() {
+		if err := wh.Unpack(pallet, []moods.ObjectID{caseA, caseB}, 25*time.Minute); err != nil {
+			t.Error(err)
+		}
+	})
+	nw.ScheduleObservation(moods.Observation{Object: caseA, Node: storeA.Name(), At: 30 * time.Minute})
+	nw.ScheduleObservation(moods.Observation{Object: caseB, Node: storeB.Name(), At: 31 * time.Minute})
+	nw.StartWindows(40 * time.Minute)
+	nw.Run()
+
+	// A plain trace of caseA misses the DC and warehouse stops.
+	plain, err := nw.Peers()[0].FullTrace(caseA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.Path) != 2 {
+		t.Fatalf("plain trace = %v, want factory+storeA only", plain.Path.Nodes())
+	}
+
+	// The resolved trace includes the pallet's intermediate stops.
+	res, err := nw.Peers()[0].ResolveTrace(caseA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []moods.NodeName{factory.Name(), dc.Name(), wh.Name(), storeA.Name()}
+	got := res.Path.Nodes()
+	if len(got) != len(want) {
+		t.Fatalf("resolved trace = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("resolved trace = %v, want %v", got, want)
+		}
+	}
+
+	// caseB resolves to its own store.
+	resB, err := nw.Peers()[3].ResolveTrace(caseB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodesB := resB.Path.Nodes()
+	if nodesB[len(nodesB)-1] != storeB.Name() {
+		t.Fatalf("caseB resolved trace = %v", nodesB)
+	}
+}
+
+func TestResolveTraceOpenContainment(t *testing.T) {
+	// A case still aboard the pallet inherits all pallet movement to
+	// date.
+	nw := buildNet(t, 12, Config{Mode: GroupIndexing})
+	pallet := moods.ObjectID("pallet-open")
+	box := moods.ObjectID("box-open")
+	n1, n2, n3 := nw.Peers()[2], nw.Peers()[5], nw.Peers()[9]
+
+	nw.ScheduleObservation(moods.Observation{Object: box, Node: n1.Name(), At: time.Minute})
+	nw.ScheduleObservation(moods.Observation{Object: pallet, Node: n1.Name(), At: time.Minute})
+	nw.Kernel.At(2*time.Minute, func() {
+		n1.Pack(pallet, []moods.ObjectID{box}, 2*time.Minute)
+	})
+	nw.ScheduleObservation(moods.Observation{Object: pallet, Node: n2.Name(), At: 10 * time.Minute})
+	nw.ScheduleObservation(moods.Observation{Object: pallet, Node: n3.Name(), At: 20 * time.Minute})
+	nw.StartWindows(30 * time.Minute)
+	nw.Run()
+
+	res, err := nw.Peers()[0].ResolveTrace(box)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Path.Nodes()
+	want := []moods.NodeName{n1.Name(), n2.Name(), n3.Name()}
+	if len(got) != 3 || got[1] != want[1] || got[2] != want[2] {
+		t.Fatalf("open containment trace = %v, want %v", got, want)
+	}
+}
+
+func TestResolveTraceNestedContainment(t *testing.T) {
+	// case inside pallet inside container: two splice levels.
+	nw := buildNet(t, 12, Config{Mode: GroupIndexing})
+	container := moods.ObjectID("container-1")
+	pallet := moods.ObjectID("pallet-nested")
+	box := moods.ObjectID("box-nested")
+	port, sea, destPort := nw.Peers()[1], nw.Peers()[5], nw.Peers()[8]
+
+	nw.ScheduleObservation(moods.Observation{Object: box, Node: port.Name(), At: time.Minute})
+	nw.ScheduleObservation(moods.Observation{Object: pallet, Node: port.Name(), At: time.Minute})
+	nw.ScheduleObservation(moods.Observation{Object: container, Node: port.Name(), At: time.Minute})
+	nw.Kernel.At(2*time.Minute, func() {
+		port.Pack(pallet, []moods.ObjectID{box}, 2*time.Minute)
+		port.Pack(container, []moods.ObjectID{pallet}, 2*time.Minute)
+	})
+	// Only the container is read while at sea and at the destination.
+	nw.ScheduleObservation(moods.Observation{Object: container, Node: sea.Name(), At: time.Hour})
+	nw.ScheduleObservation(moods.Observation{Object: container, Node: destPort.Name(), At: 2 * time.Hour})
+	nw.StartWindows(3 * time.Hour)
+	nw.Run()
+
+	res, err := nw.Peers()[0].ResolveTrace(box)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Path.Nodes()
+	if len(got) != 3 || got[1] != sea.Name() || got[2] != destPort.Name() {
+		t.Fatalf("nested resolved trace = %v", got)
+	}
+}
+
+func TestResolveTraceNoContainmentEqualsTrace(t *testing.T) {
+	nw := buildNet(t, 10, Config{Mode: GroupIndexing})
+	obj := moods.ObjectID("loner-resolve")
+	moveObject(t, nw, obj, []int{1, 4, 7}, time.Second, time.Minute)
+	nw.StartWindows(5 * time.Minute)
+	nw.Run()
+	plain, err := nw.Peers()[0].FullTrace(obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := nw.Peers()[0].ResolveTrace(obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertPathsEqual(t, res.Path, plain.Path, "resolve == trace without containment")
+}
+
+func TestResolveTraceUntracked(t *testing.T) {
+	nw := buildNet(t, 8, Config{Mode: GroupIndexing})
+	if _, err := nw.Peers()[0].ResolveTrace("ghost"); !errors.Is(err, ErrNotTracked) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestContainmentRecordsQueryable(t *testing.T) {
+	nw := buildNet(t, 8, Config{Mode: GroupIndexing})
+	parent := moods.ObjectID("p")
+	children := make([]moods.ObjectID, 5)
+	for i := range children {
+		children[i] = moods.ObjectID(fmt.Sprintf("c%d", i))
+	}
+	if err := nw.Peers()[0].Pack(parent, children, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range children {
+		recs, _, err := nw.Peers()[3].Containments(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) != 1 || recs[0].Parent != parent || !recs[0].open() {
+			t.Fatalf("containments of %s = %+v", c, recs)
+		}
+	}
+	if err := nw.Peers()[5].Unpack(parent, children[:2], 2*time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	recs, _, _ := nw.Peers()[1].Containments(children[0])
+	if recs[0].open() || recs[0].To != 2*time.Minute {
+		t.Fatalf("record after unpack = %+v", recs[0])
+	}
+	recs, _, _ = nw.Peers()[1].Containments(children[3])
+	if !recs[0].open() {
+		t.Fatal("unrelated child was closed")
+	}
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"peertrack/internal/moods"
+)
+
+// Fault characterization: the indexing protocol under lossy transport.
+// Group messages that fail are re-buffered and retried on the next
+// window, so the index itself converges; lost IOP link updates (M2/M3
+// are best-effort) can break individual trace chains. Locate quality
+// must therefore stay near-perfect while full traces degrade
+// gracefully.
+func TestLossyTransportDegradesGracefully(t *testing.T) {
+	nw := buildNet(t, 16, Config{Mode: GroupIndexing})
+	nw.Transport.SetDropRate(0.02) // 2% of calls lost
+	objs := make([]moods.ObjectID, 100)
+	for i := range objs {
+		objs[i] = moods.ObjectID(fmt.Sprintf("lossy-%d", i))
+		moveObject(t, nw, objs[i], []int{i % 16, (i + 3) % 16, (i + 7) % 16}, time.Second, time.Minute)
+	}
+	nw.StartWindows(5 * time.Minute)
+	nw.Run()
+	nw.Transport.SetDropRate(0)
+
+	locOK, traceOK := 0, 0
+	for _, o := range objs {
+		if res, err := nw.Peers()[0].Locate(o, time.Hour); err == nil {
+			if want, _ := nw.Oracle.Locate(o, time.Hour); res.Node == want {
+				locOK++
+			}
+		}
+		if res, err := nw.Peers()[0].FullTrace(o); err == nil {
+			if res.Path.Equal(nw.Oracle.FullTrace(o)) {
+				traceOK++
+			}
+		}
+	}
+	// The retry path must keep the index complete...
+	if locOK < 95 {
+		t.Errorf("locate correct for %d/100 under 2%% loss, want >= 95", locOK)
+	}
+	// ...and most chains intact.
+	if traceOK < 85 {
+		t.Errorf("full trace correct for %d/100 under 2%% loss, want >= 85", traceOK)
+	}
+	if nw.Stats().Snapshot().Failures == 0 {
+		t.Error("fault injection did not fire")
+	}
+}
+
+// A network partition during indexing: observations captured inside a
+// minority partition index once the partition heals and windows retry.
+func TestPartitionHealReindexes(t *testing.T) {
+	nw := buildNet(t, 12, Config{Mode: GroupIndexing})
+	// Isolate peer 2 into its own partition.
+	nw.Transport.Partition(nw.Peers()[2].Addr(), 1)
+
+	obj := moods.ObjectID("partitioned")
+	nw.ScheduleObservation(moods.Observation{Object: obj, Node: nw.Peers()[2].Name(), At: time.Second})
+	nw.StartWindows(5 * time.Second)
+	nw.Run()
+
+	// While partitioned, the rest of the network cannot see the object
+	// (unless peer 2 itself happens to be the gateway).
+	// Heal and let the re-buffered window flush.
+	nw.Transport.HealPartitions()
+	nw.Kernel.At(nw.Kernel.Now()+time.Second, func() { nw.Peers()[2].FlushWindow() })
+	nw.Kernel.Run()
+
+	res, err := nw.Peers()[7].Locate(obj, time.Hour)
+	if err != nil {
+		t.Fatalf("locate after heal: %v", err)
+	}
+	if res.Node != nw.Peers()[2].Name() {
+		t.Fatalf("located at %q", res.Node)
+	}
+}

@@ -1,0 +1,258 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"peertrack/internal/ids"
+	"peertrack/internal/moods"
+)
+
+// IndexEntry is one object's gateway index record: its latest known
+// location and the location before that — the head of the distributed
+// doubly-linked IOP list.
+type IndexEntry struct {
+	Object  moods.ObjectID
+	ID      ids.ID         // SHA1(Object), carried to avoid re-hashing
+	Latest  moods.NodeName // node of the most recent capture
+	Prev    moods.NodeName // node of the capture before that ("" = none)
+	Arrived time.Duration  // arrival time at Latest
+	Indexed time.Duration  // when this record was (re)indexed, drives FIFO delegation
+}
+
+func (e IndexEntry) wireSize() int {
+	return len(e.Object) + ids.Bytes + len(e.Latest) + len(e.Prev) + 16
+}
+
+// bucket holds the index records of one prefix group at its gateway
+// node, with FIFO order for α-delegation and a delegation marker that
+// bounds Data Triangle descent.
+type bucket struct {
+	prefix  ids.Prefix
+	entries map[ids.ID]*IndexEntry
+	fifo    []ids.ID // insertion order; may contain stale ids, filtered on use
+	// delegated is true once any record was pushed down to a child,
+	// telling lookups and refreshes that descendants may hold records.
+	delegated bool
+}
+
+func newBucket(p ids.Prefix) *bucket {
+	return &bucket{prefix: p, entries: make(map[ids.ID]*IndexEntry)}
+}
+
+func (b *bucket) upsert(e IndexEntry) {
+	if _, exists := b.entries[e.ID]; !exists {
+		b.fifo = append(b.fifo, e.ID)
+	}
+	cp := e
+	b.entries[e.ID] = &cp
+}
+
+// oldest returns up to n entry values in FIFO (earliest-indexed) order,
+// compacting stale fifo ids as a side effect.
+func (b *bucket) oldest(n int) []IndexEntry {
+	out := make([]IndexEntry, 0, n)
+	w := 0
+	for _, id := range b.fifo {
+		if _, ok := b.entries[id]; ok {
+			b.fifo[w] = id
+			w++
+		}
+	}
+	b.fifo = b.fifo[:w]
+	for _, id := range b.fifo {
+		if len(out) >= n {
+			break
+		}
+		out = append(out, *b.entries[id])
+	}
+	return out
+}
+
+func (b *bucket) remove(id ids.ID) {
+	delete(b.entries, id)
+}
+
+// gatewayStore is the per-node storage for every prefix bucket (and,
+// under individual indexing, per-object records modelled as
+// full-length-prefix buckets) this node is the gateway of.
+type gatewayStore struct {
+	mu      sync.RWMutex
+	buckets map[string]*bucket // key: prefix binary string
+}
+
+func newGatewayStore() *gatewayStore {
+	return &gatewayStore{buckets: make(map[string]*bucket)}
+}
+
+// bucketFor returns the bucket for prefix p, creating it if needed.
+func (g *gatewayStore) bucketFor(p ids.Prefix) *bucket {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.bucketLocked(p.String(), p)
+}
+
+func (g *gatewayStore) bucketLocked(key string, p ids.Prefix) *bucket {
+	b, ok := g.buckets[key]
+	if !ok {
+		b = newBucket(p)
+		g.buckets[key] = b
+	}
+	return b
+}
+
+// upsertKeyed inserts or updates an entry in the bucket with an
+// explicit key (the individual-indexing bucket).
+func (g *gatewayStore) upsertKeyed(key string, e IndexEntry) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.bucketLocked(key, ids.Prefix{}).upsert(e)
+}
+
+// peek returns the bucket for prefix p or nil, without creating it.
+func (g *gatewayStore) peek(p string) *bucket {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.buckets[p]
+}
+
+// upsert inserts or updates an entry in the bucket of prefix p.
+func (g *gatewayStore) upsert(p ids.Prefix, e IndexEntry) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.bucketLocked(p.String(), p).upsert(e)
+}
+
+// lookup finds an entry for object id in the bucket of prefix p.
+func (g *gatewayStore) lookup(p string, id ids.ID) (IndexEntry, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	b := g.buckets[p]
+	if b == nil {
+		return IndexEntry{}, false
+	}
+	e, ok := b.entries[id]
+	if !ok {
+		return IndexEntry{}, false
+	}
+	return *e, true
+}
+
+// take removes and returns the entries for the given object ids in the
+// bucket of prefix p (move semantics for refresh), plus the bucket's
+// delegated flag.
+func (g *gatewayStore) take(p string, objs []ids.ID) ([]IndexEntry, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	b := g.buckets[p]
+	if b == nil {
+		return nil, false
+	}
+	var out []IndexEntry
+	for _, id := range objs {
+		if e, ok := b.entries[id]; ok {
+			out = append(out, *e)
+			b.remove(id)
+		}
+	}
+	return out, b.delegated
+}
+
+// query returns copies of the entries for the given object ids without
+// removing them, plus the delegated flag.
+func (g *gatewayStore) query(p string, objs []ids.ID) ([]IndexEntry, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	b := g.buckets[p]
+	if b == nil {
+		return nil, false
+	}
+	var out []IndexEntry
+	for _, id := range objs {
+		if e, ok := b.entries[id]; ok {
+			out = append(out, *e)
+		}
+	}
+	return out, b.delegated
+}
+
+// totalEntries counts all index records held by this node.
+func (g *gatewayStore) totalEntries() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	n := 0
+	for _, b := range g.buckets {
+		n += len(b.entries)
+	}
+	return n
+}
+
+// bucketKeys returns all bucket keys currently present (binary prefix
+// strings plus the individual bucket key).
+func (g *gatewayStore) bucketKeys() []string {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]string, 0, len(g.buckets))
+	for k := range g.buckets {
+		out = append(out, k)
+	}
+	return out
+}
+
+// drain removes and returns all entries of the bucket with prefix p,
+// used by split/merge migration. The emptied bucket is deleted.
+func (g *gatewayStore) drain(p string) []IndexEntry {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	b := g.buckets[p]
+	if b == nil {
+		return nil
+	}
+	out := make([]IndexEntry, 0, len(b.entries))
+	for _, id := range b.fifo {
+		if e, ok := b.entries[id]; ok {
+			out = append(out, *e)
+			delete(b.entries, id)
+		}
+	}
+	// Entries that somehow missed the fifo (defensive).
+	for _, e := range b.entries {
+		out = append(out, *e)
+	}
+	delete(g.buckets, p)
+	return out
+}
+
+// markDelegated flags the bucket of prefix p as having descendants.
+func (g *gatewayStore) markDelegated(p string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if b := g.buckets[p]; b != nil {
+		b.delegated = true
+	}
+}
+
+// delegable returns up to n FIFO-earliest entries of bucket p without
+// removing them; the caller removes them after a successful push.
+func (g *gatewayStore) delegable(p string, n int) []IndexEntry {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	b := g.buckets[p]
+	if b == nil {
+		return nil
+	}
+	return b.oldest(n)
+}
+
+// removeAll deletes the given object ids from bucket p.
+func (g *gatewayStore) removeAll(p string, objs []ids.ID) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	b := g.buckets[p]
+	if b == nil {
+		return
+	}
+	for _, id := range objs {
+		b.remove(id)
+	}
+}

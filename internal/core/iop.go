@@ -1,0 +1,120 @@
+package core
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"peertrack/internal/moods"
+)
+
+// VisitRecord is one segment of an object's moving path stored at the
+// node where the visit happened — the IOP (information of object path)
+// properties of the PeerTrack data model: From and To are the
+// doubly-linked-list pointers stitched by the gateway (o.from / o.to in
+// the paper), and Arrived orders the segments.
+type VisitRecord struct {
+	Object  moods.ObjectID
+	Arrived time.Duration
+	From    moods.NodeName // where the object came from; "" = entered the network here
+	To      moods.NodeName // where the object left to; "" = still here / unknown
+}
+
+// iopStore is a node's local repository: the information-flow segments
+// captured inside its own territory, with their IOP links.
+type iopStore struct {
+	mu     sync.RWMutex
+	visits map[moods.ObjectID][]VisitRecord // sorted by Arrived
+	n      int
+}
+
+func newIOPStore() *iopStore {
+	return &iopStore{visits: make(map[moods.ObjectID][]VisitRecord)}
+}
+
+// record adds a local capture (From/To unknown yet).
+func (s *iopStore) record(obj moods.ObjectID, arrived time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	vs := s.visits[obj]
+	i := sort.Search(len(vs), func(i int) bool { return vs[i].Arrived > arrived })
+	vs = append(vs, VisitRecord{})
+	copy(vs[i+1:], vs[i:])
+	vs[i] = VisitRecord{Object: obj, Arrived: arrived}
+	s.visits[obj] = vs
+	s.n++
+}
+
+// setFrom annotates the visit at time at (or the latest visit if no
+// exact match) with the origin node.
+func (s *iopStore) setFrom(obj moods.ObjectID, from moods.NodeName, at time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	vs := s.visits[obj]
+	if len(vs) == 0 {
+		// The IOP link can arrive before the local capture record in a
+		// real network; create the visit so the link is not lost.
+		s.visits[obj] = []VisitRecord{{Object: obj, Arrived: at, From: from}}
+		s.n++
+		return
+	}
+	for i := len(vs) - 1; i >= 0; i-- {
+		if vs[i].Arrived == at {
+			vs[i].From = from
+			return
+		}
+	}
+	vs[len(vs)-1].From = from
+}
+
+// setTo annotates the latest visit with the destination node the object
+// moved on to.
+func (s *iopStore) setTo(obj moods.ObjectID, to moods.NodeName, at time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	vs := s.visits[obj]
+	if len(vs) == 0 {
+		return
+	}
+	// Annotate the latest visit that started before the departure.
+	for i := len(vs) - 1; i >= 0; i-- {
+		if vs[i].Arrived <= at {
+			vs[i].To = to
+			return
+		}
+	}
+	vs[len(vs)-1].To = to
+}
+
+// get returns copies of the visits of obj, time-sorted.
+func (s *iopStore) get(obj moods.ObjectID) ([]VisitRecord, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	vs, ok := s.visits[obj]
+	if !ok {
+		return nil, false
+	}
+	return append([]VisitRecord(nil), vs...), true
+}
+
+// has reports whether this node has observed obj.
+func (s *iopStore) has(obj moods.ObjectID) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.visits[obj]
+	return ok
+}
+
+// len returns the number of visit records stored.
+func (s *iopStore) len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.n
+}
+
+// objects returns the number of distinct objects with local records.
+func (s *iopStore) objects() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.visits)
+}

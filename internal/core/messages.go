@@ -1,0 +1,193 @@
+package core
+
+import (
+	"time"
+
+	"peertrack/internal/ids"
+	"peertrack/internal/moods"
+	"peertrack/internal/transport"
+)
+
+// ObjEvent is one object arrival carried inside indexing messages.
+type ObjEvent struct {
+	Object  moods.ObjectID
+	Arrived time.Duration
+}
+
+func sizeOfEvents(evs []ObjEvent) int {
+	n := 0
+	for _, e := range evs {
+		n += len(e.Object) + 8
+	}
+	return n
+}
+
+// arriveReq is the individual-indexing message M1 (Section III): node
+// Node reports that Object arrived at time Arrived, asking the gateway
+// to update the index and stitch the IOP links.
+type arriveReq struct {
+	Event ObjEvent
+	Node  moods.NodeName
+}
+
+func (r arriveReq) WireSize() int { return len(r.Event.Object) + len(r.Node) + 8 }
+
+// arriveResp acknowledges M1.
+type arriveResp struct{}
+
+// groupArriveReq is the group-indexing message (Section IV-A2), format
+// (group id, (objects), timestamp): all objects of one prefix group that
+// arrived at Node within one capture window.
+type groupArriveReq struct {
+	Prefix string // binary prefix string, the group id
+	Events []ObjEvent
+	Node   moods.NodeName
+	At     time.Duration
+}
+
+func (r groupArriveReq) WireSize() int {
+	return len(r.Prefix) + len(r.Node) + 8 + sizeOfEvents(r.Events)
+}
+
+type groupArriveResp struct{}
+
+// iopSetToReq is message M2: the gateway tells the previous node that
+// each object has moved on (sets o.to = To there).
+type iopSetToReq struct {
+	Objects []moods.ObjectID
+	To      moods.NodeName
+	At      time.Duration
+}
+
+func (r iopSetToReq) WireSize() int {
+	n := len(r.To) + 8
+	for _, o := range r.Objects {
+		n += len(o)
+	}
+	return n
+}
+
+type iopSetToResp struct{}
+
+// iopSetFromReq is message M3: the gateway tells the destination node
+// where each object came from (sets o.from there). Objects new to the
+// network get From == "".
+type iopSetFromReq struct {
+	Links []IOPLink
+}
+
+func (r iopSetFromReq) WireSize() int {
+	n := 0
+	for _, l := range r.Links {
+		n += len(l.Object) + len(l.From) + 8
+	}
+	return n
+}
+
+// IOPLink tells a node the origin of one object it captured.
+type IOPLink struct {
+	Object moods.ObjectID
+	From   moods.NodeName
+	At     time.Duration // arrival time of the visit being annotated
+}
+
+type iopSetFromResp struct{}
+
+// fetchIndexReq retrieves (and removes — move semantics) the index
+// records a gateway holds for the given objects under the given prefix.
+// Used by refresh_from_ascent / refresh_from_descent to pull records to
+// the current gateway after Lp changes.
+type fetchIndexReq struct {
+	Prefix  string
+	Objects []ids.ID
+}
+
+func (r fetchIndexReq) WireSize() int { return len(r.Prefix) + len(r.Objects)*ids.Bytes }
+
+type fetchIndexResp struct {
+	Entries []IndexEntry
+	// Delegated reports whether the queried bucket has ever delegated
+	// records to its children, bounding descent recursion.
+	Delegated bool
+}
+
+func (r fetchIndexResp) WireSize() int {
+	n := 1
+	for _, e := range r.Entries {
+		n += e.wireSize()
+	}
+	return n
+}
+
+// delegateReq pushes index records from a Data Triangle parent to one of
+// its children (or, during split/merge, between old and new gateways).
+type delegateReq struct {
+	Prefix  string // the receiving bucket's prefix
+	Entries []IndexEntry
+}
+
+func (r delegateReq) WireSize() int {
+	n := len(r.Prefix)
+	for _, e := range r.Entries {
+		n += e.wireSize()
+	}
+	return n
+}
+
+type delegateResp struct{}
+
+// queryIndexReq asks a gateway for the index records of the given
+// objects under prefix (read-only; the lookup path).
+type queryIndexReq struct {
+	Prefix  string
+	Objects []ids.ID
+}
+
+func (r queryIndexReq) WireSize() int { return len(r.Prefix) + len(r.Objects)*ids.Bytes }
+
+type queryIndexResp struct {
+	Entries   []IndexEntry
+	Delegated bool
+}
+
+func (r queryIndexResp) WireSize() int {
+	n := 1
+	for _, e := range r.Entries {
+		n += e.wireSize()
+	}
+	return n
+}
+
+// iopGetReq asks a node for its locally stored visits of an object (the
+// trace-walk step).
+type iopGetReq struct {
+	Object moods.ObjectID
+}
+
+func (r iopGetReq) WireSize() int { return len(r.Object) }
+
+type iopGetResp struct {
+	Visits []VisitRecord
+	Found  bool
+}
+
+func (r iopGetResp) WireSize() int { return 1 + len(r.Visits)*32 }
+
+func init() {
+	transport.Register(arriveReq{})
+	transport.Register(arriveResp{})
+	transport.Register(groupArriveReq{})
+	transport.Register(groupArriveResp{})
+	transport.Register(iopSetToReq{})
+	transport.Register(iopSetToResp{})
+	transport.Register(iopSetFromReq{})
+	transport.Register(iopSetFromResp{})
+	transport.Register(fetchIndexReq{})
+	transport.Register(fetchIndexResp{})
+	transport.Register(delegateReq{})
+	transport.Register(delegateResp{})
+	transport.Register(queryIndexReq{})
+	transport.Register(queryIndexResp{})
+	transport.Register(iopGetReq{})
+	transport.Register(iopGetResp{})
+}

@@ -1,0 +1,355 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"peertrack/internal/chord"
+	"peertrack/internal/kademlia"
+	"peertrack/internal/moods"
+	"peertrack/internal/overlay"
+	"peertrack/internal/sim"
+	"peertrack/internal/transport"
+)
+
+// OverlayKind selects the DHT the network runs on.
+type OverlayKind string
+
+const (
+	// ChordOverlay is the paper's choice (default).
+	ChordOverlay OverlayKind = "chord"
+	// KademliaOverlay runs the identical traceability core over
+	// Kademlia, for the overlay-comparison ablation.
+	KademliaOverlay OverlayKind = "kademlia"
+)
+
+// Network is a whole simulated traceable network: a Chord ring of
+// peers over the instrumented in-memory transport, driven by a
+// discrete-event kernel, with a ground-truth oracle recording every
+// observation for verification. It is the harness every experiment and
+// integration test runs on.
+type Network struct {
+	Kernel    *sim.Kernel
+	Transport *transport.Memory
+	PM        *PrefixManager
+	Oracle    *moods.HistoryStore
+	// HopLatency converts hop counts to query time, 5 ms by default
+	// ("we added 5ms (typical network latency of T1) as the network
+	// latency for each network query").
+	HopLatency time.Duration
+
+	peers  []*Peer
+	byName map[moods.NodeName]*Peer
+	cfg    NetworkConfig
+}
+
+// NetworkConfig configures BuildNetwork.
+type NetworkConfig struct {
+	// Nodes is the initial network size Nn.
+	Nodes int
+	// Seed drives all randomness (transport faults; workloads keep
+	// their own seeds).
+	Seed int64
+	// Peer is the per-peer configuration (mode, window, delegation).
+	Peer Config
+	// Scheme is the prefix-length scheme (default Scheme2).
+	Scheme Scheme
+	// LMin is the bootstrap minimum prefix length (default 3).
+	LMin int
+	// TInterval is the periodic group-function invocation interval
+	// ("invoked periodically at time intervals of Tinterval"); used by
+	// StartWindows. Default 1s.
+	TInterval time.Duration
+	// HopLatency overrides the 5 ms default.
+	HopLatency time.Duration
+	// Overlay selects the DHT (default Chord).
+	Overlay OverlayKind
+}
+
+func (c *NetworkConfig) fill() {
+	if c.Nodes <= 0 {
+		c.Nodes = 8
+	}
+	if c.Scheme < Scheme1 || c.Scheme > Scheme3 {
+		c.Scheme = Scheme2
+	}
+	if c.LMin <= 0 {
+		c.LMin = 3
+	}
+	if c.TInterval <= 0 {
+		c.TInterval = time.Second
+	}
+	if c.HopLatency <= 0 {
+		c.HopLatency = 5 * time.Millisecond
+	}
+	if c.Overlay == "" {
+		c.Overlay = ChordOverlay
+	}
+}
+
+// NodeNameFor returns the canonical peer name for index i.
+func NodeNameFor(i int) moods.NodeName {
+	return moods.NodeName(fmt.Sprintf("org-%04d", i))
+}
+
+// BuildNetwork constructs a converged network of cfg.Nodes peers. Ring
+// construction is static (exact routing state) so that experiment
+// message counts reflect only the traceability protocol; the transport
+// stats start at zero.
+func BuildNetwork(cfg NetworkConfig) (*Network, error) {
+	cfg.fill()
+	kernel := sim.New(cfg.Seed)
+	mem := transport.NewMemory(cfg.Seed + 1)
+
+	addrs := make([]transport.Addr, cfg.Nodes)
+	for i := range addrs {
+		addrs[i] = transport.Addr(NodeNameFor(i))
+	}
+	nodes, err := buildOverlay(cfg.Overlay, mem, addrs)
+	if err != nil {
+		return nil, err
+	}
+
+	pm := NewPrefixManager(cfg.Scheme, cfg.LMin, float64(cfg.Nodes))
+	nw := &Network{
+		Kernel:     kernel,
+		Transport:  mem,
+		PM:         pm,
+		Oracle:     moods.NewHistoryStore(),
+		HopLatency: cfg.HopLatency,
+		byName:     make(map[moods.NodeName]*Peer, cfg.Nodes),
+		cfg:        cfg,
+	}
+	for _, n := range nodes {
+		p := NewPeer(n, mem, pm, cfg.Peer, kernel.Now)
+		nw.peers = append(nw.peers, p)
+		nw.byName[p.Name()] = p
+	}
+	mem.Stats().Reset()
+	return nw, nil
+}
+
+// buildOverlay constructs a converged static overlay of the given kind.
+func buildOverlay(kind OverlayKind, mem *transport.Memory, addrs []transport.Addr) ([]overlay.Node, error) {
+	switch kind {
+	case KademliaOverlay:
+		nodes, err := kademlia.BuildStaticNetwork(mem, addrs, kademlia.Config{})
+		if err != nil {
+			return nil, err
+		}
+		out := make([]overlay.Node, len(nodes))
+		for i, n := range nodes {
+			out[i] = n
+		}
+		return out, nil
+	default:
+		nodes, err := chord.BuildStaticRing(mem, addrs, chord.Config{})
+		if err != nil {
+			return nil, err
+		}
+		out := make([]overlay.Node, len(nodes))
+		for i, n := range nodes {
+			out[i] = n
+		}
+		return out, nil
+	}
+}
+
+// Peers returns the peers in ring order.
+func (nw *Network) Peers() []*Peer { return nw.peers }
+
+// Size returns the current number of peers.
+func (nw *Network) Size() int { return len(nw.peers) }
+
+// PeerByName resolves a peer by its node name.
+func (nw *Network) PeerByName(name moods.NodeName) (*Peer, bool) {
+	p, ok := nw.byName[name]
+	return p, ok
+}
+
+// ScheduleObservation schedules a capture event at its node and time,
+// and records it in the oracle.
+func (nw *Network) ScheduleObservation(obs moods.Observation) error {
+	p, ok := nw.byName[obs.Node]
+	if !ok {
+		return fmt.Errorf("core: unknown node %q", obs.Node)
+	}
+	nw.Oracle.Record(obs)
+	nw.Kernel.At(obs.At, func() {
+		p.Observe(obs) // indexing errors surface via stats failures
+	})
+	return nil
+}
+
+// ScheduleAll schedules a batch of observations.
+func (nw *Network) ScheduleAll(obss []moods.Observation) error {
+	for _, o := range obss {
+		if err := nw.ScheduleObservation(o); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// StartWindows schedules the periodic group-function invocation on
+// every peer at TInterval boundaries until the given horizon.
+func (nw *Network) StartWindows(until time.Duration) {
+	for at := nw.cfg.TInterval; at <= until; at += nw.cfg.TInterval {
+		at := at
+		nw.Kernel.At(at, func() {
+			for _, p := range nw.peers {
+				p.FlushWindow()
+			}
+		})
+	}
+}
+
+// Run drains the event queue and force-flushes any open windows.
+func (nw *Network) Run() {
+	nw.Kernel.Run()
+	nw.FlushAll()
+}
+
+// FlushAll force-closes every peer's open window.
+func (nw *Network) FlushAll() {
+	for _, p := range nw.peers {
+		p.FlushWindow()
+	}
+}
+
+// Stats returns the transport counters.
+func (nw *Network) Stats() *transport.Stats { return nw.Transport.Stats() }
+
+// QueryTime converts a hop count into the paper's query-time metric.
+func (nw *Network) QueryTime(hops int) time.Duration {
+	return time.Duration(hops) * nw.HopLatency
+}
+
+// IndexLoads returns per-peer gateway index record counts — the load
+// distribution of Fig. 8a.
+func (nw *Network) IndexLoads() []float64 {
+	out := make([]float64, len(nw.peers))
+	for i, p := range nw.peers {
+		out[i] = float64(p.IndexedEntries())
+	}
+	return out
+}
+
+// Grow adds k peers to the network: the ring is re-wired to its new
+// converged state, the shared prefix length is recomputed, gateway
+// caches are invalidated, and the splitting/re-homing process runs to
+// a fixed point. Returns (oldLp, newLp).
+func (nw *Network) Grow(k int) (int, int, error) {
+	start := len(nw.peers)
+	switch nw.cfg.Overlay {
+	case KademliaOverlay:
+		kadNodes := make([]*kademlia.Node, 0, start+k)
+		for _, p := range nw.peers {
+			kadNodes = append(kadNodes, p.Node().(*kademlia.Node))
+		}
+		for i := 0; i < k; i++ {
+			addr := transport.Addr(NodeNameFor(start + i))
+			n, err := kademlia.New(nw.Transport, addr, kademlia.Config{})
+			if err != nil {
+				return 0, 0, err
+			}
+			p := NewPeer(n, nw.Transport, nw.PM, nw.cfg.Peer, nw.Kernel.Now)
+			nw.peers = append(nw.peers, p)
+			nw.byName[p.Name()] = p
+			kadNodes = append(kadNodes, n)
+		}
+		kademlia.WireStaticTables(kadNodes)
+	default:
+		chordNodes := make([]*chord.Node, 0, start+k)
+		for _, p := range nw.peers {
+			chordNodes = append(chordNodes, p.Node().(*chord.Node))
+		}
+		for i := 0; i < k; i++ {
+			addr := transport.Addr(NodeNameFor(start + i))
+			n, err := chord.New(nw.Transport, addr, chord.Config{})
+			if err != nil {
+				return 0, 0, err
+			}
+			p := NewPeer(n, nw.Transport, nw.PM, nw.cfg.Peer, nw.Kernel.Now)
+			nw.peers = append(nw.peers, p)
+			nw.byName[p.Name()] = p
+			chordNodes = append(chordNodes, n)
+		}
+		chord.WireStaticRing(chordNodes)
+	}
+	oldLp, newLp := nw.PM.SetNetworkSize(float64(len(nw.peers)))
+	nw.Reconcile()
+	return oldLp, newLp, nil
+}
+
+// Shrink removes the last k peers from the network as voluntary
+// departures: each leaver migrates its gateway index to the remaining
+// nodes, the ring is re-wired, the shared prefix length is recomputed
+// (triggering merges if Lp drops), and reconciliation runs to a fixed
+// point. The leavers' local repositories (their organisations' own
+// observation data) leave with them, as the paper's sovereignty model
+// dictates. Returns (oldLp, newLp).
+func (nw *Network) Shrink(k int) (int, int, error) {
+	if k <= 0 || k >= len(nw.peers) {
+		return 0, 0, fmt.Errorf("core: cannot shrink %d of %d peers", k, len(nw.peers))
+	}
+	leavers := nw.peers[len(nw.peers)-k:]
+	remaining := nw.peers[:len(nw.peers)-k]
+
+	// Re-wire the ring over the remaining membership first, so the
+	// leavers' migrations resolve to the new owners.
+	switch nw.cfg.Overlay {
+	case KademliaOverlay:
+		kadNodes := make([]*kademlia.Node, 0, len(remaining))
+		for _, p := range remaining {
+			kadNodes = append(kadNodes, p.Node().(*kademlia.Node))
+		}
+		kademlia.WireStaticTables(kadNodes)
+	default:
+		chordNodes := make([]*chord.Node, 0, len(remaining))
+		for _, p := range remaining {
+			chordNodes = append(chordNodes, p.Node().(*chord.Node))
+		}
+		chord.WireStaticRing(chordNodes)
+	}
+	oldLp, newLp := nw.PM.SetNetworkSize(float64(len(remaining)))
+
+	// Leavers push their index records out. Their own routing state
+	// still points into the old ring, but their lookups route through
+	// survivors, so reconciliation lands the records on the new owners.
+	for _, l := range leavers {
+		l.InvalidateGatewayCache()
+		for pass := 0; pass < 8 && l.ReconcileStep() > 0; pass++ {
+		}
+		nw.Transport.Unregister(l.Addr())
+		delete(nw.byName, l.Name())
+	}
+	nw.peers = remaining
+	nw.Reconcile()
+	return oldLp, newLp, nil
+}
+
+// Reconcile invalidates gateway caches and runs ReconcileStep across
+// all peers until no bucket moves, completing the splitting–merging
+// process after membership or Lp changes.
+func (nw *Network) Reconcile() {
+	for _, p := range nw.peers {
+		p.InvalidateGatewayCache()
+	}
+	for pass := 0; pass < 4*ids160; pass++ {
+		moved := 0
+		for _, p := range nw.peers {
+			moved += p.ReconcileStep()
+		}
+		if moved == 0 {
+			// Every bucket sits at the current level on its correct
+			// gateway; stale levels can no longer hold records.
+			nw.PM.ResetLpHistory()
+			return
+		}
+	}
+}
+
+// ids160 bounds reconcile passes; prefix lengths are at most 160 so
+// far fewer passes are ever needed.
+const ids160 = 160

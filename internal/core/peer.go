@@ -1,0 +1,725 @@
+// Package core implements the paper's contribution: P2P object
+// tracking over a Chord overlay.
+//
+// Each participating organisation runs a Peer. Observations captured by
+// the peer's receptors are stored in its local repository (the IOP
+// store); the object's latest state is indexed at a deterministic
+// gateway node found by DHT lookup; and on every movement the gateway
+// stitches the distributed doubly-linked IOP list by messaging the
+// source and destination nodes (Section III). For large volumes, peers
+// batch arrivals into adaptive windows and index whole prefix groups
+// with one message (Section IV), using Data Triangles with α-FIFO
+// delegation and ascent/descent refresh to stay correct and balanced as
+// the prefix length Lp tracks network growth.
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"peertrack/internal/ids"
+	"peertrack/internal/moods"
+	"peertrack/internal/overlay"
+	"peertrack/internal/transport"
+)
+
+// Mode selects the indexing algorithm.
+type Mode int
+
+const (
+	// GroupIndexing batches arrivals by hashed-id prefix (Section IV):
+	// one indexing message per (group, window). It is the zero value:
+	// the paper's enhanced algorithm is the default everywhere.
+	GroupIndexing Mode = iota
+	// IndividualIndexing indexes every object arrival separately
+	// (Section III): 3 messages per arrival plus a DHT lookup.
+	IndividualIndexing
+)
+
+// Config tunes a peer.
+type Config struct {
+	// Mode selects individual or group indexing. Default group.
+	Mode Mode
+	// NMax bounds the number of observations per capture window
+	// (group mode). Default 1024.
+	NMax int
+	// DelegationThreshold is the bucket size beyond which a gateway
+	// delegates records to its Data Triangle children. Default 256.
+	DelegationThreshold int
+	// DelegationAlpha is α: the fraction of FIFO-earliest records
+	// delegated when the threshold trips, 0 < α <= 1. Default 0.5.
+	DelegationAlpha float64
+	// MaxDescent bounds how many levels below Lp the lookup and refresh
+	// walk; the split/merge process keeps real depth at 1-2. Default 3.
+	MaxDescent int
+	// CacheGateways caches prefix→gateway address resolutions ("the
+	// address of the parent and children can be cached to save the cost
+	// of DHT lookup"). Default true; disable for ablations.
+	NoGatewayCache bool
+	// Replicas, when > 0, replicates every gateway index update to that
+	// many ring successors so the index survives gateway crashes (see
+	// replication.go). Default 0 (off), matching the paper's setup.
+	Replicas int
+}
+
+func (c *Config) fill() {
+	if c.NMax <= 0 {
+		c.NMax = 1024
+	}
+	if c.DelegationThreshold <= 0 {
+		c.DelegationThreshold = 256
+	}
+	if c.DelegationAlpha <= 0 || c.DelegationAlpha > 1 {
+		c.DelegationAlpha = 0.5
+	}
+	if c.MaxDescent <= 0 {
+		c.MaxDescent = 3
+	}
+}
+
+// individualBucket is the bucket key for per-object (non-grouped) index
+// records; it cannot collide with binary prefix strings.
+const individualBucket = "@individual"
+
+// Peer is one traceable-network participant: a Chord node plus the
+// local repository, gateway storage, and the indexing/query protocols.
+type Peer struct {
+	node  overlay.Node
+	net   transport.Network
+	cfg   Config
+	pm    *PrefixManager
+	clock func() time.Duration
+
+	repo    *iopStore
+	gw      *gatewayStore
+	replica *gatewayStore
+	trans   *transitionStats
+	contain *containStore
+
+	mu     sync.Mutex
+	window []moods.Observation
+
+	cacheMu sync.RWMutex
+	gwCache map[string]overlay.NodeRef // prefix string → gateway
+
+	// OnFlush, if set, is invoked after each window flush with the
+	// number of groups sent (test/metrics hook).
+	OnFlush func(groups int)
+}
+
+// NewPeer wires a peer onto an existing Chord node, installing its
+// application handler. All peers of a network must share the same
+// PrefixManager semantics (same scheme and L_min); in simulation they
+// share the same instance.
+func NewPeer(node overlay.Node, net transport.Network, pm *PrefixManager, cfg Config, clock func() time.Duration) *Peer {
+	cfg.fill()
+	if clock == nil {
+		start := time.Now()
+		clock = func() time.Duration { return time.Since(start) }
+	}
+	p := &Peer{
+		node:    node,
+		net:     net,
+		cfg:     cfg,
+		pm:      pm,
+		clock:   clock,
+		repo:    newIOPStore(),
+		gw:      newGatewayStore(),
+		replica: newGatewayStore(),
+		trans:   newTransitionStats(),
+		contain: newContainStore(),
+		gwCache: make(map[string]overlay.NodeRef),
+	}
+	node.SetAppHandler(p.handleRPC)
+	return p
+}
+
+// Node returns the underlying overlay node (Chord or Kademlia).
+func (p *Peer) Node() overlay.Node { return p.node }
+
+// Name returns this peer's node name in the discrete space N.
+func (p *Peer) Name() moods.NodeName { return moods.NodeName(p.node.Addr()) }
+
+// Addr returns the peer's transport address.
+func (p *Peer) Addr() transport.Addr { return p.node.Addr() }
+
+// Prefixes returns the prefix manager (shared across the network).
+func (p *Peer) Prefixes() *PrefixManager { return p.pm }
+
+// IndexedEntries returns the number of gateway index records this node
+// holds — the per-node load of Fig. 8a.
+func (p *Peer) IndexedEntries() int { return p.gw.totalEntries() }
+
+// LocalVisits returns the number of visit records in the local
+// repository.
+func (p *Peer) LocalVisits() int { return p.repo.len() }
+
+// Observe ingests one cleansed capture event at this node. In
+// individual mode it indexes immediately; in group mode it buffers into
+// the current window, flushing when NMax is reached. The caller (or a
+// timer) must call FlushWindow to close time-bounded windows.
+func (p *Peer) Observe(obs moods.Observation) error {
+	obs.Node = p.Name()
+	p.repo.record(obs.Object, obs.At)
+	if p.cfg.Mode == IndividualIndexing {
+		return p.indexIndividually(obs)
+	}
+	p.mu.Lock()
+	p.window = append(p.window, obs)
+	full := len(p.window) >= p.cfg.NMax
+	p.mu.Unlock()
+	if full {
+		return p.FlushWindow()
+	}
+	return nil
+}
+
+// Buffered returns the number of observations in the open window.
+func (p *Peer) Buffered() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.window)
+}
+
+// FlushWindow closes the current capture window: observations are
+// grouped by the Lp-bit prefix of their hashed ids and one indexing
+// message is sent to each group's gateway.
+func (p *Peer) FlushWindow() error {
+	p.mu.Lock()
+	batch := p.window
+	p.window = nil
+	p.mu.Unlock()
+	if len(batch) == 0 {
+		return nil
+	}
+
+	// Group generation: two objects share a group iff their hashed ids
+	// share the first Lp bits.
+	lp := p.pm.Lp()
+	groups := make(map[string][]ObjEvent)
+	for _, obs := range batch {
+		prefix := ids.PrefixOf(obs.Object.Hash(), lp).String()
+		groups[prefix] = append(groups[prefix], ObjEvent{Object: obs.Object, Arrived: obs.At})
+	}
+
+	var firstErr error
+	var failed []moods.Observation
+	for prefix, events := range groups {
+		pfx := ids.MustParsePrefix(prefix)
+		gwRef, err := p.resolveGateway(pfx)
+		if err == nil {
+			req := groupArriveReq{Prefix: prefix, Events: events, Node: p.Name(), At: p.clock()}
+			_, err = p.call(gwRef, req)
+			if err != nil {
+				err = fmt.Errorf("core: group index %q at %s: %w", prefix, gwRef.Addr, err)
+				// The resolution may be stale (churn); retry fresh next
+				// time.
+				p.cacheMu.Lock()
+				delete(p.gwCache, prefix)
+				p.cacheMu.Unlock()
+			}
+		}
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			// Re-buffer the group so the next flush retries it — an
+			// unreachable gateway must not lose capture events.
+			for _, ev := range events {
+				failed = append(failed, moods.Observation{
+					Object: ev.Object, Node: p.Name(), At: ev.Arrived,
+				})
+			}
+		}
+	}
+	if len(failed) > 0 {
+		p.mu.Lock()
+		p.window = append(failed, p.window...)
+		p.mu.Unlock()
+	}
+	if p.OnFlush != nil {
+		p.OnFlush(len(groups))
+	}
+	return firstErr
+}
+
+// indexIndividually runs the Section III protocol for one arrival: DHT
+// lookup of the object's own hashed id, then message M1 to the gateway
+// (which emits M2/M3).
+func (p *Peer) indexIndividually(obs moods.Observation) error {
+	res, err := p.node.Lookup(obs.Object.Hash())
+	if err != nil {
+		return fmt.Errorf("core: locate gateway for %s: %w", obs.Object, err)
+	}
+	req := arriveReq{Event: ObjEvent{Object: obs.Object, Arrived: obs.At}, Node: p.Name()}
+	if _, err := p.call(res.Node, req); err != nil {
+		return fmt.Errorf("core: index %s at %s: %w", obs.Object, res.Node.Addr, err)
+	}
+	return nil
+}
+
+// resolveGateway finds the gateway node of a prefix group, using the
+// cache when enabled.
+func (p *Peer) resolveGateway(pfx ids.Prefix) (overlay.NodeRef, error) {
+	key := pfx.String()
+	if !p.cfg.NoGatewayCache {
+		p.cacheMu.RLock()
+		ref, ok := p.gwCache[key]
+		p.cacheMu.RUnlock()
+		if ok {
+			return ref, nil
+		}
+	}
+	res, err := p.node.Lookup(pfx.GatewayID())
+	if err != nil {
+		return overlay.NodeRef{}, fmt.Errorf("core: resolve gateway %q: %w", key, err)
+	}
+	if !p.cfg.NoGatewayCache {
+		p.cacheMu.Lock()
+		p.gwCache[key] = res.Node
+		p.cacheMu.Unlock()
+	}
+	return res.Node, nil
+}
+
+// InvalidateGatewayCache clears cached gateway resolutions; call after
+// ring membership changes.
+func (p *Peer) InvalidateGatewayCache() {
+	p.cacheMu.Lock()
+	p.gwCache = make(map[string]overlay.NodeRef)
+	p.cacheMu.Unlock()
+}
+
+// call sends an application RPC, short-circuiting self-addressed
+// messages (a node never pays transport cost to talk to itself).
+func (p *Peer) call(to overlay.NodeRef, req any) (any, error) {
+	if to.Addr == p.node.Addr() {
+		return p.handleRPC(p.node.Addr(), req)
+	}
+	return p.net.Call(p.node.Addr(), to.Addr, req)
+}
+
+// callAddr is call by bare address (for IOP updates, which target node
+// names rather than ring positions).
+func (p *Peer) callAddr(to transport.Addr, req any) (any, error) {
+	if to == p.node.Addr() {
+		return p.handleRPC(p.node.Addr(), req)
+	}
+	return p.net.Call(p.node.Addr(), to, req)
+}
+
+// handleRPC serves the traceability protocol.
+func (p *Peer) handleRPC(from transport.Addr, req any) (any, error) {
+	switch r := req.(type) {
+	case arriveReq:
+		p.gatewayArrive(r)
+		return arriveResp{}, nil
+	case groupArriveReq:
+		p.gatewayGroupArrive(r)
+		return groupArriveResp{}, nil
+	case iopSetToReq:
+		for _, obj := range r.Objects {
+			// Learn the outbound transition for prediction: dwell is
+			// the time between the closed visit's arrival and the
+			// departure now being recorded.
+			if vs, ok := p.repo.get(obj); ok {
+				for i := len(vs) - 1; i >= 0; i-- {
+					if vs[i].Arrived <= r.At {
+						p.trans.record(r.To, r.At-vs[i].Arrived)
+						break
+					}
+				}
+			}
+			p.repo.setTo(obj, r.To, r.At)
+		}
+		return iopSetToResp{}, nil
+	case transModelReq:
+		dests, counts, dwell := p.trans.snapshot()
+		return transModelResp{Dests: dests, Counts: counts, MeanDwell: dwell}, nil
+	case iopSetFromReq:
+		for _, l := range r.Links {
+			if l.From != "" {
+				p.repo.setFrom(l.Object, l.From, l.At)
+			}
+		}
+		return iopSetFromResp{}, nil
+	case fetchIndexReq:
+		entries, delegated := p.gw.take(r.Prefix, r.Objects)
+		return fetchIndexResp{Entries: entries, Delegated: delegated}, nil
+	case queryIndexReq:
+		entries, delegated := p.queryWithReplica(r.Prefix, r.Objects)
+		return queryIndexResp{Entries: entries, Delegated: delegated}, nil
+	case delegateReq:
+		if r.Prefix == individualBucket {
+			for _, e := range r.Entries {
+				p.mergeEntry(individualBucket, ids.Prefix{}, e)
+			}
+			p.replicate(individualBucket, r.Entries)
+			return delegateResp{}, nil
+		}
+		pfx, err := ids.ParsePrefix(r.Prefix)
+		if err != nil {
+			return nil, fmt.Errorf("core: delegate: %w", err)
+		}
+		for _, e := range r.Entries {
+			p.mergeEntry(r.Prefix, pfx, e)
+		}
+		p.replicate(r.Prefix, r.Entries)
+		return delegateResp{}, nil
+	case iopGetReq:
+		visits, found := p.repo.get(r.Object)
+		return iopGetResp{Visits: visits, Found: found}, nil
+	case replicatePutReq:
+		p.handleReplicatePut(r)
+		return replicatePutResp{}, nil
+	case routedTraceReq:
+		return p.handleRoutedTrace(from, r)
+	default:
+		if resp, handled := p.handleAggregate(req); handled {
+			return resp, nil
+		}
+		if resp, handled := p.handleContainment(req); handled {
+			return resp, nil
+		}
+		return nil, fmt.Errorf("core: unknown request %T", req)
+	}
+}
+
+// gatewayArrive processes M1 for one object (individual indexing).
+func (p *Peer) gatewayArrive(r arriveReq) {
+	id := r.Event.Object.Hash()
+	prev, had := p.lookupWithReplica(individualBucket, id)
+	switch {
+	case !had:
+		entry := IndexEntry{
+			Object: r.Event.Object, ID: id, Latest: r.Node,
+			Arrived: r.Event.Arrived, Indexed: p.clock(),
+		}
+		p.gw.upsertKeyed(individualBucket, entry)
+		p.replicate(individualBucket, []IndexEntry{entry})
+	case r.Event.Arrived >= prev.Arrived:
+		entry := IndexEntry{
+			Object: r.Event.Object, ID: id, Latest: r.Node,
+			Arrived: r.Event.Arrived, Indexed: p.clock(),
+		}
+		if prev.Latest != r.Node {
+			entry.Prev = prev.Latest
+		} else {
+			entry.Prev = prev.Prev
+		}
+		p.gw.upsertKeyed(individualBucket, entry)
+		p.replicate(individualBucket, []IndexEntry{entry})
+		if prev.Latest != r.Node {
+			// M2: tell the previous node the object moved on.
+			p.callAddr(transport.Addr(prev.Latest), iopSetToReq{
+				Objects: []moods.ObjectID{r.Event.Object},
+				To:      r.Node,
+				At:      r.Event.Arrived,
+			})
+			// M3: tell the destination where the object came from.
+			p.callAddr(transport.Addr(r.Node), iopSetFromReq{
+				Links: []IOPLink{{Object: r.Event.Object, From: prev.Latest, At: r.Event.Arrived}},
+			})
+		}
+	default:
+		// Late observation: the indexed state is newer than this event
+		// (window flush ordering). Stitch the visit immediately before
+		// the current latest without moving the index head.
+		p.stitchBefore(r.Event.Object, r.Node, prev, individualBucket, ids.Prefix{}, r.Event.Arrived)
+	}
+}
+
+// mergeEntry reconciles an incoming index record with whatever this
+// gateway already holds for the object. During ring convergence two
+// nodes can transiently act as gateway for the same prefix, splitting
+// an object's history; when reconciliation moves the buckets together
+// the two heads must be merged — the newer arrival stays the head, the
+// older becomes its predecessor, and the missing IOP links are
+// stitched.
+func (p *Peer) mergeEntry(bucketKey string, pfx ids.Prefix, e IndexEntry) {
+	upsert := func(v IndexEntry) {
+		if bucketKey == individualBucket {
+			p.gw.upsertKeyed(individualBucket, v)
+		} else {
+			p.gw.upsert(pfx, v)
+		}
+	}
+	cur, had := p.gw.lookup(bucketKey, e.ID)
+	if !had {
+		upsert(e)
+		return
+	}
+	newer, older := e, cur
+	if cur.Arrived > e.Arrived {
+		newer, older = cur, e
+	}
+	if newer.Latest != older.Latest && newer.Prev == "" {
+		// Split histories: stitch older's head in front of newer's.
+		newer.Prev = older.Latest
+		p.callAddr(transport.Addr(older.Latest), iopSetToReq{
+			Objects: []moods.ObjectID{newer.Object}, To: newer.Latest, At: newer.Arrived,
+		})
+		p.callAddr(transport.Addr(newer.Latest), iopSetFromReq{
+			Links: []IOPLink{{Object: newer.Object, From: older.Latest, At: newer.Arrived}},
+		})
+	}
+	upsert(newer)
+}
+
+// stitchBefore links a late-reported visit at node nd in front of the
+// currently indexed latest visit: nd.to = latest, latest.from = nd, and
+// the entry's Prev adopts nd when it had none.
+func (p *Peer) stitchBefore(obj moods.ObjectID, nd moods.NodeName, cur IndexEntry, bucketKey string, pfx ids.Prefix, at time.Duration) {
+	if nd == cur.Latest {
+		return
+	}
+	p.callAddr(transport.Addr(nd), iopSetToReq{
+		Objects: []moods.ObjectID{obj}, To: cur.Latest, At: cur.Arrived,
+	})
+	p.callAddr(transport.Addr(cur.Latest), iopSetFromReq{
+		Links: []IOPLink{{Object: obj, From: nd, At: cur.Arrived}},
+	})
+	if cur.Prev == "" {
+		cur.Prev = nd
+		if bucketKey == individualBucket {
+			p.gw.upsertKeyed(individualBucket, cur)
+		} else {
+			p.gw.upsert(pfx, cur)
+		}
+	}
+}
+
+// gatewayGroupArrive processes one group indexing message, implementing
+// the paper's Fig. 5 Index algorithm: update locally known records,
+// refresh the rest from ascents and descents, update the index, stitch
+// IOP links in per-source batches, then delegate if the bucket
+// overflowed.
+func (p *Peer) gatewayGroupArrive(r groupArriveReq) {
+	pfx, err := ids.ParsePrefix(r.Prefix)
+	if err != nil {
+		return
+	}
+	now := p.clock()
+
+	// Partition events into locally indexed and unknown (objects').
+	idOf := make(map[moods.ObjectID]ids.ID, len(r.Events))
+	var missing []ids.ID
+	for _, ev := range r.Events {
+		id := ev.Object.Hash()
+		idOf[ev.Object] = id
+		if _, ok := p.lookupWithReplica(r.Prefix, id); !ok {
+			missing = append(missing, id)
+		}
+	}
+
+	// refresh_from_ascent / refresh_from_descent for the unknown set —
+	// only when records can exist at other levels: Lp has been shorter
+	// (ascent), Lp has been longer, or this bucket delegated (descent).
+	// The historical-Lp guard is the paper's "while there exists
+	// gateway node for prefix p′" condition.
+	if len(missing) > 0 {
+		lo, hi := p.pm.LpRange()
+		if lo < pfx.Len {
+			missing = p.refreshFromAscent(pfx, missing)
+		}
+		if len(missing) > 0 {
+			b := p.gw.peek(r.Prefix)
+			if hi > pfx.Len || (b != nil && b.delegated) {
+				p.refreshFromDescent(pfx, missing, p.cfg.MaxDescent)
+			}
+		}
+	}
+
+	// update_index + IOP stitching, batched by previous node.
+	toBatches := make(map[moods.NodeName][]moods.ObjectID)
+	var fromLinks []IOPLink
+	var updated []IndexEntry
+	for _, ev := range r.Events {
+		id := idOf[ev.Object]
+		prev, had := p.gw.lookup(r.Prefix, id)
+		if had && ev.Arrived < prev.Arrived {
+			// Late observation (window flush ordering): stitch before
+			// the indexed latest instead of moving the head.
+			p.stitchBefore(ev.Object, r.Node, prev, r.Prefix, pfx, ev.Arrived)
+			continue
+		}
+		entry := IndexEntry{
+			Object:  ev.Object,
+			ID:      id,
+			Latest:  r.Node,
+			Arrived: ev.Arrived,
+			Indexed: now,
+		}
+		if had {
+			if prev.Latest != r.Node {
+				entry.Prev = prev.Latest
+				toBatches[prev.Latest] = append(toBatches[prev.Latest], ev.Object)
+				fromLinks = append(fromLinks, IOPLink{Object: ev.Object, From: prev.Latest, At: ev.Arrived})
+			} else {
+				entry.Prev = prev.Prev
+			}
+		}
+		p.gw.upsert(pfx, entry)
+		updated = append(updated, entry)
+	}
+	p.replicate(r.Prefix, updated)
+	// One message per distinct source node (M2 batched)...
+	for prevNode, objs := range toBatches {
+		p.callAddr(transport.Addr(prevNode), iopSetToReq{Objects: objs, To: r.Node, At: r.At})
+	}
+	// ...and one message back to the destination (M3 batched).
+	if len(fromLinks) > 0 {
+		p.callAddr(transport.Addr(r.Node), iopSetFromReq{Links: fromLinks})
+	}
+
+	p.maybeDelegate(pfx)
+}
+
+// refreshFromAscent pulls index records for the given objects from the
+// gateways of successively shorter prefixes, down to L_min, returning
+// the ids still unfound. Records found are moved into the local bucket.
+func (p *Peer) refreshFromAscent(pfx ids.Prefix, objs []ids.ID) []ids.ID {
+	remaining := objs
+	lmin := p.pm.LMin()
+	if lo, _ := p.pm.LpRange(); lo > lmin {
+		// Records cannot exist above the shortest Lp ever current.
+		lmin = lo
+	}
+	for cur := pfx; cur.Len > lmin && len(remaining) > 0; {
+		cur = cur.Parent()
+		gwRef, err := p.resolveGateway(cur)
+		if err != nil {
+			break
+		}
+		resp, err := p.call(gwRef, fetchIndexReq{Prefix: cur.String(), Objects: remaining})
+		if err != nil {
+			continue
+		}
+		fr := resp.(fetchIndexResp)
+		if len(fr.Entries) == 0 {
+			continue
+		}
+		found := make(map[ids.ID]bool, len(fr.Entries))
+		for _, e := range fr.Entries {
+			p.gw.upsert(pfx, e)
+			found[e.ID] = true
+		}
+		next := remaining[:0:0]
+		for _, id := range remaining {
+			if !found[id] {
+				next = append(next, id)
+			}
+		}
+		remaining = next
+	}
+	return remaining
+}
+
+// refreshFromDescent pulls records from the Data Triangle child chain.
+// Because children partition records by the next id bit, each object
+// can only live under one child; the request set is filtered by prefix
+// before each fetch (the paper's filter() pruning step). Recursion
+// continues into grandchildren only while fetched buckets report
+// delegation, bounded by maxDepth.
+func (p *Peer) refreshFromDescent(pfx ids.Prefix, objs []ids.ID, maxDepth int) {
+	if maxDepth <= 0 || len(objs) == 0 || pfx.Len >= ids.Bits {
+		return
+	}
+	for bit := 0; bit <= 1; bit++ {
+		child := pfx.Child(bit)
+		var filtered []ids.ID
+		for _, id := range objs {
+			if child.Matches(id) {
+				filtered = append(filtered, id)
+			}
+		}
+		if len(filtered) == 0 {
+			continue
+		}
+		gwRef, err := p.resolveGateway(child)
+		if err != nil {
+			continue
+		}
+		resp, err := p.call(gwRef, fetchIndexReq{Prefix: child.String(), Objects: filtered})
+		if err != nil {
+			continue
+		}
+		fr := resp.(fetchIndexResp)
+		for _, e := range fr.Entries {
+			p.gw.upsert(pfx, e)
+		}
+		if fr.Delegated {
+			var unfound []ids.ID
+			found := make(map[ids.ID]bool, len(fr.Entries))
+			for _, e := range fr.Entries {
+				found[e.ID] = true
+			}
+			for _, id := range filtered {
+				if !found[id] {
+					unfound = append(unfound, id)
+				}
+			}
+			p.refreshFromDescent(child, unfound, maxDepth-1)
+			// Records found deeper were upserted under child; pull them
+			// up is not needed — they were upserted under the child
+			// prefix by the recursive call, so move them here.
+			if len(unfound) > 0 {
+				deeper, _ := p.gw.take(child.String(), unfound)
+				for _, e := range deeper {
+					p.gw.upsert(pfx, e)
+				}
+			}
+		}
+	}
+}
+
+// maybeDelegate pushes the α-earliest records of an overflowing bucket
+// to its two Data Triangle children, keyed by the next id bit.
+func (p *Peer) maybeDelegate(pfx ids.Prefix) {
+	key := pfx.String()
+	b := p.gw.peek(key)
+	if b == nil {
+		return
+	}
+	p.gw.mu.RLock()
+	size := len(b.entries)
+	p.gw.mu.RUnlock()
+	if size <= p.cfg.DelegationThreshold || pfx.Len >= ids.Bits {
+		return
+	}
+	count := int(p.cfg.DelegationAlpha * float64(size))
+	if count <= 0 {
+		return
+	}
+	p.gw.mu.Lock()
+	victims := b.oldest(count)
+	p.gw.mu.Unlock()
+	if len(victims) == 0 {
+		return
+	}
+	split := [2][]IndexEntry{}
+	for _, e := range victims {
+		bit := pfx.NextBit(e.ID)
+		split[bit] = append(split[bit], e)
+	}
+	for bit := 0; bit <= 1; bit++ {
+		if len(split[bit]) == 0 {
+			continue
+		}
+		child := pfx.Child(bit)
+		gwRef, err := p.resolveGateway(child)
+		if err != nil {
+			continue
+		}
+		if _, err := p.call(gwRef, delegateReq{Prefix: child.String(), Entries: split[bit]}); err != nil {
+			continue
+		}
+		victimIDs := make([]ids.ID, len(split[bit]))
+		for i, e := range split[bit] {
+			victimIDs[i] = e.ID
+		}
+		p.gw.removeAll(key, victimIDs)
+		p.gw.markDelegated(key)
+	}
+}

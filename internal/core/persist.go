@@ -1,0 +1,173 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"time"
+
+	"peertrack/internal/ids"
+	"peertrack/internal/moods"
+)
+
+// Snapshot/Restore persist one peer's durable state — the local
+// repository (this organisation's observations and IOP links), the
+// gateway index buckets it is responsible for, replica copies, and the
+// learned transition model — so a trackd process can restart without
+// losing its slice of the network's data. The overlay routing state is
+// deliberately not persisted: Chord rebuilds it by re-joining.
+
+// snapshotVersion guards format evolution.
+const snapshotVersion = 1
+
+// peerSnapshot is the gob-encoded on-disk format.
+type peerSnapshot struct {
+	Version int
+	Name    moods.NodeName
+	SavedAt time.Duration
+
+	Visits map[moods.ObjectID][]VisitRecord
+
+	Buckets  []bucketSnapshot
+	Replicas []bucketSnapshot
+
+	Containments map[moods.ObjectID][]ContainmentRecord
+
+	TransDst   []moods.NodeName
+	TransCount []int
+	TransDwell []time.Duration
+}
+
+type bucketSnapshot struct {
+	Key       string // prefix string or the individual-bucket key
+	PrefixLen int    // -1 for the individual bucket
+	Entries   []IndexEntry
+	FIFO      []ids.ID
+	Delegated bool
+}
+
+// Snapshot writes the peer's durable state to w.
+func (p *Peer) Snapshot(w io.Writer) error {
+	snap := peerSnapshot{
+		Version: snapshotVersion,
+		Name:    p.Name(),
+		SavedAt: p.clock(),
+		Visits:  make(map[moods.ObjectID][]VisitRecord),
+	}
+	p.repo.mu.RLock()
+	for obj, vs := range p.repo.visits {
+		snap.Visits[obj] = append([]VisitRecord(nil), vs...)
+	}
+	p.repo.mu.RUnlock()
+
+	snap.Buckets = snapshotStore(p.gw)
+	snap.Replicas = snapshotStore(p.replica)
+
+	p.contain.mu.RLock()
+	snap.Containments = make(map[moods.ObjectID][]ContainmentRecord, len(p.contain.byChild))
+	for child, recs := range p.contain.byChild {
+		snap.Containments[child] = append([]ContainmentRecord(nil), recs...)
+	}
+	p.contain.mu.RUnlock()
+
+	dsts, counts, dwells := p.trans.snapshot()
+	snap.TransDst, snap.TransCount, snap.TransDwell = dsts, counts, dwells
+
+	if err := gob.NewEncoder(w).Encode(&snap); err != nil {
+		return fmt.Errorf("core: snapshot: %w", err)
+	}
+	return nil
+}
+
+func snapshotStore(g *gatewayStore) []bucketSnapshot {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]bucketSnapshot, 0, len(g.buckets))
+	for key, b := range g.buckets {
+		bs := bucketSnapshot{
+			Key:       key,
+			PrefixLen: b.prefix.Len,
+			Delegated: b.delegated,
+		}
+		if key == individualBucket {
+			bs.PrefixLen = -1
+		}
+		for _, id := range b.fifo {
+			if e, ok := b.entries[id]; ok {
+				bs.Entries = append(bs.Entries, *e)
+				bs.FIFO = append(bs.FIFO, id)
+			}
+		}
+		out = append(out, bs)
+	}
+	return out
+}
+
+// Restore loads a snapshot into the peer, replacing its durable state.
+// Call before the node joins the overlay.
+func (p *Peer) Restore(r io.Reader) error {
+	var snap peerSnapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return fmt.Errorf("core: restore: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return fmt.Errorf("core: restore: snapshot version %d, want %d", snap.Version, snapshotVersion)
+	}
+	if snap.Name != p.Name() {
+		return fmt.Errorf("core: restore: snapshot belongs to %q, this node is %q", snap.Name, p.Name())
+	}
+
+	p.repo.mu.Lock()
+	p.repo.visits = make(map[moods.ObjectID][]VisitRecord, len(snap.Visits))
+	p.repo.n = 0
+	for obj, vs := range snap.Visits {
+		p.repo.visits[obj] = append([]VisitRecord(nil), vs...)
+		p.repo.n += len(vs)
+	}
+	p.repo.mu.Unlock()
+
+	restoreStore(p.gw, snap.Buckets)
+	restoreStore(p.replica, snap.Replicas)
+
+	p.contain.mu.Lock()
+	p.contain.byChild = make(map[moods.ObjectID][]ContainmentRecord, len(snap.Containments))
+	for child, recs := range snap.Containments {
+		p.contain.byChild[child] = append([]ContainmentRecord(nil), recs...)
+	}
+	p.contain.mu.Unlock()
+
+	p.trans.mu.Lock()
+	p.trans.byDst = make(map[moods.NodeName]*edgeStat, len(snap.TransDst))
+	for i, d := range snap.TransDst {
+		p.trans.byDst[d] = &edgeStat{
+			count:      snap.TransCount[i],
+			totalDwell: snap.TransDwell[i] * time.Duration(snap.TransCount[i]),
+		}
+	}
+	p.trans.mu.Unlock()
+	return nil
+}
+
+func restoreStore(g *gatewayStore, snaps []bucketSnapshot) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.buckets = make(map[string]*bucket, len(snaps))
+	for _, bs := range snaps {
+		var pfx ids.Prefix
+		if bs.PrefixLen >= 0 {
+			parsed, err := ids.ParsePrefix(bs.Key)
+			if err != nil {
+				continue
+			}
+			pfx = parsed
+		}
+		b := newBucket(pfx)
+		b.delegated = bs.Delegated
+		for i, e := range bs.Entries {
+			cp := e
+			b.entries[e.ID] = &cp
+			b.fifo = append(b.fifo, bs.FIFO[i])
+		}
+		g.buckets[bs.Key] = b
+	}
+}

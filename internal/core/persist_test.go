@@ -1,0 +1,188 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"peertrack/internal/moods"
+)
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	nw := buildNet(t, 12, Config{Mode: GroupIndexing, Replicas: 1, DelegationThreshold: 8})
+	for i := 0; i < 100; i++ {
+		obj := moods.ObjectID(fmt.Sprintf("snap-%d", i))
+		nw.ScheduleObservation(moods.Observation{Object: obj, Node: nw.Peers()[i%12].Name(), At: time.Second})
+		nw.ScheduleObservation(moods.Observation{Object: obj, Node: nw.Peers()[(i+3)%12].Name(), At: time.Minute})
+	}
+	nw.StartWindows(2 * time.Minute)
+	nw.Run()
+
+	p := nw.Peers()[4]
+	var buf bytes.Buffer
+	if err := p.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wipe the peer's state, then restore.
+	beforeVisits := p.LocalVisits()
+	beforeIndexed := p.IndexedEntries()
+	beforeReplica := p.ReplicaEntries()
+	beforeInv := p.InventoryCount()
+	p.repo.mu.Lock()
+	p.repo.visits = map[moods.ObjectID][]VisitRecord{}
+	p.repo.n = 0
+	p.repo.mu.Unlock()
+	p.gw.mu.Lock()
+	p.gw.buckets = map[string]*bucket{}
+	p.gw.mu.Unlock()
+	p.replica.mu.Lock()
+	p.replica.buckets = map[string]*bucket{}
+	p.replica.mu.Unlock()
+
+	if err := p.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if p.LocalVisits() != beforeVisits {
+		t.Errorf("visits = %d, want %d", p.LocalVisits(), beforeVisits)
+	}
+	if p.IndexedEntries() != beforeIndexed {
+		t.Errorf("indexed = %d, want %d", p.IndexedEntries(), beforeIndexed)
+	}
+	if p.ReplicaEntries() != beforeReplica {
+		t.Errorf("replica = %d, want %d", p.ReplicaEntries(), beforeReplica)
+	}
+	if p.InventoryCount() != beforeInv {
+		t.Errorf("inventory = %d, want %d", p.InventoryCount(), beforeInv)
+	}
+
+	// Queries spanning the restored node still work network-wide.
+	for i := 0; i < 100; i += 10 {
+		obj := moods.ObjectID(fmt.Sprintf("snap-%d", i))
+		res, err := nw.Peers()[0].FullTrace(obj)
+		if err != nil {
+			t.Fatalf("trace %s after restore: %v", obj, err)
+		}
+		if !res.Path.Equal(nw.Oracle.FullTrace(obj)) {
+			t.Fatalf("trace %s diverged after restore", obj)
+		}
+	}
+}
+
+func TestSnapshotPreservesFIFOOrder(t *testing.T) {
+	nw := buildNet(t, 8, Config{Mode: GroupIndexing})
+	p := nw.Peers()[0]
+	pfx := nw.PM.GroupOf(moods.ObjectID("x").Hash())
+	for i := 0; i < 10; i++ {
+		obj := moods.ObjectID(fmt.Sprintf("fifo-%d", i))
+		p.gw.upsert(pfx, IndexEntry{Object: obj, ID: obj.Hash(), Indexed: time.Duration(i)})
+	}
+	var buf bytes.Buffer
+	if err := p.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	p.gw.mu.Lock()
+	p.gw.buckets = map[string]*bucket{}
+	p.gw.mu.Unlock()
+	if err := p.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	oldest := p.gw.delegable(pfx.String(), 3)
+	if len(oldest) != 3 {
+		t.Fatalf("delegable = %d", len(oldest))
+	}
+	for i, e := range oldest {
+		if e.Object != moods.ObjectID(fmt.Sprintf("fifo-%d", i)) {
+			t.Fatalf("FIFO order lost at %d: %s", i, e.Object)
+		}
+	}
+}
+
+func TestRestoreRejectsWrongNode(t *testing.T) {
+	nw := buildNet(t, 4, Config{})
+	var buf bytes.Buffer
+	if err := nw.Peers()[0].Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Peers()[1].Restore(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("restore accepted a foreign snapshot")
+	}
+}
+
+func TestRestoreRejectsGarbage(t *testing.T) {
+	nw := buildNet(t, 4, Config{})
+	if err := nw.Peers()[0].Restore(bytes.NewReader([]byte("not a snapshot"))); err == nil {
+		t.Fatal("restore accepted garbage")
+	}
+}
+
+func TestSnapshotPreservesTransitionModel(t *testing.T) {
+	nw := buildNet(t, 10, Config{Mode: GroupIndexing})
+	for i := 0; i < 6; i++ {
+		obj := moods.ObjectID(fmt.Sprintf("tm-%d", i))
+		moveObject(t, nw, obj, []int{2, 5}, time.Second, 20*time.Minute)
+	}
+	nw.StartWindows(time.Hour)
+	nw.Run()
+	p := nw.Peers()[2]
+
+	var buf bytes.Buffer
+	if err := p.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	p.trans.mu.Lock()
+	p.trans.byDst = map[moods.NodeName]*edgeStat{}
+	p.trans.mu.Unlock()
+	if err := p.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	dep, mean, _, err := p.DwellStatsAt(p.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dep != 6 {
+		t.Fatalf("departures after restore = %d", dep)
+	}
+	if mean < 19*time.Minute || mean > 21*time.Minute {
+		t.Fatalf("mean dwell after restore = %v", mean)
+	}
+}
+
+func TestSnapshotPreservesContainment(t *testing.T) {
+	nw := buildNet(t, 8, Config{Mode: GroupIndexing})
+	parent := moods.ObjectID("snap-pallet")
+	child := moods.ObjectID("snap-box")
+	if err := nw.Peers()[0].Pack(parent, []moods.ObjectID{child}, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	// Find the peer holding the containment record.
+	var holder *Peer
+	for _, p := range nw.Peers() {
+		p.contain.mu.RLock()
+		if len(p.contain.byChild[child]) > 0 {
+			holder = p
+		}
+		p.contain.mu.RUnlock()
+	}
+	if holder == nil {
+		t.Fatal("no peer holds the containment record")
+	}
+	var buf bytes.Buffer
+	if err := holder.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	holder.contain.mu.Lock()
+	holder.contain.byChild = map[moods.ObjectID][]ContainmentRecord{}
+	holder.contain.mu.Unlock()
+	if err := holder.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	recs, _, err := nw.Peers()[3].Containments(child)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Parent != parent {
+		t.Fatalf("containments after restore = %+v", recs)
+	}
+}

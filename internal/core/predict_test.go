@@ -1,0 +1,67 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"peertrack/internal/moods"
+)
+
+func TestPredictNextFollowsDominantFlow(t *testing.T) {
+	nw := buildNet(t, 12, Config{Mode: GroupIndexing})
+	// 20 objects flow node1 -> node4 -> node8 with ~30 min dwell at
+	// node4; 3 objects divert node4 -> node10.
+	for i := 0; i < 20; i++ {
+		obj := moods.ObjectID(fmt.Sprintf("flow-%d", i))
+		moveObject(t, nw, obj, []int{1, 4, 8}, time.Second, 30*time.Minute)
+	}
+	for i := 0; i < 3; i++ {
+		obj := moods.ObjectID(fmt.Sprintf("divert-%d", i))
+		moveObject(t, nw, obj, []int{1, 4, 10}, time.Second, 30*time.Minute)
+	}
+	// A fresh object has just arrived at node4.
+	fresh := moods.ObjectID("fresh")
+	nw.ScheduleObservation(moods.Observation{Object: fresh, Node: nw.Peers()[4].Name(), At: 2 * time.Hour})
+	nw.StartWindows(3 * time.Hour)
+	nw.Run()
+
+	pred, err := nw.Peers()[0].PredictNext(fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.Current != nw.Peers()[4].Name() {
+		t.Fatalf("current = %s", pred.Current)
+	}
+	if pred.Next != nw.Peers()[8].Name() {
+		t.Fatalf("predicted next = %s, want %s", pred.Next, nw.Peers()[8].Name())
+	}
+	if pred.Probability < 0.8 {
+		t.Errorf("probability = %.2f, want ≈ 20/23", pred.Probability)
+	}
+	// ETA = arrival at node4 (2h) + mean dwell (~30m).
+	if pred.ETA < 2*time.Hour+25*time.Minute || pred.ETA > 2*time.Hour+35*time.Minute {
+		t.Errorf("ETA = %v, want ≈ 2h30m", pred.ETA)
+	}
+}
+
+func TestPredictNoHistory(t *testing.T) {
+	nw := buildNet(t, 8, Config{Mode: GroupIndexing})
+	obj := moods.ObjectID("loner")
+	nw.ScheduleObservation(moods.Observation{Object: obj, Node: nw.Peers()[2].Name(), At: time.Second})
+	nw.StartWindows(time.Minute)
+	nw.Run()
+	_, err := nw.Peers()[0].PredictNext(obj)
+	if !errors.Is(err, ErrNoPrediction) {
+		t.Fatalf("err = %v, want ErrNoPrediction", err)
+	}
+}
+
+func TestPredictUntracked(t *testing.T) {
+	nw := buildNet(t, 8, Config{Mode: GroupIndexing})
+	_, err := nw.Peers()[0].PredictNext("ghost")
+	if !errors.Is(err, ErrNotTracked) {
+		t.Fatalf("err = %v, want ErrNotTracked", err)
+	}
+}

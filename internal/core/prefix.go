@@ -1,0 +1,179 @@
+package core
+
+import (
+	"math"
+	"sync"
+
+	"peertrack/internal/ids"
+)
+
+// Scheme selects the prefix-length formula studied in Section V-C.
+type Scheme int
+
+const (
+	// Scheme1 is Lp = ⌈log2 Nn⌉ — cheapest indexing, poorest balance.
+	Scheme1 Scheme = 1
+	// Scheme2 is Lp = ⌈log2 Nn + log2 log2 Nn⌉ — the paper's choice:
+	// with m = Nn·log2 Nn groups, the probability δ that a node indexes
+	// at least one group tends to 1 (Equation 5).
+	Scheme2 Scheme = 2
+	// Scheme3 is Lp = ⌈2·log2 Nn⌉ — best balance, indexing cost grows
+	// roughly with the square of the node count.
+	Scheme3 Scheme = 3
+)
+
+// String names the scheme as the paper does.
+func (s Scheme) String() string {
+	switch s {
+	case Scheme1:
+		return "Scheme 1 (log2 N)"
+	case Scheme2:
+		return "Scheme 2 (log2 N + log2 log2 N)"
+	case Scheme3:
+		return "Scheme 3 (2 log2 N)"
+	default:
+		return "unknown scheme"
+	}
+}
+
+// PrefixLen evaluates the scheme at network size nn, clamped to
+// [lmin, ids.Bits]. nn below 2 yields lmin (bootstrap regime).
+func (s Scheme) PrefixLen(nn float64, lmin int) int {
+	if lmin < 0 {
+		lmin = 0
+	}
+	if nn < 2 {
+		return lmin
+	}
+	log := math.Log2(nn)
+	var v float64
+	switch s {
+	case Scheme1:
+		v = log
+	case Scheme3:
+		v = 2 * log
+	default: // Scheme2
+		v = log
+		if log > 1 {
+			v += math.Log2(log)
+		}
+	}
+	lp := int(math.Ceil(v))
+	if lp < lmin {
+		lp = lmin
+	}
+	if lp > ids.Bits {
+		lp = ids.Bits
+	}
+	return lp
+}
+
+// Delta computes δ, the probability that a node has at least one group
+// to index (Equation 4): δ = 1 − ((Nn−1)/Nn)^m with m = 2^Lp.
+func Delta(nn float64, lp int) float64 {
+	if nn <= 1 {
+		return 1
+	}
+	m := math.Pow(2, float64(lp))
+	return 1 - math.Pow((nn-1)/nn, m)
+}
+
+// PrefixManager tracks the network-size estimate and derives the
+// current global prefix length Lp. The paper recalculates Lp "at a
+// relatively long interval" because it grows much slower than Nn;
+// SetNetworkSize is that recalculation point, and ChangedSince lets
+// gateways detect grouping inconsistencies to repair.
+type PrefixManager struct {
+	mu     sync.RWMutex
+	scheme Scheme
+	lmin   int
+	nn     float64
+	lp     int
+	// minEver/maxEver track the range of prefix lengths that have ever
+	// been current. Index records can only exist at those levels (or
+	// below maxEver via Data Triangle delegation), so refresh and
+	// lookup probe only this range — the concrete meaning of the
+	// paper's loop guard "while there exists gateway node for prefix
+	// p′".
+	minEver int
+	maxEver int
+}
+
+// NewPrefixManager creates a manager with the given scheme, minimum
+// prefix length L_min (the bootstrap floor of Section IV-A1), and
+// initial network size.
+func NewPrefixManager(scheme Scheme, lmin int, nn float64) *PrefixManager {
+	if scheme < Scheme1 || scheme > Scheme3 {
+		scheme = Scheme2
+	}
+	pm := &PrefixManager{scheme: scheme, lmin: lmin, nn: nn}
+	pm.lp = scheme.PrefixLen(nn, lmin)
+	pm.minEver, pm.maxEver = pm.lp, pm.lp
+	return pm
+}
+
+// Lp returns the current global prefix length.
+func (pm *PrefixManager) Lp() int {
+	pm.mu.RLock()
+	defer pm.mu.RUnlock()
+	return pm.lp
+}
+
+// LMin returns the configured minimum prefix length.
+func (pm *PrefixManager) LMin() int {
+	pm.mu.RLock()
+	defer pm.mu.RUnlock()
+	return pm.lmin
+}
+
+// Scheme returns the active scheme.
+func (pm *PrefixManager) Scheme() Scheme {
+	pm.mu.RLock()
+	defer pm.mu.RUnlock()
+	return pm.scheme
+}
+
+// NetworkSize returns the last installed estimate.
+func (pm *PrefixManager) NetworkSize() float64 {
+	pm.mu.RLock()
+	defer pm.mu.RUnlock()
+	return pm.nn
+}
+
+// SetNetworkSize installs a new estimate and returns (oldLp, newLp).
+func (pm *PrefixManager) SetNetworkSize(nn float64) (int, int) {
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	old := pm.lp
+	pm.nn = nn
+	pm.lp = pm.scheme.PrefixLen(nn, pm.lmin)
+	if pm.lp < pm.minEver {
+		pm.minEver = pm.lp
+	}
+	if pm.lp > pm.maxEver {
+		pm.maxEver = pm.lp
+	}
+	return old, pm.lp
+}
+
+// LpRange returns the historical [min, max] prefix lengths that have
+// been current since bootstrap.
+func (pm *PrefixManager) LpRange() (int, int) {
+	pm.mu.RLock()
+	defer pm.mu.RUnlock()
+	return pm.minEver, pm.maxEver
+}
+
+// ResetLpHistory collapses the historical range to the current Lp;
+// call after a completed splitting–merging reconciliation, when no
+// records remain at stale levels.
+func (pm *PrefixManager) ResetLpHistory() {
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	pm.minEver, pm.maxEver = pm.lp, pm.lp
+}
+
+// GroupOf returns the current-length prefix group of an object id.
+func (pm *PrefixManager) GroupOf(id ids.ID) ids.Prefix {
+	return ids.PrefixOf(id, pm.Lp())
+}

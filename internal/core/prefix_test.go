@@ -1,0 +1,197 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"peertrack/internal/ids"
+	"peertrack/internal/moods"
+)
+
+func TestSchemePrefixLengths(t *testing.T) {
+	cases := []struct {
+		scheme Scheme
+		nn     float64
+		want   int
+	}{
+		// log2 512 = 9
+		{Scheme1, 512, 9},
+		// 9 + log2 9 = 12.17 -> 13
+		{Scheme2, 512, 13},
+		{Scheme3, 512, 18},
+		// log2 64 = 6; 6 + log2 6 = 8.58 -> 9; 12
+		{Scheme1, 64, 6},
+		{Scheme2, 64, 9},
+		{Scheme3, 64, 12},
+	}
+	for _, c := range cases {
+		if got := c.scheme.PrefixLen(c.nn, 0); got != c.want {
+			t.Errorf("%v at Nn=%v: Lp = %d, want %d", c.scheme, c.nn, got, c.want)
+		}
+	}
+}
+
+func TestSchemeLMinFloor(t *testing.T) {
+	if got := Scheme2.PrefixLen(2, 5); got != 5 {
+		t.Errorf("Lp with LMin=5 at Nn=2: %d", got)
+	}
+	if got := Scheme2.PrefixLen(0, 4); got != 4 {
+		t.Errorf("bootstrap Lp = %d, want LMin", got)
+	}
+}
+
+func TestSchemeMonotoneInNn(t *testing.T) {
+	for _, s := range []Scheme{Scheme1, Scheme2, Scheme3} {
+		prev := 0
+		for nn := 2.0; nn <= 1<<20; nn *= 2 {
+			lp := s.PrefixLen(nn, 0)
+			if lp < prev {
+				t.Fatalf("%v: Lp decreased at Nn=%v", s, nn)
+			}
+			prev = lp
+		}
+	}
+}
+
+func TestSchemeCappedAtBits(t *testing.T) {
+	if got := Scheme3.PrefixLen(math.Pow(2, 100), 0); got != ids.Bits {
+		t.Errorf("huge network Lp = %d, want %d", got, ids.Bits)
+	}
+}
+
+func TestDeltaFormula(t *testing.T) {
+	// With m = Nn groups (Scheme1-ish), δ -> 1 - 1/e ≈ 0.632.
+	nn := 100000.0
+	lpEqual := int(math.Round(math.Log2(nn)))
+	d := Delta(nn, lpEqual)
+	// 2^lp is only approximately nn; allow slack.
+	if d < 0.45 || d > 0.80 {
+		t.Errorf("δ with m≈Nn = %v, want ≈0.63", d)
+	}
+	// With m = Nn log2 Nn (Scheme 2), δ should be near 1.
+	lp2 := Scheme2.PrefixLen(nn, 0)
+	if d2 := Delta(nn, lp2); d2 < 0.99 {
+		t.Errorf("δ with scheme 2 = %v, want ≈1", d2)
+	}
+	if Delta(1, 4) != 1 {
+		t.Error("δ for single node != 1")
+	}
+}
+
+func TestPrefixManagerLifecycle(t *testing.T) {
+	pm := NewPrefixManager(Scheme2, 3, 16)
+	lp16 := pm.Lp()
+	if lp16 < 3 {
+		t.Fatalf("initial Lp = %d", lp16)
+	}
+	lo, hi := pm.LpRange()
+	if lo != lp16 || hi != lp16 {
+		t.Fatalf("initial range = [%d,%d]", lo, hi)
+	}
+	old, new := pm.SetNetworkSize(512)
+	if old != lp16 || new <= old {
+		t.Fatalf("grow: %d -> %d", old, new)
+	}
+	lo, hi = pm.LpRange()
+	if lo != lp16 || hi != new {
+		t.Fatalf("range after grow = [%d,%d]", lo, hi)
+	}
+	pm.SetNetworkSize(16)
+	lo, hi = pm.LpRange()
+	if lo != lp16 || hi != new {
+		t.Fatalf("range after shrink = [%d,%d], history must persist", lo, hi)
+	}
+	pm.ResetLpHistory()
+	lo, hi = pm.LpRange()
+	if lo != pm.Lp() || hi != pm.Lp() {
+		t.Fatalf("range after reset = [%d,%d]", lo, hi)
+	}
+}
+
+func TestPrefixManagerGroupOf(t *testing.T) {
+	pm := NewPrefixManager(Scheme2, 3, 64)
+	id := ids.HashString("x")
+	g := pm.GroupOf(id)
+	if g.Len != pm.Lp() {
+		t.Fatalf("group length %d != Lp %d", g.Len, pm.Lp())
+	}
+	if !g.Matches(id) {
+		t.Fatal("group does not match its member")
+	}
+}
+
+func TestInvalidSchemeDefaultsTo2(t *testing.T) {
+	pm := NewPrefixManager(Scheme(99), 3, 64)
+	if pm.Scheme() != Scheme2 {
+		t.Fatalf("scheme = %v", pm.Scheme())
+	}
+}
+
+func TestGatewayStoreFIFOAndDelegable(t *testing.T) {
+	g := newGatewayStore()
+	pfx := ids.MustParsePrefix("0101")
+	for i := 0; i < 10; i++ {
+		obj := moodsObjectID(i)
+		g.upsert(pfx, IndexEntry{Object: obj, ID: ids.HashString(string(obj)), Indexed: simTime(i)})
+	}
+	oldest := g.delegable(pfx.String(), 3)
+	if len(oldest) != 3 {
+		t.Fatalf("delegable returned %d", len(oldest))
+	}
+	for i, e := range oldest {
+		if e.Object != moodsObjectID(i) {
+			t.Fatalf("FIFO order wrong at %d: %s", i, e.Object)
+		}
+	}
+	// Re-upserting an existing entry must not duplicate its FIFO slot.
+	g.upsert(pfx, IndexEntry{Object: moodsObjectID(0), ID: ids.HashString(string(moodsObjectID(0)))})
+	if got := g.delegable(pfx.String(), 100); len(got) != 10 {
+		t.Fatalf("after re-upsert: %d entries", len(got))
+	}
+}
+
+func TestGatewayStoreTakeAndDrain(t *testing.T) {
+	g := newGatewayStore()
+	pfx := ids.MustParsePrefix("11")
+	var keys []ids.ID
+	for i := 0; i < 5; i++ {
+		obj := moodsObjectID(i)
+		id := ids.HashString(string(obj))
+		keys = append(keys, id)
+		g.upsert(pfx, IndexEntry{Object: obj, ID: id})
+	}
+	taken, delegated := g.take(pfx.String(), keys[:2])
+	if len(taken) != 2 || delegated {
+		t.Fatalf("take = %d entries, delegated=%v", len(taken), delegated)
+	}
+	if g.totalEntries() != 3 {
+		t.Fatalf("entries after take = %d", g.totalEntries())
+	}
+	drained := g.drain(pfx.String())
+	if len(drained) != 3 {
+		t.Fatalf("drain = %d", len(drained))
+	}
+	if g.totalEntries() != 0 {
+		t.Fatal("store not empty after drain")
+	}
+	if g.peek(pfx.String()) != nil {
+		t.Fatal("bucket survived drain")
+	}
+	// take/query/drain on absent buckets are safe no-ops.
+	if e, _ := g.take("000", keys); e != nil {
+		t.Fatal("take on absent bucket returned entries")
+	}
+	if g.drain("000") != nil {
+		t.Fatal("drain on absent bucket returned entries")
+	}
+}
+
+func moodsObjectID(i int) moods.ObjectID {
+	return moods.ObjectID(fmt.Sprintf("obj-%c", 'a'+i))
+}
+
+func simTime(i int) time.Duration {
+	return time.Duration(i) * time.Second
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"peertrack/internal/ids"
+	"peertrack/internal/transport"
+)
+
+// The splitting–merging process (Section IV-A2): when network growth or
+// shrinkage changes the global prefix length Lp, gateway buckets are
+// re-levelled one step at a time — a split pushes a too-short bucket's
+// records down to its two children (who become parents of new
+// triangles), a merge pushes a too-long bucket's records up to its
+// parent — "thus eventually we always maintain only triangles, instead
+// of trees". Ring-membership changes additionally re-home buckets whose
+// gateway moved to a different successor.
+
+// ReconcileStep performs one local reconciliation pass on this peer:
+// every bucket whose prefix length or gateway placement disagrees with
+// the current network state is moved one level (or re-homed). It
+// returns the number of buckets it moved; the caller iterates across
+// all peers until the whole network reports 0.
+func (p *Peer) ReconcileStep() int {
+	moved := 0
+	lp := p.pm.Lp()
+	for _, key := range p.gw.bucketKeys() {
+		if key == individualBucket {
+			// Per-object records re-home individually (below), never
+			// split/merge by prefix level.
+			continue
+		}
+		pfx, err := ids.ParsePrefix(key)
+		if err != nil {
+			continue
+		}
+		switch {
+		case pfx.Len < lp:
+			// Split one level: old parent delegates everything into the
+			// two new parents (its children).
+			entries := p.gw.drain(key)
+			if len(entries) == 0 {
+				continue
+			}
+			split := [2][]IndexEntry{}
+			for _, e := range entries {
+				split[pfx.NextBit(e.ID)] = append(split[pfx.NextBit(e.ID)], e)
+			}
+			for bit := 0; bit <= 1; bit++ {
+				if len(split[bit]) == 0 {
+					continue
+				}
+				child := pfx.Child(bit)
+				p.sendEntries(child, split[bit])
+			}
+			moved++
+		case pfx.Len > lp:
+			// Merge one level: children migrate their data to the
+			// parent.
+			entries := p.gw.drain(key)
+			if len(entries) == 0 {
+				continue
+			}
+			p.sendEntries(pfx.Parent(), entries)
+			moved++
+		default:
+			// Correct level; verify placement (ring membership may have
+			// moved the gateway).
+			gwRef, err := p.resolveGateway(pfx)
+			if err != nil || gwRef.Addr == p.node.Addr() {
+				continue
+			}
+			entries := p.gw.drain(key)
+			if len(entries) == 0 {
+				continue
+			}
+			p.call(gwRef, delegateReq{Prefix: key, Entries: entries})
+			moved++
+		}
+	}
+	moved += p.rehomeIndividual()
+	return moved
+}
+
+// sendEntries delivers entries to the gateway of the given prefix
+// (local upsert when this node is the gateway).
+func (p *Peer) sendEntries(pfx ids.Prefix, entries []IndexEntry) {
+	gwRef, err := p.resolveGateway(pfx)
+	if err != nil {
+		// Leave the records where a later pass can retry: re-insert.
+		for _, e := range entries {
+			p.gw.upsert(pfx, e)
+		}
+		return
+	}
+	if _, err := p.call(gwRef, delegateReq{Prefix: pfx.String(), Entries: entries}); err != nil {
+		for _, e := range entries {
+			p.gw.upsert(pfx, e)
+		}
+	}
+}
+
+// rehomeIndividual re-homes per-object index records whose successor
+// moved (individual-indexing mode under churn).
+func (p *Peer) rehomeIndividual() int {
+	b := p.gw.peek(individualBucket)
+	if b == nil {
+		return 0
+	}
+	p.gw.mu.RLock()
+	entries := make([]IndexEntry, 0, len(b.entries))
+	for _, e := range b.entries {
+		entries = append(entries, *e)
+	}
+	p.gw.mu.RUnlock()
+
+	moved := 0
+	byDest := make(map[string][]IndexEntry)
+	for _, e := range entries {
+		res, err := p.node.Lookup(e.ID)
+		if err != nil || res.Node.Addr == p.node.Addr() {
+			continue
+		}
+		byDest[string(res.Node.Addr)] = append(byDest[string(res.Node.Addr)], e)
+	}
+	for dest, es := range byDest {
+		if _, err := p.callAddr(transport.Addr(dest), delegateReq{Prefix: individualBucket, Entries: es}); err != nil {
+			continue
+		}
+		victims := make([]ids.ID, len(es))
+		for i, e := range es {
+			victims[i] = e.ID
+		}
+		p.gw.removeAll(individualBucket, victims)
+		moved++
+	}
+	return moved
+}

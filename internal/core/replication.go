@@ -1,0 +1,138 @@
+package core
+
+import (
+	"peertrack/internal/ids"
+	"peertrack/internal/transport"
+)
+
+// Replication gives the gateway index crash tolerance. The paper leans
+// on Chord's behaviour under *voluntary* churn ("when a peer leaves, it
+// will migrate its data to another peer"); a production deployment also
+// has to survive crashes, where no migration happens. With
+// Config.Replicas = r > 0, every gateway pushes its index updates to
+// its first r ring successors. When the gateway dies, Chord
+// stabilization makes exactly those successors the new owners of its
+// key range, so queries that re-route after the failure find the
+// replicated records in place — the handler consults the replica store
+// whenever the primary store misses, promoting hits back to primary.
+
+// replicatePutReq pushes fresh index records to a replica holder.
+type replicatePutReq struct {
+	Prefix  string
+	Entries []IndexEntry
+}
+
+func (r replicatePutReq) WireSize() int {
+	n := len(r.Prefix)
+	for _, e := range r.Entries {
+		n += e.wireSize()
+	}
+	return n
+}
+
+type replicatePutResp struct{}
+
+func init() {
+	transport.Register(replicatePutReq{})
+	transport.Register(replicatePutResp{})
+}
+
+// replicate pushes the given entries of one bucket to the peer's first
+// Replicas live successors. Failures are ignored: a dead replica will
+// be replaced by stabilization and repaired on the next update.
+func (p *Peer) replicate(bucketKey string, entries []IndexEntry) {
+	if p.cfg.Replicas <= 0 || len(entries) == 0 {
+		return
+	}
+	sent := 0
+	for _, succ := range p.node.Neighbors() {
+		if sent >= p.cfg.Replicas {
+			break
+		}
+		if succ.Addr == p.node.Addr() {
+			continue
+		}
+		if _, err := p.callAddr(succ.Addr, replicatePutReq{Prefix: bucketKey, Entries: entries}); err == nil {
+			sent++
+		}
+	}
+}
+
+// handleReplicatePut stores replica records.
+func (p *Peer) handleReplicatePut(r replicatePutReq) {
+	if r.Prefix == individualBucket {
+		for _, e := range r.Entries {
+			p.replica.upsertKeyed(individualBucket, e)
+		}
+		return
+	}
+	pfx, err := ids.ParsePrefix(r.Prefix)
+	if err != nil {
+		return
+	}
+	for _, e := range r.Entries {
+		p.replica.upsert(pfx, e)
+	}
+}
+
+// lookupWithReplica consults the primary store, falling back to the
+// replica store and promoting hits so that subsequent updates see them.
+func (p *Peer) lookupWithReplica(bucketKey string, id ids.ID) (IndexEntry, bool) {
+	if e, ok := p.gw.lookup(bucketKey, id); ok {
+		return e, true
+	}
+	if p.cfg.Replicas <= 0 {
+		return IndexEntry{}, false
+	}
+	e, ok := p.replica.lookup(bucketKey, id)
+	if !ok {
+		return IndexEntry{}, false
+	}
+	p.promote(bucketKey, []IndexEntry{e})
+	return e, true
+}
+
+// queryWithReplica is the bulk form used by the queryIndexReq handler.
+func (p *Peer) queryWithReplica(bucketKey string, objs []ids.ID) ([]IndexEntry, bool) {
+	entries, delegated := p.gw.query(bucketKey, objs)
+	if p.cfg.Replicas <= 0 || len(entries) == len(objs) {
+		return entries, delegated
+	}
+	found := make(map[ids.ID]bool, len(entries))
+	for _, e := range entries {
+		found[e.ID] = true
+	}
+	var missing []ids.ID
+	for _, id := range objs {
+		if !found[id] {
+			missing = append(missing, id)
+		}
+	}
+	extra, _ := p.replica.query(bucketKey, missing)
+	if len(extra) > 0 {
+		p.promote(bucketKey, extra)
+		entries = append(entries, extra...)
+	}
+	return entries, delegated
+}
+
+// promote copies replica records into the primary store of this node.
+func (p *Peer) promote(bucketKey string, entries []IndexEntry) {
+	if bucketKey == individualBucket {
+		for _, e := range entries {
+			p.gw.upsertKeyed(individualBucket, e)
+		}
+		return
+	}
+	pfx, err := ids.ParsePrefix(bucketKey)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		p.gw.upsert(pfx, e)
+	}
+}
+
+// ReplicaEntries reports how many replica records this node holds
+// (metrics/tests).
+func (p *Peer) ReplicaEntries() int { return p.replica.totalEntries() }

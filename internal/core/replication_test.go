@@ -1,0 +1,201 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"peertrack/internal/chord"
+	"peertrack/internal/ids"
+	"peertrack/internal/moods"
+)
+
+func TestReplicationCopiesEntries(t *testing.T) {
+	nw, err := BuildNetwork(NetworkConfig{
+		Nodes: 12,
+		Seed:  1,
+		Peer:  Config{Mode: GroupIndexing, Replicas: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		nw.ScheduleObservation(moods.Observation{
+			Object: moods.ObjectID(fmt.Sprintf("rep-%d", i)),
+			Node:   nw.Peers()[i%12].Name(),
+			At:     time.Second,
+		})
+	}
+	nw.StartWindows(2 * time.Second)
+	nw.Run()
+
+	totalReplicas := 0
+	for _, p := range nw.Peers() {
+		totalReplicas += p.ReplicaEntries()
+	}
+	// Every record should exist on ~2 replicas.
+	if totalReplicas < 50 {
+		t.Fatalf("replica entries = %d, want >= 50", totalReplicas)
+	}
+}
+
+func TestIndexSurvivesGatewayCrash(t *testing.T) {
+	for _, mode := range []Mode{IndividualIndexing, GroupIndexing} {
+		nw, err := BuildNetwork(NetworkConfig{
+			Nodes: 16,
+			Seed:  2,
+			Peer:  Config{Mode: mode, Replicas: 2},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Track an object observed at peer 3 only, so its IOP data and
+		// its gateway are on different nodes with high probability.
+		obj := moods.ObjectID("crash-victim")
+		nw.ScheduleObservation(moods.Observation{Object: obj, Node: nw.Peers()[3].Name(), At: time.Second})
+		nw.StartWindows(2 * time.Second)
+		nw.Run()
+
+		// Find the gateway node for the object's index.
+		var gwKey ids.ID
+		if mode == IndividualIndexing {
+			gwKey = obj.Hash()
+		} else {
+			gwKey = ids.PrefixOf(obj.Hash(), nw.PM.Lp()).GatewayID()
+		}
+		res, err := nw.Peers()[0].Node().Lookup(gwKey)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gwAddr := res.Node.Addr
+		if gwAddr == nw.Peers()[3].Addr() {
+			// Gateway happens to be the observing node; crashing it
+			// would also destroy the IOP data — not the scenario under
+			// test.
+			continue
+		}
+
+		// Crash the gateway without warning and let the ring repair.
+		nw.Transport.Kill(gwAddr)
+		var live []*chord.Node
+		for _, p := range nw.Peers() {
+			if p.Addr() != gwAddr {
+				live = append(live, p.Node().(*chord.Node))
+			}
+		}
+		for r := 0; r < 8; r++ {
+			for _, n := range live {
+				n.CheckPredecessor()
+				n.Stabilize()
+			}
+		}
+		for _, n := range live {
+			n.FixAllFingers()
+		}
+		for _, p := range nw.Peers() {
+			p.InvalidateGatewayCache()
+		}
+
+		// The locate must still answer, served from a promoted replica
+		// at the new owner of the key range.
+		var asker *Peer
+		for _, p := range nw.Peers() {
+			if p.Addr() != gwAddr {
+				asker = p
+				break
+			}
+		}
+		loc, err := asker.Locate(obj, time.Hour)
+		if err != nil {
+			t.Fatalf("mode %d: locate after gateway crash: %v", mode, err)
+		}
+		if loc.Node != nw.Peers()[3].Name() {
+			t.Fatalf("mode %d: located at %q, want %q", mode, loc.Node, nw.Peers()[3].Name())
+		}
+	}
+}
+
+func TestNoReplicationMeansCrashLosesIndex(t *testing.T) {
+	// Control experiment: with Replicas = 0 the same crash loses the
+	// index — proving the replication path is what saved it above.
+	nw, err := BuildNetwork(NetworkConfig{
+		Nodes: 16,
+		Seed:  2,
+		Peer:  Config{Mode: GroupIndexing, Replicas: 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj := moods.ObjectID("crash-victim")
+	nw.ScheduleObservation(moods.Observation{Object: obj, Node: nw.Peers()[3].Name(), At: time.Second})
+	nw.StartWindows(2 * time.Second)
+	nw.Run()
+
+	gwKey := ids.PrefixOf(obj.Hash(), nw.PM.Lp()).GatewayID()
+	res, err := nw.Peers()[0].Node().Lookup(gwKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gwAddr := res.Node.Addr
+	if gwAddr == nw.Peers()[3].Addr() {
+		t.Skip("gateway co-located with observer for this seed")
+	}
+	nw.Transport.Kill(gwAddr)
+	for r := 0; r < 8; r++ {
+		for _, p := range nw.Peers() {
+			if p.Addr() == gwAddr {
+				continue
+			}
+			cn := p.Node().(*chord.Node)
+			cn.CheckPredecessor()
+			cn.Stabilize()
+		}
+	}
+	for _, p := range nw.Peers() {
+		if p.Addr() != gwAddr {
+			p.Node().(*chord.Node).FixAllFingers()
+			p.InvalidateGatewayCache()
+		}
+	}
+	var asker *Peer
+	for _, p := range nw.Peers() {
+		if p.Addr() != gwAddr {
+			asker = p
+			break
+		}
+	}
+	if _, err := asker.Locate(obj, time.Hour); err == nil {
+		t.Fatal("locate succeeded without replicas after gateway crash")
+	}
+}
+
+func TestReplicationAddsBoundedCost(t *testing.T) {
+	run := func(replicas int) uint64 {
+		nw, err := BuildNetwork(NetworkConfig{
+			Nodes: 16,
+			Seed:  3,
+			Peer:  Config{Mode: GroupIndexing, Replicas: replicas},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 100; i++ {
+			nw.ScheduleObservation(moods.Observation{
+				Object: moods.ObjectID(fmt.Sprintf("c-%d", i)),
+				Node:   nw.Peers()[i%16].Name(),
+				At:     time.Second,
+			})
+		}
+		nw.StartWindows(2 * time.Second)
+		nw.Run()
+		return nw.Stats().Snapshot().Messages
+	}
+	base := run(0)
+	with := run(2)
+	if with <= base {
+		t.Fatal("replication sent no extra messages")
+	}
+	if with > base*4 {
+		t.Fatalf("replication cost blew up: %d -> %d", base, with)
+	}
+}

@@ -1,0 +1,159 @@
+package ctlapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"time"
+)
+
+// Client talks to a trackd control API.
+type Client struct {
+	// Base is the API root, e.g. "http://127.0.0.1:7070".
+	Base string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// Observe ingests a capture event stamped now.
+func (c *Client) Observe(object string) error {
+	return c.ObserveAt(object, time.Time{})
+}
+
+// ObserveAt ingests a capture event with an explicit timestamp (zero =
+// server time).
+func (c *Client) ObserveAt(object string, at time.Time) error {
+	body, err := json.Marshal(ObserveRequest{Object: object, At: at})
+	if err != nil {
+		return err
+	}
+	resp, err := c.http().Post(c.Base+"/observe", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return checkStatus(resp)
+}
+
+// Locate answers L(o, t); zero time means "now".
+func (c *Client) Locate(object string, at time.Time) (LocateResponse, error) {
+	q := url.Values{"object": {object}}
+	if !at.IsZero() {
+		q.Set("at", at.Format(time.RFC3339))
+	}
+	var out LocateResponse
+	return out, c.getJSON("/locate?"+q.Encode(), &out)
+}
+
+// Trace returns the object's full trajectory.
+func (c *Client) Trace(object string) (TraceResponse, error) {
+	var out TraceResponse
+	return out, c.getJSON("/trace?object="+url.QueryEscape(object), &out)
+}
+
+// TraceBetween returns the trajectory within [from, to].
+func (c *Client) TraceBetween(object string, from, to time.Time) (TraceResponse, error) {
+	q := url.Values{"object": {object}}
+	if !from.IsZero() {
+		q.Set("from", from.Format(time.RFC3339))
+	}
+	if !to.IsZero() {
+		q.Set("to", to.Format(time.RFC3339))
+	}
+	var out TraceResponse
+	return out, c.getJSON("/trace?"+q.Encode(), &out)
+}
+
+// ResolveTrace returns the trajectory including containment.
+func (c *Client) ResolveTrace(object string) (TraceResponse, error) {
+	var out TraceResponse
+	return out, c.getJSON("/trace?resolve=true&object="+url.QueryEscape(object), &out)
+}
+
+// Pack records an aggregation event at the node.
+func (c *Client) Pack(parent string, children []string) error {
+	return c.pack(parent, children, false)
+}
+
+// Unpack records a disaggregation event at the node.
+func (c *Client) Unpack(parent string, children []string) error {
+	return c.pack(parent, children, true)
+}
+
+func (c *Client) pack(parent string, children []string, unpack bool) error {
+	body, err := json.Marshal(PackRequest{Parent: parent, Children: children, Unpack: unpack})
+	if err != nil {
+		return err
+	}
+	resp, err := c.http().Post(c.Base+"/pack", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return checkStatus(resp)
+}
+
+// Predict returns the movement forecast.
+func (c *Client) Predict(object string) (Forecast, error) {
+	var out Forecast
+	return out, c.getJSON("/predict?object="+url.QueryEscape(object), &out)
+}
+
+// Inventory returns the node's current holdings.
+func (c *Client) Inventory() (InventoryResponse, error) {
+	var out InventoryResponse
+	return out, c.getJSON("/inventory", &out)
+}
+
+// Status returns node identity and storage counters.
+func (c *Client) Status() (StatusResponse, error) {
+	var out StatusResponse
+	return out, c.getJSON("/status", &out)
+}
+
+// Snapshot asks the node to persist its state.
+func (c *Client) Snapshot() (SnapshotResponse, error) {
+	resp, err := c.http().Post(c.Base+"/snapshot", "application/json", nil)
+	if err != nil {
+		return SnapshotResponse{}, err
+	}
+	defer resp.Body.Close()
+	if err := checkStatus(resp); err != nil {
+		return SnapshotResponse{}, err
+	}
+	var out SnapshotResponse
+	return out, json.NewDecoder(resp.Body).Decode(&out)
+}
+
+func (c *Client) getJSON(path string, out any) error {
+	resp, err := c.http().Get(c.Base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if err := checkStatus(resp); err != nil {
+		return err
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func checkStatus(resp *http.Response) error {
+	if resp.StatusCode < 300 {
+		return nil
+	}
+	b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode == http.StatusNotFound {
+		return fmt.Errorf("%w (%s)", ErrNotTracked, bytes.TrimSpace(b))
+	}
+	return fmt.Errorf("ctlapi: %s: %s", resp.Status, bytes.TrimSpace(b))
+}

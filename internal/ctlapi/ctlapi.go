@@ -1,0 +1,289 @@
+// Package ctlapi implements trackd's HTTP control plane: the JSON API
+// an organisation's warehouse systems use to feed capture events into
+// their PeerTrack node and to run traceability queries, plus the
+// matching Go client used by trackctl.
+//
+// Endpoints:
+//
+//	POST /observe    {"object": "...", "at": RFC3339?}     → 202
+//	GET  /locate     ?object=...&at=RFC3339?               → {node, hops}
+//	GET  /trace      ?object=...                           → {stops, hops}
+//	GET  /predict    ?object=...                           → {current, next, probability, eta}
+//	GET  /inventory                                        → {count, objects}
+//	GET  /status                                           → {addr, visits, indexed}
+//	POST /snapshot                                         → persists state, {bytes}
+package ctlapi
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// Backend is what the API serves — implemented by peertrack.Node via a
+// thin adapter in cmd/trackd, and by fakes in tests.
+type Backend interface {
+	// Addr is the node's P2P address (its identity on traces).
+	Addr() string
+	// ObserveAt ingests one capture event.
+	ObserveAt(object string, at time.Time) error
+	// LocateAt answers L(o, t).
+	LocateAt(object string, at time.Time) (node string, hops int, err error)
+	// TraceOf answers the full trajectory. Non-zero from/to bound the
+	// window.
+	TraceOf(object string) (stops []Stop, hops int, err error)
+	// TraceBetween answers the trajectory within [from, to].
+	TraceBetween(object string, from, to time.Time) ([]Stop, int, error)
+	// ResolveTrace answers the trajectory including containment
+	// (movements made inside parent containers).
+	ResolveTrace(object string) ([]Stop, int, error)
+	// Pack and Unpack record aggregation events at this node.
+	Pack(parent string, children []string) error
+	Unpack(parent string, children []string) error
+	// PredictOf estimates the next movement.
+	PredictOf(object string) (Forecast, error)
+	// InventoryList returns objects currently present at this node.
+	InventoryList() []string
+	// Stats returns local storage counters.
+	Stats() (visits, indexed int)
+	// Ring reports overlay state: successor, predecessor, and the
+	// node's current prefix length.
+	Ring() (succ, pred string, lp int)
+	// Persist saves a snapshot, returning its size in bytes.
+	Persist() (int64, error)
+}
+
+// ErrNotTracked must be returned (or wrapped) by backends for unknown
+// objects so the API can answer 404.
+var ErrNotTracked = errors.New("ctlapi: object not tracked")
+
+// Stop is one trace stop.
+type Stop struct {
+	Node    string    `json:"node"`
+	Arrived time.Time `json:"arrived"`
+}
+
+// Forecast is a movement prediction.
+type Forecast struct {
+	Current     string    `json:"current"`
+	Next        string    `json:"next"`
+	Probability float64   `json:"probability"`
+	ETA         time.Time `json:"eta"`
+	Hops        int       `json:"hops"`
+}
+
+// PackRequest is the POST /pack body; Unpack=true closes the
+// containment instead of opening it.
+type PackRequest struct {
+	Parent   string   `json:"parent"`
+	Children []string `json:"children"`
+	Unpack   bool     `json:"unpack,omitempty"`
+}
+
+// ObserveRequest is the POST /observe body.
+type ObserveRequest struct {
+	Object string    `json:"object"`
+	At     time.Time `json:"at,omitempty"`
+}
+
+// LocateResponse is the GET /locate reply.
+type LocateResponse struct {
+	Object string `json:"object"`
+	Node   string `json:"node"`
+	Hops   int    `json:"hops"`
+}
+
+// TraceResponse is the GET /trace reply.
+type TraceResponse struct {
+	Object string `json:"object"`
+	Stops  []Stop `json:"stops"`
+	Hops   int    `json:"hops"`
+}
+
+// InventoryResponse is the GET /inventory reply.
+type InventoryResponse struct {
+	Count   int      `json:"count"`
+	Objects []string `json:"objects"`
+}
+
+// StatusResponse is the GET /status reply.
+type StatusResponse struct {
+	Addr        string `json:"addr"`
+	Visits      int    `json:"visits"`
+	Indexed     int    `json:"indexed"`
+	Successor   string `json:"successor"`
+	Predecessor string `json:"predecessor"`
+	PrefixLen   int    `json:"prefix_len"`
+}
+
+// SnapshotResponse is the POST /snapshot reply.
+type SnapshotResponse struct {
+	Bytes int64 `json:"bytes"`
+}
+
+// Handler builds the control-plane HTTP handler.
+func Handler(b Backend) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /observe", func(w http.ResponseWriter, r *http.Request) {
+		var req ObserveRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpErr(w, http.StatusBadRequest, err)
+			return
+		}
+		if req.Object == "" {
+			httpErr(w, http.StatusBadRequest, errors.New("object required"))
+			return
+		}
+		at := req.At
+		if at.IsZero() {
+			at = time.Now()
+		}
+		if err := b.ObserveAt(req.Object, at); err != nil {
+			httpErr(w, http.StatusInternalServerError, err)
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		fmt.Fprintln(w, `{"ok":true}`)
+	})
+	mux.HandleFunc("GET /locate", func(w http.ResponseWriter, r *http.Request) {
+		obj := r.URL.Query().Get("object")
+		if obj == "" {
+			httpErr(w, http.StatusBadRequest, errors.New("object required"))
+			return
+		}
+		at := time.Now()
+		if v := r.URL.Query().Get("at"); v != "" {
+			t, err := time.Parse(time.RFC3339, v)
+			if err != nil {
+				httpErr(w, http.StatusBadRequest, fmt.Errorf("bad at: %w", err))
+				return
+			}
+			at = t
+		}
+		node, hops, err := b.LocateAt(obj, at)
+		if err != nil {
+			httpErr(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, LocateResponse{Object: obj, Node: node, Hops: hops})
+	})
+	mux.HandleFunc("GET /trace", func(w http.ResponseWriter, r *http.Request) {
+		obj := r.URL.Query().Get("object")
+		if obj == "" {
+			httpErr(w, http.StatusBadRequest, errors.New("object required"))
+			return
+		}
+		q := r.URL.Query()
+		var stops []Stop
+		var hops int
+		var err error
+		switch {
+		case q.Get("resolve") == "true":
+			stops, hops, err = b.ResolveTrace(obj)
+		case q.Get("from") != "" || q.Get("to") != "":
+			var from, to time.Time
+			if from, err = parseTimeParam(q.Get("from"), time.Unix(0, 0)); err != nil {
+				httpErr(w, http.StatusBadRequest, err)
+				return
+			}
+			if to, err = parseTimeParam(q.Get("to"), time.Now()); err != nil {
+				httpErr(w, http.StatusBadRequest, err)
+				return
+			}
+			stops, hops, err = b.TraceBetween(obj, from, to)
+		default:
+			stops, hops, err = b.TraceOf(obj)
+		}
+		if err != nil {
+			httpErr(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, TraceResponse{Object: obj, Stops: stops, Hops: hops})
+	})
+	mux.HandleFunc("POST /pack", func(w http.ResponseWriter, r *http.Request) {
+		var req PackRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpErr(w, http.StatusBadRequest, err)
+			return
+		}
+		if req.Parent == "" || len(req.Children) == 0 {
+			httpErr(w, http.StatusBadRequest, errors.New("parent and children required"))
+			return
+		}
+		var err error
+		if req.Unpack {
+			err = b.Unpack(req.Parent, req.Children)
+		} else {
+			err = b.Pack(req.Parent, req.Children)
+		}
+		if err != nil {
+			httpErr(w, http.StatusInternalServerError, err)
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		fmt.Fprintln(w, `{"ok":true}`)
+	})
+	mux.HandleFunc("GET /predict", func(w http.ResponseWriter, r *http.Request) {
+		obj := r.URL.Query().Get("object")
+		if obj == "" {
+			httpErr(w, http.StatusBadRequest, errors.New("object required"))
+			return
+		}
+		f, err := b.PredictOf(obj)
+		if err != nil {
+			httpErr(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, f)
+	})
+	mux.HandleFunc("GET /inventory", func(w http.ResponseWriter, r *http.Request) {
+		objs := b.InventoryList()
+		writeJSON(w, InventoryResponse{Count: len(objs), Objects: objs})
+	})
+	mux.HandleFunc("GET /status", func(w http.ResponseWriter, r *http.Request) {
+		visits, indexed := b.Stats()
+		succ, pred, lp := b.Ring()
+		writeJSON(w, StatusResponse{
+			Addr: b.Addr(), Visits: visits, Indexed: indexed,
+			Successor: succ, Predecessor: pred, PrefixLen: lp,
+		})
+	})
+	mux.HandleFunc("POST /snapshot", func(w http.ResponseWriter, r *http.Request) {
+		n, err := b.Persist()
+		if err != nil {
+			httpErr(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, SnapshotResponse{Bytes: n})
+	})
+	return mux
+}
+
+func parseTimeParam(v string, def time.Time) (time.Time, error) {
+	if v == "" {
+		return def, nil
+	}
+	t, err := time.Parse(time.RFC3339, v)
+	if err != nil {
+		return time.Time{}, fmt.Errorf("bad time %q: %w", v, err)
+	}
+	return t, nil
+}
+
+func statusFor(err error) int {
+	if errors.Is(err, ErrNotTracked) {
+		return http.StatusNotFound
+	}
+	return http.StatusInternalServerError
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpErr(w http.ResponseWriter, code int, err error) {
+	http.Error(w, err.Error(), code)
+}

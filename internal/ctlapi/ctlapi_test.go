@@ -1,0 +1,329 @@
+package ctlapi
+
+import (
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeBackend is an in-memory Backend good enough to exercise the whole
+// API surface.
+type fakeBackend struct {
+	mu       sync.Mutex
+	observed map[string][]Stop
+	persists int
+	packs    int
+	unpacks  int
+	failNext error
+}
+
+func newFake() *fakeBackend {
+	return &fakeBackend{observed: make(map[string][]Stop)}
+}
+
+func (f *fakeBackend) Addr() string { return "10.0.0.1:7000" }
+
+func (f *fakeBackend) ObserveAt(object string, at time.Time) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.failNext != nil {
+		err := f.failNext
+		f.failNext = nil
+		return err
+	}
+	f.observed[object] = append(f.observed[object], Stop{Node: f.Addr(), Arrived: at})
+	return nil
+}
+
+func (f *fakeBackend) LocateAt(object string, at time.Time) (string, int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	stops := f.observed[object]
+	if len(stops) == 0 {
+		return "", 0, fmt.Errorf("%w: %s", ErrNotTracked, object)
+	}
+	return stops[len(stops)-1].Node, 3, nil
+}
+
+func (f *fakeBackend) TraceOf(object string) ([]Stop, int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	stops := f.observed[object]
+	if len(stops) == 0 {
+		return nil, 0, fmt.Errorf("%w: %s", ErrNotTracked, object)
+	}
+	return stops, 5, nil
+}
+
+func (f *fakeBackend) PredictOf(object string) (Forecast, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(f.observed[object]) == 0 {
+		return Forecast{}, fmt.Errorf("%w: %s", ErrNotTracked, object)
+	}
+	return Forecast{Current: f.Addr(), Next: "10.0.0.2:7000", Probability: 0.9, Hops: 2}, nil
+}
+
+func (f *fakeBackend) InventoryList() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]string, 0, len(f.observed))
+	for o := range f.observed {
+		out = append(out, o)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (f *fakeBackend) Stats() (int, int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.observed), 7
+}
+
+func (f *fakeBackend) TraceBetween(object string, from, to time.Time) ([]Stop, int, error) {
+	stops, hops, err := f.TraceOf(object)
+	if err != nil {
+		return nil, hops, err
+	}
+	var out []Stop
+	for _, s := range stops {
+		if !s.Arrived.Before(from) && !s.Arrived.After(to) {
+			out = append(out, s)
+		}
+	}
+	return out, hops, nil
+}
+
+func (f *fakeBackend) ResolveTrace(object string) ([]Stop, int, error) {
+	stops, hops, err := f.TraceOf(object)
+	if err != nil {
+		return nil, hops, err
+	}
+	// Fake containment: resolution appends one synthetic transit stop.
+	return append(stops, Stop{Node: "transit", Arrived: time.Unix(1, 0)}), hops + 1, nil
+}
+
+func (f *fakeBackend) Pack(parent string, children []string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.packs++
+	return nil
+}
+
+func (f *fakeBackend) Unpack(parent string, children []string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.unpacks++
+	return nil
+}
+
+func (f *fakeBackend) Ring() (string, string, int) {
+	return "10.0.0.2:7000", "10.0.0.3:7000", 9
+}
+
+func (f *fakeBackend) Persist() (int64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.persists++
+	return 4096, nil
+}
+
+func setup(t *testing.T) (*fakeBackend, *Client) {
+	t.Helper()
+	b := newFake()
+	srv := httptest.NewServer(Handler(b))
+	t.Cleanup(srv.Close)
+	return b, &Client{Base: srv.URL}
+}
+
+func TestObserveAndTrace(t *testing.T) {
+	_, c := setup(t)
+	if err := c.Observe("epc-1"); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := c.Trace("epc-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Stops) != 1 || tr.Hops != 5 {
+		t.Fatalf("trace = %+v", tr)
+	}
+	if tr.Stops[0].Node != "10.0.0.1:7000" {
+		t.Fatalf("stop = %+v", tr.Stops[0])
+	}
+}
+
+func TestObserveExplicitTime(t *testing.T) {
+	b, c := setup(t)
+	at := time.Date(2026, 7, 5, 12, 0, 0, 0, time.UTC)
+	if err := c.ObserveAt("epc-t", at); err != nil {
+		t.Fatal(err)
+	}
+	got := b.observed["epc-t"][0].Arrived
+	if !got.Equal(at) {
+		t.Fatalf("stored time %v, want %v", got, at)
+	}
+}
+
+func TestLocate(t *testing.T) {
+	_, c := setup(t)
+	c.Observe("epc-2")
+	loc, err := c.Locate("epc-2", time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loc.Node != "10.0.0.1:7000" || loc.Hops != 3 {
+		t.Fatalf("locate = %+v", loc)
+	}
+	// With explicit time too.
+	if _, err := c.Locate("epc-2", time.Now()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNotTrackedIs404(t *testing.T) {
+	_, c := setup(t)
+	_, err := c.Trace("ghost")
+	if !errors.Is(err, ErrNotTracked) {
+		t.Fatalf("trace ghost err = %v", err)
+	}
+	_, err = c.Locate("ghost", time.Time{})
+	if !errors.Is(err, ErrNotTracked) {
+		t.Fatalf("locate ghost err = %v", err)
+	}
+	_, err = c.Predict("ghost")
+	if !errors.Is(err, ErrNotTracked) {
+		t.Fatalf("predict ghost err = %v", err)
+	}
+}
+
+func TestPredict(t *testing.T) {
+	_, c := setup(t)
+	c.Observe("epc-3")
+	f, err := c.Predict("epc-3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Next != "10.0.0.2:7000" || f.Probability != 0.9 {
+		t.Fatalf("forecast = %+v", f)
+	}
+}
+
+func TestInventoryAndStatus(t *testing.T) {
+	_, c := setup(t)
+	c.Observe("b-obj")
+	c.Observe("a-obj")
+	inv, err := c.Inventory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv.Count != 2 || inv.Objects[0] != "a-obj" {
+		t.Fatalf("inventory = %+v", inv)
+	}
+	st, err := c.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Addr != "10.0.0.1:7000" || st.Visits != 2 || st.Indexed != 7 {
+		t.Fatalf("status = %+v", st)
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	b, c := setup(t)
+	resp, err := c.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Bytes != 4096 || b.persists != 1 {
+		t.Fatalf("snapshot = %+v, persists = %d", resp, b.persists)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	b, c := setup(t)
+	if err := c.Observe(""); err == nil {
+		t.Error("empty object accepted")
+	}
+	// Backend failure surfaces as a 5xx.
+	b.mu.Lock()
+	b.failNext = errors.New("disk full")
+	b.mu.Unlock()
+	if err := c.Observe("x"); err == nil {
+		t.Error("backend failure not surfaced")
+	}
+	// Bad time format on locate.
+	resp, err := c.http().Get(c.Base + "/locate?object=x&at=not-a-time")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Errorf("bad time status = %d", resp.StatusCode)
+	}
+}
+
+func TestTraceBetweenAndResolve(t *testing.T) {
+	b, c := setup(t)
+	at := time.Date(2026, 7, 1, 10, 0, 0, 0, time.UTC)
+	c.ObserveAt("win-obj", at)
+	// Window containing the stop.
+	tr, err := c.TraceBetween("win-obj", at.Add(-time.Hour), at.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Stops) != 1 {
+		t.Fatalf("windowed stops = %d", len(tr.Stops))
+	}
+	// Window excluding it.
+	tr, err = c.TraceBetween("win-obj", at.Add(time.Hour), at.Add(2*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Stops) != 0 {
+		t.Fatalf("out-of-window stops = %d", len(tr.Stops))
+	}
+	// Resolution includes the fake transit stop.
+	rr, err := c.ResolveTrace("win-obj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rr.Stops) != 2 {
+		t.Fatalf("resolved stops = %d", len(rr.Stops))
+	}
+	_ = b
+}
+
+func TestPackUnpackEndpoint(t *testing.T) {
+	b, c := setup(t)
+	if err := c.Pack("pallet", []string{"a", "b"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Unpack("pallet", []string{"a"}); err != nil {
+		t.Fatal(err)
+	}
+	if b.packs != 1 || b.unpacks != 1 {
+		t.Fatalf("packs=%d unpacks=%d", b.packs, b.unpacks)
+	}
+	if err := c.Pack("", nil); err == nil {
+		t.Error("empty pack accepted")
+	}
+}
+
+func TestMethodRouting(t *testing.T) {
+	_, c := setup(t)
+	// GET on /observe must not match the POST route.
+	resp, err := c.http().Get(c.Base + "/observe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == 200 || resp.StatusCode == 202 {
+		t.Errorf("GET /observe status = %d", resp.StatusCode)
+	}
+}

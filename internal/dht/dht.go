@@ -1,0 +1,275 @@
+// Package dht layers a key-value store over the Chord overlay: each key
+// lives at its successor node, lookups route in O(log N) hops, and keys
+// migrate automatically when ring ownership changes (joins and leaves),
+// matching the paper's observation that "when new peer joins, only a
+// small portion of nodes will migrate their data".
+package dht
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"peertrack/internal/chord"
+	"peertrack/internal/ids"
+	"peertrack/internal/transport"
+)
+
+// ErrNotFound is returned by Get for absent keys.
+var ErrNotFound = errors.New("dht: key not found")
+
+type putReq struct {
+	Key   ids.ID
+	Value []byte
+}
+
+func (r putReq) WireSize() int { return ids.Bytes + len(r.Value) }
+
+type putResp struct{}
+
+type getReq struct{ Key ids.ID }
+
+type getResp struct {
+	Value []byte
+	Found bool
+}
+
+func (r getResp) WireSize() int { return 1 + len(r.Value) }
+
+type delReq struct{ Key ids.ID }
+
+type delResp struct{ Existed bool }
+
+type migrateReq struct {
+	Keys   []ids.ID
+	Values [][]byte
+}
+
+func (r migrateReq) WireSize() int {
+	n := len(r.Keys) * ids.Bytes
+	for _, v := range r.Values {
+		n += len(v)
+	}
+	return n
+}
+
+type migrateResp struct{}
+
+func init() {
+	transport.Register(putReq{})
+	transport.Register(putResp{})
+	transport.Register(getReq{})
+	transport.Register(getResp{})
+	transport.Register(delReq{})
+	transport.Register(delResp{})
+	transport.Register(migrateReq{})
+	transport.Register(migrateResp{})
+}
+
+// Store is one node's slice of the distributed key-value space.
+type Store struct {
+	node *chord.Node
+	net  transport.Network
+
+	mu   sync.RWMutex
+	data map[ids.ID][]byte
+}
+
+// New attaches a store to a Chord node, registering it for ownership
+// callbacks and installing its RPC handler as the node's application
+// handler. If the node hosts several application layers, compose their
+// HandleRPC methods manually instead and pass compose=false semantics by
+// setting the app handler yourself.
+func New(node *chord.Node, net transport.Network) *Store {
+	s := &Store{node: node, net: net, data: make(map[ids.ID][]byte)}
+	node.SetObserver(s)
+	node.SetAppHandler(func(from transport.Addr, req any) (any, error) {
+		resp, handled, err := s.HandleRPC(from, req)
+		if !handled {
+			return nil, fmt.Errorf("dht: unknown request %T", req)
+		}
+		return resp, err
+	})
+	return s
+}
+
+// HandleRPC serves the store's wire protocol. Callers compose it with
+// the Chord handler (see internal/core.Dispatch for the pattern).
+func (s *Store) HandleRPC(from transport.Addr, req any) (any, bool, error) {
+	switch r := req.(type) {
+	case putReq:
+		s.mu.Lock()
+		s.data[r.Key] = r.Value
+		s.mu.Unlock()
+		return putResp{}, true, nil
+	case getReq:
+		s.mu.RLock()
+		v, ok := s.data[r.Key]
+		s.mu.RUnlock()
+		return getResp{Value: v, Found: ok}, true, nil
+	case delReq:
+		s.mu.Lock()
+		_, ok := s.data[r.Key]
+		delete(s.data, r.Key)
+		s.mu.Unlock()
+		return delResp{Existed: ok}, true, nil
+	case migrateReq:
+		s.mu.Lock()
+		for i, k := range r.Keys {
+			s.data[k] = r.Values[i]
+		}
+		s.mu.Unlock()
+		return migrateResp{}, true, nil
+	default:
+		return nil, false, nil
+	}
+}
+
+// PredecessorChanged implements chord.Observer: keys now owned by the
+// new predecessor are pushed to it.
+func (s *Store) PredecessorChanged(old, new chord.NodeRef) {
+	if new.IsZero() || new.Addr == s.node.Addr() {
+		return
+	}
+	var keys []ids.ID
+	var vals [][]byte
+	s.mu.Lock()
+	for k, v := range s.data {
+		// Key stays here iff k ∈ (new, self]; otherwise it belongs to
+		// the chain ending at the new predecessor.
+		if !ids.BetweenRightIncl(k, new.ID, s.node.ID()) {
+			keys = append(keys, k)
+			vals = append(vals, v)
+			delete(s.data, k)
+		}
+	}
+	s.mu.Unlock()
+	if len(keys) == 0 {
+		return
+	}
+	if _, err := s.net.Call(s.node.Addr(), new.Addr, migrateReq{Keys: keys, Values: vals}); err != nil {
+		// Push failed: restore so the data is not lost; the next
+		// ownership change will retry.
+		s.mu.Lock()
+		for i, k := range keys {
+			if _, exists := s.data[k]; !exists {
+				s.data[k] = vals[i]
+			}
+		}
+		s.mu.Unlock()
+	}
+}
+
+// Put stores value under SHA1(key) at the responsible node.
+func (s *Store) Put(key string, value []byte) error {
+	return s.PutID(ids.HashString(key), value)
+}
+
+// PutID stores value under an explicit identifier.
+func (s *Store) PutID(key ids.ID, value []byte) error {
+	res, err := s.node.Lookup(key)
+	if err != nil {
+		return fmt.Errorf("dht: put %s: %w", key.Short(), err)
+	}
+	if res.Node.Addr == s.node.Addr() {
+		s.mu.Lock()
+		s.data[key] = value
+		s.mu.Unlock()
+		return nil
+	}
+	_, err = s.net.Call(s.node.Addr(), res.Node.Addr, putReq{Key: key, Value: value})
+	if err != nil {
+		return fmt.Errorf("dht: put %s at %s: %w", key.Short(), res.Node.Addr, err)
+	}
+	return nil
+}
+
+// Get fetches the value stored under SHA1(key).
+func (s *Store) Get(key string) ([]byte, error) {
+	return s.GetID(ids.HashString(key))
+}
+
+// GetID fetches the value stored under an explicit identifier.
+func (s *Store) GetID(key ids.ID) ([]byte, error) {
+	res, err := s.node.Lookup(key)
+	if err != nil {
+		return nil, fmt.Errorf("dht: get %s: %w", key.Short(), err)
+	}
+	if res.Node.Addr == s.node.Addr() {
+		s.mu.RLock()
+		v, ok := s.data[key]
+		s.mu.RUnlock()
+		if !ok {
+			return nil, ErrNotFound
+		}
+		return v, nil
+	}
+	resp, err := s.net.Call(s.node.Addr(), res.Node.Addr, getReq{Key: key})
+	if err != nil {
+		return nil, fmt.Errorf("dht: get %s at %s: %w", key.Short(), res.Node.Addr, err)
+	}
+	g := resp.(getResp)
+	if !g.Found {
+		return nil, ErrNotFound
+	}
+	return g.Value, nil
+}
+
+// Delete removes the value stored under SHA1(key), reporting whether it
+// existed.
+func (s *Store) Delete(key string) (bool, error) {
+	k := ids.HashString(key)
+	res, err := s.node.Lookup(k)
+	if err != nil {
+		return false, fmt.Errorf("dht: delete %s: %w", k.Short(), err)
+	}
+	if res.Node.Addr == s.node.Addr() {
+		s.mu.Lock()
+		_, ok := s.data[k]
+		delete(s.data, k)
+		s.mu.Unlock()
+		return ok, nil
+	}
+	resp, err := s.net.Call(s.node.Addr(), res.Node.Addr, delReq{Key: k})
+	if err != nil {
+		return false, fmt.Errorf("dht: delete %s at %s: %w", k.Short(), res.Node.Addr, err)
+	}
+	return resp.(delResp).Existed, nil
+}
+
+// Len returns the number of keys held locally by this node.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.data)
+}
+
+// LocalKeys returns a copy of the identifiers held locally.
+func (s *Store) LocalKeys() []ids.ID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]ids.ID, 0, len(s.data))
+	for k := range s.data {
+		out = append(out, k)
+	}
+	return out
+}
+
+// TransferAll pushes every local key to the given node; used before a
+// voluntary leave.
+func (s *Store) TransferAll(to chord.NodeRef) error {
+	s.mu.Lock()
+	keys := make([]ids.ID, 0, len(s.data))
+	vals := make([][]byte, 0, len(s.data))
+	for k, v := range s.data {
+		keys = append(keys, k)
+		vals = append(vals, v)
+	}
+	s.data = make(map[ids.ID][]byte)
+	s.mu.Unlock()
+	if len(keys) == 0 {
+		return nil
+	}
+	_, err := s.net.Call(s.node.Addr(), to.Addr, migrateReq{Keys: keys, Values: vals})
+	return err
+}

@@ -1,0 +1,270 @@
+package dht
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"peertrack/internal/chord"
+	"peertrack/internal/ids"
+	"peertrack/internal/transport"
+)
+
+func cluster(t testing.TB, n int) (*transport.Memory, []*chord.Node, []*Store) {
+	t.Helper()
+	net := transport.NewMemory(1)
+	addrs := make([]transport.Addr, n)
+	for i := range addrs {
+		addrs[i] = transport.Addr(fmt.Sprintf("node-%03d", i))
+	}
+	nodes, err := chord.BuildStaticRing(net, addrs, chord.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stores := make([]*Store, n)
+	for i, node := range nodes {
+		stores[i] = New(node, net)
+	}
+	return net, nodes, stores
+}
+
+func TestPutGetAcrossNodes(t *testing.T) {
+	_, _, stores := cluster(t, 16)
+	if err := stores[0].Put("pallet-42", []byte("at warehouse 7")); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range stores {
+		v, err := s.Get("pallet-42")
+		if err != nil {
+			t.Fatalf("get from %v: %v", s.node.Addr(), err)
+		}
+		if !bytes.Equal(v, []byte("at warehouse 7")) {
+			t.Fatalf("got %q", v)
+		}
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	_, _, stores := cluster(t, 8)
+	if _, err := stores[3].Get("nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	_, _, stores := cluster(t, 8)
+	stores[0].Put("k", []byte("v"))
+	existed, err := stores[5].Delete("k")
+	if err != nil || !existed {
+		t.Fatalf("delete: existed=%v err=%v", existed, err)
+	}
+	if _, err := stores[2].Get("k"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("key survived delete")
+	}
+	existed, err = stores[1].Delete("k")
+	if err != nil || existed {
+		t.Fatalf("second delete: existed=%v err=%v", existed, err)
+	}
+}
+
+func TestKeysLandOnSuccessor(t *testing.T) {
+	_, nodes, stores := cluster(t, 32)
+	refs := make([]chord.NodeRef, len(nodes))
+	for i, n := range nodes {
+		refs[i] = n.Self()
+	}
+	chord.SortRefs(refs)
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		if err := stores[i%len(stores)].Put(key, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+		owner := chord.SuccessorOf(refs, ids.HashString(key))
+		for j, n := range nodes {
+			held := false
+			for _, k := range stores[j].LocalKeys() {
+				if k == ids.HashString(key) {
+					held = true
+				}
+			}
+			if (n.Addr() == owner.Addr) != held {
+				t.Fatalf("key %s: node %s held=%v, owner=%s", key, n.Addr(), held, owner.Addr)
+			}
+		}
+	}
+}
+
+func TestOverwrite(t *testing.T) {
+	_, _, stores := cluster(t, 4)
+	stores[0].Put("k", []byte("v1"))
+	stores[1].Put("k", []byte("v2"))
+	v, err := stores[2].Get("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(v) != "v2" {
+		t.Fatalf("got %q, want v2", v)
+	}
+}
+
+func TestMigrationOnJoin(t *testing.T) {
+	net := transport.NewMemory(1)
+	a, err := chord.New(net, "a", chord.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa := New(a, net)
+	// Load 200 keys into the single-node ring.
+	for i := 0; i < 200; i++ {
+		if err := sa.Put(fmt.Sprintf("k%d", i), []byte{1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sa.Len() != 200 {
+		t.Fatalf("initial len = %d", sa.Len())
+	}
+	// A second node joins; stabilization must hand over its share.
+	b, err := chord.New(net, "b", chord.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb := New(b, net)
+	if err := b.Join(a.Self()); err != nil {
+		t.Fatal(err)
+	}
+	chord.StabilizeAll([]*chord.Node{a, b}, 6)
+	if !chord.Converged([]*chord.Node{a, b}) {
+		t.Fatal("ring not converged")
+	}
+	if sa.Len()+sb.Len() != 200 {
+		t.Fatalf("keys lost or duplicated: a=%d b=%d", sa.Len(), sb.Len())
+	}
+	if sb.Len() == 0 {
+		t.Fatal("no keys migrated to the joiner")
+	}
+	// Every key must live exactly at its owner and be readable from both.
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("k%d", i)
+		k := ids.HashString(key)
+		wantB := b.Owns(k)
+		heldB := false
+		for _, lk := range sb.LocalKeys() {
+			if lk == k {
+				heldB = true
+			}
+		}
+		if wantB != heldB {
+			t.Fatalf("key %s: owned-by-b=%v held-by-b=%v", key, wantB, heldB)
+		}
+		if _, err := sa.Get(key); err != nil {
+			t.Fatalf("get %s via a: %v", key, err)
+		}
+	}
+}
+
+func TestTransferAllBeforeLeave(t *testing.T) {
+	_, nodes, stores := cluster(t, 8)
+	for i := 0; i < 100; i++ {
+		stores[0].Put(fmt.Sprintf("k%d", i), []byte{byte(i)})
+	}
+	leaverIdx := 3
+	leaver := nodes[leaverIdx]
+	succ := leaver.Successor()
+	var succStore *Store
+	for i, n := range nodes {
+		if n.Addr() == succ.Addr {
+			succStore = stores[i]
+		}
+	}
+	moved := stores[leaverIdx].Len()
+	if err := stores[leaverIdx].TransferAll(succ); err != nil {
+		t.Fatal(err)
+	}
+	if err := leaver.Leave(); err != nil {
+		t.Fatal(err)
+	}
+	rest := append(append([]*chord.Node{}, nodes[:leaverIdx]...), nodes[leaverIdx+1:]...)
+	chord.StabilizeAll(rest, 10)
+	for _, n := range rest {
+		n.FixAllFingers()
+	}
+	_ = moved
+	// All keys still readable from any surviving node.
+	total := 0
+	for i, s := range stores {
+		if i == leaverIdx {
+			continue
+		}
+		total += s.Len()
+	}
+	if total != 100 {
+		t.Fatalf("total keys after leave = %d, want 100", total)
+	}
+	for i := 0; i < 100; i++ {
+		if _, err := succStore.Get(fmt.Sprintf("k%d", i)); err != nil {
+			t.Fatalf("get k%d after leave: %v", i, err)
+		}
+	}
+}
+
+// Property-style: random workload of puts/overwrites/deletes against an
+// in-memory oracle map.
+func TestRandomOpsAgainstOracle(t *testing.T) {
+	_, _, stores := cluster(t, 12)
+	oracle := make(map[string]string)
+	r := rand.New(rand.NewSource(99))
+	for op := 0; op < 1000; op++ {
+		key := fmt.Sprintf("key-%d", r.Intn(80))
+		s := stores[r.Intn(len(stores))]
+		switch r.Intn(3) {
+		case 0: // put
+			val := fmt.Sprintf("v%d", op)
+			if err := s.Put(key, []byte(val)); err != nil {
+				t.Fatal(err)
+			}
+			oracle[key] = val
+		case 1: // get
+			v, err := s.Get(key)
+			want, ok := oracle[key]
+			if ok {
+				if err != nil || string(v) != want {
+					t.Fatalf("get %s = %q,%v want %q", key, v, err, want)
+				}
+			} else if !errors.Is(err, ErrNotFound) {
+				t.Fatalf("get %s = %q,%v want ErrNotFound", key, v, err)
+			}
+		case 2: // delete
+			existed, err := s.Delete(key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := oracle[key]; ok != existed {
+				t.Fatalf("delete %s existed=%v oracle=%v", key, existed, ok)
+			}
+			delete(oracle, key)
+		}
+	}
+}
+
+func BenchmarkDHTPut(b *testing.B) {
+	_, _, stores := cluster(b, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stores[i%len(stores)].Put(fmt.Sprintf("bench-%d", i), []byte("value"))
+	}
+}
+
+func BenchmarkDHTGet(b *testing.B) {
+	_, _, stores := cluster(b, 64)
+	for i := 0; i < 1024; i++ {
+		stores[0].Put(fmt.Sprintf("bench-%d", i), []byte("value"))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := stores[i%len(stores)].Get(fmt.Sprintf("bench-%d", i%1024)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,217 @@
+package epc
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	tag := SGTIN96{
+		Filter:        1,
+		Partition:     5,
+		CompanyPrefix: 614141, // 7-digit? 614141 is 6 digits — valid, zero padded
+		ItemReference: 812345, // 6 digits
+		Serial:        6789,
+	}
+	b, err := tag.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b[0] != SGTIN96Header {
+		t.Errorf("header byte = %#x", b[0])
+	}
+	got, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != tag {
+		t.Fatalf("round trip: got %+v want %+v", got, tag)
+	}
+}
+
+func TestHexRoundTrip(t *testing.T) {
+	tag := SGTIN96{Filter: 3, Partition: 5, CompanyPrefix: 1234567, ItemReference: 654321, Serial: maxSerial}
+	h, err := tag.Hex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h) != 24 {
+		t.Fatalf("hex length = %d", len(h))
+	}
+	got, err := ParseHex(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != tag {
+		t.Fatalf("hex round trip: got %+v", got)
+	}
+}
+
+func TestURNRoundTrip(t *testing.T) {
+	tag := SGTIN96{Filter: 1, Partition: 5, CompanyPrefix: 614141, ItemReference: 812345, Serial: 6789}
+	u, err := tag.URN()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "urn:epc:id:sgtin:0614141.812345.6789"
+	if u != want {
+		t.Fatalf("urn = %q, want %q", u, want)
+	}
+	got, err := ParseURN(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != tag {
+		t.Fatalf("urn round trip: got %+v want %+v", got, tag)
+	}
+}
+
+func TestAllPartitionsRoundTrip(t *testing.T) {
+	for part := 0; part < 7; part++ {
+		p := partitions[part]
+		company := pow10(p.companyDigits) - 1
+		if company >= 1<<p.companyBits {
+			company = 1<<p.companyBits - 1
+		}
+		item := pow10(p.itemDigits) - 1
+		if item >= 1<<p.itemBits {
+			item = 1<<p.itemBits - 1
+		}
+		tag := SGTIN96{Filter: 2, Partition: uint8(part), CompanyPrefix: company, ItemReference: item, Serial: 42}
+		b, err := tag.Encode()
+		if err != nil {
+			t.Fatalf("partition %d encode: %v", part, err)
+		}
+		got, err := Decode(b)
+		if err != nil {
+			t.Fatalf("partition %d decode: %v", part, err)
+		}
+		if got != tag {
+			t.Fatalf("partition %d: got %+v want %+v", part, got, tag)
+		}
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	bad := []SGTIN96{
+		{Filter: 8, Partition: 5},
+		{Filter: 1, Partition: 7},
+		{Filter: 1, Partition: 6, CompanyPrefix: 1 << 21},
+		{Filter: 1, Partition: 5, CompanyPrefix: 1, ItemReference: 1 << 21},
+		{Filter: 1, Partition: 5, CompanyPrefix: 1, ItemReference: 1, Serial: maxSerial + 1},
+		{Filter: 1, Partition: 0, CompanyPrefix: 1, ItemReference: 10}, // item > 1 digit
+	}
+	for i, tag := range bad {
+		if err := tag.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted %+v", i, tag)
+		}
+		if _, err := tag.Encode(); err == nil {
+			t.Errorf("case %d: Encode accepted %+v", i, tag)
+		}
+	}
+}
+
+func TestDecodeRejectsWrongHeader(t *testing.T) {
+	var b [12]byte
+	b[0] = 0x31 // SSCC-96, not SGTIN-96
+	if _, err := Decode(b); err == nil {
+		t.Fatal("Decode accepted wrong header")
+	}
+}
+
+func TestParseHexRejects(t *testing.T) {
+	if _, err := ParseHex("zz"); err == nil {
+		t.Error("short hex accepted")
+	}
+	if _, err := ParseHex(strings.Repeat("G", 24)); err == nil {
+		t.Error("non-hex accepted")
+	}
+}
+
+func TestParseURNRejects(t *testing.T) {
+	cases := []string{
+		"urn:epc:id:sscc:0614141.1234567890",
+		"urn:epc:id:sgtin:0614141.812345",
+		"urn:epc:id:sgtin:a.b.c",
+		"urn:epc:id:sgtin:06141412345678901.812345.1", // too many digits
+	}
+	for _, c := range cases {
+		if _, err := ParseURN(c); err == nil {
+			t.Errorf("ParseURN accepted %q", c)
+		}
+	}
+}
+
+// Property: every generated tag is valid and round-trips through all
+// three representations.
+func TestQuickGeneratorRoundTrip(t *testing.T) {
+	g := NewGenerator(1, 5, 20)
+	f := func(_ uint8) bool {
+		tag := g.Next()
+		if tag.Validate() != nil {
+			return false
+		}
+		b, err := tag.Encode()
+		if err != nil {
+			return false
+		}
+		back, err := Decode(b)
+		if err != nil || back != tag {
+			return false
+		}
+		u, err := tag.URN()
+		if err != nil {
+			return false
+		}
+		fromURN, err := ParseURN(u)
+		if err != nil || fromURN != tag {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGeneratorUniqueSerials(t *testing.T) {
+	g := NewGenerator(7, 3, 10)
+	seen := map[string]bool{}
+	for _, u := range g.Batch(1000) {
+		if seen[u] {
+			t.Fatalf("duplicate urn %s", u)
+		}
+		seen[u] = true
+	}
+}
+
+func TestGeneratorLotSharesProduct(t *testing.T) {
+	g := NewGenerator(7, 3, 10)
+	lot := g.Lot(50)
+	if len(lot) != 50 {
+		t.Fatalf("lot size = %d", len(lot))
+	}
+	for _, tag := range lot[1:] {
+		if tag.CompanyPrefix != lot[0].CompanyPrefix || tag.ItemReference != lot[0].ItemReference {
+			t.Fatal("lot members differ in company/product")
+		}
+	}
+	serials := map[uint64]bool{}
+	for _, tag := range lot {
+		if serials[tag.Serial] {
+			t.Fatal("duplicate serial in lot")
+		}
+		serials[tag.Serial] = true
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	a := NewGenerator(5, 4, 4).Batch(20)
+	b := NewGenerator(5, 4, 4).Batch(20)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different tags")
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package epc
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// SSCC96Header is the 8-bit header value identifying SSCC-96 tags —
+// the Serial Shipping Container Code used on pallets and logistic
+// units, the granularity at which grouped movement happens.
+const SSCC96Header = 0x31
+
+// ssccPartitions: partition value -> company prefix bits/digits,
+// serial reference bits/digits (GS1 EPC TDS §14.5.2). The serial
+// reference includes the extension digit.
+var ssccPartitions = [7]struct {
+	companyBits   int
+	companyDigits int
+	serialBits    int
+	serialDigits  int
+}{
+	{40, 12, 18, 5},
+	{37, 11, 21, 6},
+	{34, 10, 24, 7},
+	{30, 9, 28, 8},
+	{27, 8, 31, 9},
+	{24, 7, 34, 10},
+	{20, 6, 38, 11},
+}
+
+// SSCC96 is a decoded SSCC-96 tag. The trailing 24 bits of the binary
+// form are unallocated and must be zero.
+type SSCC96 struct {
+	Filter        uint8
+	Partition     uint8
+	CompanyPrefix uint64
+	// SerialRef is the extension digit plus serial reference.
+	SerialRef uint64
+}
+
+// Validate checks field ranges against the partition table.
+func (t SSCC96) Validate() error {
+	if t.Filter > 7 {
+		return fmt.Errorf("epc: sscc filter %d out of range", t.Filter)
+	}
+	if int(t.Partition) >= len(ssccPartitions) {
+		return fmt.Errorf("epc: sscc partition %d out of range", t.Partition)
+	}
+	p := ssccPartitions[t.Partition]
+	if t.CompanyPrefix >= 1<<p.companyBits || t.CompanyPrefix >= pow10(p.companyDigits) {
+		return fmt.Errorf("epc: sscc company prefix %d out of range", t.CompanyPrefix)
+	}
+	if t.SerialRef >= 1<<p.serialBits || t.SerialRef >= pow10(p.serialDigits) {
+		return fmt.Errorf("epc: sscc serial reference %d out of range", t.SerialRef)
+	}
+	return nil
+}
+
+// Encode packs the tag into its 96-bit binary form.
+func (t SSCC96) Encode() ([12]byte, error) {
+	var out [12]byte
+	if err := t.Validate(); err != nil {
+		return out, err
+	}
+	p := ssccPartitions[t.Partition]
+	w := bitWriter{buf: out[:]}
+	w.write(SSCC96Header, 8)
+	w.write(uint64(t.Filter), 3)
+	w.write(uint64(t.Partition), 3)
+	w.write(t.CompanyPrefix, p.companyBits)
+	w.write(t.SerialRef, p.serialBits)
+	w.write(0, 24) // unallocated
+	copy(out[:], w.buf)
+	return out, nil
+}
+
+// DecodeSSCC unpacks a 96-bit binary SSCC tag.
+func DecodeSSCC(b [12]byte) (SSCC96, error) {
+	r := bitReader{buf: b[:]}
+	if h := r.read(8); h != SSCC96Header {
+		return SSCC96{}, fmt.Errorf("epc: header %#x is not SSCC-96", h)
+	}
+	t := SSCC96{
+		Filter:    uint8(r.read(3)),
+		Partition: uint8(r.read(3)),
+	}
+	if int(t.Partition) >= len(ssccPartitions) {
+		return SSCC96{}, fmt.Errorf("epc: sscc partition %d out of range", t.Partition)
+	}
+	p := ssccPartitions[t.Partition]
+	t.CompanyPrefix = r.read(p.companyBits)
+	t.SerialRef = r.read(p.serialBits)
+	if tail := r.read(24); tail != 0 {
+		return SSCC96{}, fmt.Errorf("epc: sscc reserved bits nonzero (%#x)", tail)
+	}
+	if err := t.Validate(); err != nil {
+		return SSCC96{}, err
+	}
+	return t, nil
+}
+
+// URN renders urn:epc:id:sscc:CompanyPrefix.SerialRef with
+// partition-determined zero padding.
+func (t SSCC96) URN() (string, error) {
+	if err := t.Validate(); err != nil {
+		return "", err
+	}
+	p := ssccPartitions[t.Partition]
+	return fmt.Sprintf("urn:epc:id:sscc:%0*d.%0*d",
+		p.companyDigits, t.CompanyPrefix, p.serialDigits, t.SerialRef), nil
+}
+
+// ParseSSCCURN parses a pure-identity SSCC URN; the partition is
+// inferred from digit counts and Filter defaults to 0 (all others).
+func ParseSSCCURN(s string) (SSCC96, error) {
+	const prefix = "urn:epc:id:sscc:"
+	if !strings.HasPrefix(s, prefix) {
+		return SSCC96{}, fmt.Errorf("epc: %q is not an sscc urn", s)
+	}
+	parts := strings.Split(s[len(prefix):], ".")
+	if len(parts) != 2 {
+		return SSCC96{}, fmt.Errorf("epc: sscc urn %q: want 2 fields", s)
+	}
+	company, err := strconv.ParseUint(parts[0], 10, 64)
+	if err != nil {
+		return SSCC96{}, fmt.Errorf("epc: sscc urn %q: company: %w", s, err)
+	}
+	serial, err := strconv.ParseUint(parts[1], 10, 64)
+	if err != nil {
+		return SSCC96{}, fmt.Errorf("epc: sscc urn %q: serial: %w", s, err)
+	}
+	part := -1
+	for i, p := range ssccPartitions {
+		if p.companyDigits == len(parts[0]) && p.serialDigits == len(parts[1]) {
+			part = i
+			break
+		}
+	}
+	if part < 0 {
+		return SSCC96{}, fmt.Errorf("epc: sscc urn %q: no partition for %d+%d digits",
+			s, len(parts[0]), len(parts[1]))
+	}
+	t := SSCC96{Partition: uint8(part), CompanyPrefix: company, SerialRef: serial}
+	if err := t.Validate(); err != nil {
+		return SSCC96{}, err
+	}
+	return t, nil
+}
+
+// bitWriter packs big-endian bit fields into a byte slice.
+type bitWriter struct {
+	buf []byte
+	pos int
+}
+
+func (w *bitWriter) write(val uint64, width int) {
+	for i := width - 1; i >= 0; i-- {
+		if (val>>i)&1 == 1 {
+			w.buf[w.pos/8] |= 1 << (7 - w.pos%8)
+		}
+		w.pos++
+	}
+}
+
+// bitReader reads big-endian bit fields from a byte slice.
+type bitReader struct {
+	buf []byte
+	pos int
+}
+
+func (r *bitReader) read(width int) uint64 {
+	var v uint64
+	for i := 0; i < width; i++ {
+		bit := (r.buf[r.pos/8] >> (7 - r.pos%8)) & 1
+		v = v<<1 | uint64(bit)
+		r.pos++
+	}
+	return v
+}

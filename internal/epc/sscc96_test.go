@@ -1,0 +1,145 @@
+package epc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSSCCEncodeDecodeRoundTrip(t *testing.T) {
+	tag := SSCC96{Filter: 2, Partition: 5, CompanyPrefix: 1234567, SerialRef: 3141592653}
+	b, err := tag.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b[0] != SSCC96Header {
+		t.Errorf("header = %#x", b[0])
+	}
+	got, err := DecodeSSCC(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != tag {
+		t.Fatalf("round trip: %+v != %+v", got, tag)
+	}
+}
+
+func TestSSCCURNRoundTrip(t *testing.T) {
+	tag := SSCC96{Partition: 5, CompanyPrefix: 614141, SerialRef: 1234567890}
+	u, err := tag.URN()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u != "urn:epc:id:sscc:0614141.1234567890" {
+		t.Fatalf("urn = %q", u)
+	}
+	got, err := ParseSSCCURN(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != tag {
+		t.Fatalf("urn round trip: %+v != %+v", got, tag)
+	}
+}
+
+func TestSSCCAllPartitions(t *testing.T) {
+	for part := 0; part < 7; part++ {
+		p := ssccPartitions[part]
+		company := minU64(pow10(p.companyDigits)-1, 1<<p.companyBits-1)
+		serial := minU64(pow10(p.serialDigits)-1, 1<<p.serialBits-1)
+		tag := SSCC96{Filter: 1, Partition: uint8(part), CompanyPrefix: company, SerialRef: serial}
+		b, err := tag.Encode()
+		if err != nil {
+			t.Fatalf("partition %d: %v", part, err)
+		}
+		got, err := DecodeSSCC(b)
+		if err != nil || got != tag {
+			t.Fatalf("partition %d: got %+v err %v", part, got, err)
+		}
+	}
+}
+
+func TestSSCCValidateRejects(t *testing.T) {
+	bad := []SSCC96{
+		{Filter: 8},
+		{Partition: 7},
+		{Partition: 6, CompanyPrefix: 1 << 21},
+		{Partition: 0, CompanyPrefix: 1, SerialRef: 100000}, // 6 digits > 5
+	}
+	for i, tag := range bad {
+		if err := tag.Validate(); err == nil {
+			t.Errorf("case %d accepted: %+v", i, tag)
+		}
+	}
+}
+
+func TestSSCCDecodeRejects(t *testing.T) {
+	var b [12]byte
+	b[0] = SGTIN96Header // wrong header for SSCC
+	if _, err := DecodeSSCC(b); err == nil {
+		t.Error("accepted SGTIN header")
+	}
+	// Nonzero reserved bits.
+	tag := SSCC96{Partition: 5, CompanyPrefix: 1, SerialRef: 1}
+	enc, _ := tag.Encode()
+	enc[11] |= 1
+	if _, err := DecodeSSCC(enc); err == nil {
+		t.Error("accepted nonzero reserved bits")
+	}
+}
+
+func TestSSCCParseURNRejects(t *testing.T) {
+	cases := []string{
+		"urn:epc:id:sgtin:0614141.812345.1",
+		"urn:epc:id:sscc:0614141",
+		"urn:epc:id:sscc:a.b",
+		"urn:epc:id:sscc:06141417.1234567890", // 8+10 digits: no partition
+	}
+	for _, c := range cases {
+		if _, err := ParseSSCCURN(c); err == nil {
+			t.Errorf("accepted %q", c)
+		}
+	}
+}
+
+// Property: valid random SSCCs round-trip through binary and URN forms.
+func TestQuickSSCCRoundTrip(t *testing.T) {
+	f := func(filterRaw uint8, partRaw uint8, companyRaw, serialRaw uint64) bool {
+		part := partRaw % 7
+		p := ssccPartitions[part]
+		tag := SSCC96{
+			Filter:        filterRaw % 8,
+			Partition:     part,
+			CompanyPrefix: companyRaw % minU64(pow10(p.companyDigits), 1<<p.companyBits),
+			SerialRef:     serialRaw % minU64(pow10(p.serialDigits), 1<<p.serialBits),
+		}
+		b, err := tag.Encode()
+		if err != nil {
+			return false
+		}
+		back, err := DecodeSSCC(b)
+		if err != nil || back != tag {
+			return false
+		}
+		u, err := tag.URN()
+		if err != nil {
+			return false
+		}
+		fromURN, err := ParseSSCCURN(u)
+		if err != nil {
+			return false
+		}
+		// URN drops the filter; compare the rest.
+		fromURN.Filter = tag.Filter
+		return fromURN == tag
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func minU64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

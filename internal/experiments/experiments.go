@@ -1,0 +1,367 @@
+// Package experiments reproduces every figure of the paper's
+// evaluation (Section V): indexing scalability on data volume and
+// network size (Fig. 6a/6b), query processing time versus the
+// centralized baseline (Fig. 7a/7b), and the effect of the prefix
+// length schemes on load balance and indexing cost (Fig. 8a/8b) —
+// plus the ablations DESIGN.md calls out.
+//
+// Every experiment is a pure function from a Scale (how big to run) to
+// typed rows, so the same code backs the peertrack-bench command, the
+// root benchmark suite, and the integration tests. Scale.Full matches
+// the paper exactly (512 nodes, 5 000 objects/node); the default scale
+// keeps laptop runtimes in seconds while preserving every trend.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"peertrack/internal/centralized"
+	"peertrack/internal/core"
+	"peertrack/internal/metrics"
+	"peertrack/internal/moods"
+	"peertrack/internal/workload"
+)
+
+// Scale sizes an experiment run.
+type Scale struct {
+	// Nodes is the network size for volume sweeps (paper: 512).
+	Nodes int
+	// NetworkSizes is the node-count axis for size sweeps
+	// (paper: 64, 128, 256, 512).
+	NetworkSizes []int
+	// MaxVolume is the largest objects-per-node value (paper: 5000).
+	MaxVolume int
+	// VolumeSteps is the number of volume points (paper: 10).
+	VolumeSteps int
+	// Queries is the number of trace queries per measurement
+	// (paper: 100).
+	Queries int
+	// Seed drives workload and query sampling.
+	Seed int64
+}
+
+// Default is a laptop-scale configuration (seconds per figure).
+func Default() Scale {
+	return Scale{
+		Nodes:        128,
+		NetworkSizes: []int{16, 32, 64, 128},
+		MaxVolume:    1000,
+		VolumeSteps:  5,
+		Queries:      100,
+		Seed:         1,
+	}
+}
+
+// Full matches the paper's experimental setup.
+func Full() Scale {
+	return Scale{
+		Nodes:        512,
+		NetworkSizes: []int{64, 128, 256, 512},
+		MaxVolume:    5000,
+		VolumeSteps:  10,
+		Queries:      100,
+		Seed:         1,
+	}
+}
+
+// Tiny is for unit tests and -short benchmarks.
+func Tiny() Scale {
+	return Scale{
+		Nodes:        32,
+		NetworkSizes: []int{8, 16, 32},
+		MaxVolume:    200,
+		VolumeSteps:  2,
+		Queries:      25,
+		Seed:         1,
+	}
+}
+
+func (s *Scale) fill() {
+	d := Default()
+	if s.Nodes <= 0 {
+		s.Nodes = d.Nodes
+	}
+	if len(s.NetworkSizes) == 0 {
+		s.NetworkSizes = d.NetworkSizes
+	}
+	if s.MaxVolume <= 0 {
+		s.MaxVolume = d.MaxVolume
+	}
+	if s.VolumeSteps <= 0 {
+		s.VolumeSteps = d.VolumeSteps
+	}
+	if s.Queries <= 0 {
+		s.Queries = d.Queries
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+}
+
+// runResult carries a loaded network plus its workload.
+type runResult struct {
+	nw   *core.Network
+	res  workload.Result
+	kMsg float64 // indexing cost in thousands of messages
+}
+
+// runWorkload builds a network, plays the Section V workload through
+// it, and measures the indexing message cost.
+func runWorkload(nodes, perNode int, mode core.Mode, scheme core.Scheme, grouped bool, seed int64) (runResult, error) {
+	nw, err := core.BuildNetwork(core.NetworkConfig{
+		Nodes:  nodes,
+		Seed:   seed,
+		Scheme: scheme,
+		Peer:   core.Config{Mode: mode},
+	})
+	if err != nil {
+		return runResult{}, err
+	}
+	names := make([]moods.NodeName, nodes)
+	for i, p := range nw.Peers() {
+		names[i] = p.Name()
+	}
+	res, err := workload.PaperSpec{
+		Nodes:          names,
+		ObjectsPerNode: perNode,
+		MoveFraction:   0.10,
+		TraceLen:       min(10, nodes),
+		Grouped:        grouped,
+		Seed:           seed + 7,
+	}.Generate()
+	if err != nil {
+		return runResult{}, err
+	}
+	if err := nw.ScheduleAll(res.Observations); err != nil {
+		return runResult{}, err
+	}
+	before := nw.Stats().Snapshot()
+	if mode == core.GroupIndexing {
+		nw.StartWindows(res.Horizon + 2*time.Second)
+	}
+	nw.Run()
+	delta := nw.Stats().Snapshot().Delta(before)
+	return runResult{nw: nw, res: res, kMsg: float64(delta.Messages) / 1000}, nil
+}
+
+// Fig6aRow is one point of Fig. 6a: indexing cost vs data volume at a
+// fixed network size, individual vs group indexing.
+type Fig6aRow struct {
+	ObjectsPerNode  int
+	IndividualKMsgs float64
+	GroupKMsgs      float64
+}
+
+// Fig6a regenerates Fig. 6a.
+func Fig6a(s Scale) ([]Fig6aRow, error) {
+	s.fill()
+	rows := make([]Fig6aRow, 0, s.VolumeSteps)
+	for i := 1; i <= s.VolumeSteps; i++ {
+		vol := s.MaxVolume * i / s.VolumeSteps
+		ind, err := runWorkload(s.Nodes, vol, core.IndividualIndexing, core.Scheme2, true, s.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("fig6a individual vol=%d: %w", vol, err)
+		}
+		grp, err := runWorkload(s.Nodes, vol, core.GroupIndexing, core.Scheme2, true, s.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("fig6a group vol=%d: %w", vol, err)
+		}
+		rows = append(rows, Fig6aRow{
+			ObjectsPerNode:  vol,
+			IndividualKMsgs: ind.kMsg,
+			GroupKMsgs:      grp.kMsg,
+		})
+	}
+	return rows, nil
+}
+
+// Fig6bRow is one point of Fig. 6b: indexing cost vs network size at a
+// fixed per-node volume, three series.
+type Fig6bRow struct {
+	Nodes            int
+	IndividualKMsgs  float64
+	GroupMovedKMsgs  float64 // group indexing, objects move in groups
+	GroupSingleKMsgs float64 // group indexing, objects move individually
+}
+
+// Fig6b regenerates Fig. 6b.
+func Fig6b(s Scale) ([]Fig6bRow, error) {
+	s.fill()
+	rows := make([]Fig6bRow, 0, len(s.NetworkSizes))
+	for _, n := range s.NetworkSizes {
+		ind, err := runWorkload(n, s.MaxVolume, core.IndividualIndexing, core.Scheme2, true, s.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("fig6b individual n=%d: %w", n, err)
+		}
+		grpG, err := runWorkload(n, s.MaxVolume, core.GroupIndexing, core.Scheme2, true, s.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("fig6b grouped n=%d: %w", n, err)
+		}
+		grpI, err := runWorkload(n, s.MaxVolume, core.GroupIndexing, core.Scheme2, false, s.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("fig6b group-individual n=%d: %w", n, err)
+		}
+		rows = append(rows, Fig6bRow{
+			Nodes:            n,
+			IndividualKMsgs:  ind.kMsg,
+			GroupMovedKMsgs:  grpG.kMsg,
+			GroupSingleKMsgs: grpI.kMsg,
+		})
+	}
+	return rows, nil
+}
+
+// Fig7Row is one point of Fig. 7a/7b: mean trace-query processing time,
+// P2P vs centralized.
+type Fig7Row struct {
+	Nodes          int
+	ObjectsPerNode int
+	P2PMillis      float64
+	CentralMillis  float64
+	MeanHops       float64
+}
+
+// queryPoint loads one (nodes, volume) cell and measures both systems
+// on the paper's query "Where has object oi been?".
+func queryPoint(nodes, perNode, queries int, seed int64) (Fig7Row, error) {
+	run, err := runWorkload(nodes, perNode, core.GroupIndexing, core.Scheme2, true, seed)
+	if err != nil {
+		return Fig7Row{}, err
+	}
+	// Centralized: identical observations in the warehouse.
+	wh := centralized.New(centralized.CostModel{})
+	for _, obs := range run.res.Observations {
+		wh.Insert(obs)
+	}
+
+	rng := rand.New(rand.NewSource(seed + 13))
+	var p2p, central, hops metrics.Summary
+	for q := 0; q < queries; q++ {
+		// Trace queries target objects with real trajectories (movers).
+		obj := run.res.Movers[rng.Intn(len(run.res.Movers))]
+		peer := run.nw.Peers()[rng.Intn(nodes)]
+		res, err := peer.FullTrace(obj)
+		if err != nil {
+			return Fig7Row{}, fmt.Errorf("query %s: %w", obj, err)
+		}
+		p2p.Add(float64(run.nw.QueryTime(res.Hops)) / float64(time.Millisecond))
+		hops.Add(float64(res.Hops))
+		_, cost := wh.FullTrace(obj)
+		central.Add(float64(cost) / float64(time.Millisecond))
+	}
+	return Fig7Row{
+		Nodes:          nodes,
+		ObjectsPerNode: perNode,
+		P2PMillis:      p2p.Mean(),
+		CentralMillis:  central.Mean(),
+		MeanHops:       hops.Mean(),
+	}, nil
+}
+
+// Fig7a regenerates Fig. 7a: query time vs network size.
+func Fig7a(s Scale) ([]Fig7Row, error) {
+	s.fill()
+	rows := make([]Fig7Row, 0, len(s.NetworkSizes))
+	for _, n := range s.NetworkSizes {
+		row, err := queryPoint(n, s.MaxVolume, s.Queries, s.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("fig7a n=%d: %w", n, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Fig7b regenerates Fig. 7b: query time vs data volume.
+func Fig7b(s Scale) ([]Fig7Row, error) {
+	s.fill()
+	rows := make([]Fig7Row, 0, s.VolumeSteps)
+	for i := 1; i <= s.VolumeSteps; i++ {
+		vol := s.MaxVolume * i / s.VolumeSteps
+		row, err := queryPoint(s.Nodes, vol, s.Queries, s.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("fig7b vol=%d: %w", vol, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Fig8aRow is one load-curve point for one scheme: after sorting nodes
+// by descending index load, the top NodeFrac of nodes hold LoadFrac of
+// the records.
+type Fig8aRow struct {
+	Scheme   core.Scheme
+	NodeFrac float64
+	LoadFrac float64
+}
+
+// Fig8aSummary aggregates a scheme's balance quality.
+type Fig8aSummary struct {
+	Scheme       core.Scheme
+	Gini         float64
+	MaxMeanRatio float64
+	FractionIdle float64
+}
+
+// Fig8a regenerates Fig. 8a: the load-balance curves of the three Lp
+// schemes, sampled at deciles, plus summary statistics.
+func Fig8a(s Scale) ([]Fig8aRow, []Fig8aSummary, error) {
+	s.fill()
+	var rows []Fig8aRow
+	var sums []Fig8aSummary
+	for _, scheme := range []core.Scheme{core.Scheme1, core.Scheme2, core.Scheme3} {
+		run, err := runWorkload(s.Nodes, s.MaxVolume, core.GroupIndexing, scheme, true, s.Seed)
+		if err != nil {
+			return nil, nil, fmt.Errorf("fig8a scheme %d: %w", scheme, err)
+		}
+		loads := run.nw.IndexLoads()
+		nf, lf := metrics.LoadCurve(loads)
+		// Sample at deciles.
+		for d := 1; d <= 10; d++ {
+			target := float64(d) / 10
+			idx := int(math.Ceil(target*float64(len(nf)))) - 1
+			if idx < 0 {
+				idx = 0
+			}
+			rows = append(rows, Fig8aRow{Scheme: scheme, NodeFrac: nf[idx], LoadFrac: lf[idx]})
+		}
+		sums = append(sums, Fig8aSummary{
+			Scheme:       scheme,
+			Gini:         metrics.Gini(loads),
+			MaxMeanRatio: metrics.MaxMeanRatio(loads),
+			FractionIdle: metrics.FractionIdle(loads),
+		})
+	}
+	return rows, sums, nil
+}
+
+// Fig8bRow is one point of Fig. 8b: indexing cost (log2 of messages)
+// per scheme and network size.
+type Fig8bRow struct {
+	Nodes       int
+	Scheme1Log2 float64
+	Scheme2Log2 float64
+	Scheme3Log2 float64
+}
+
+// Fig8b regenerates Fig. 8b.
+func Fig8b(s Scale) ([]Fig8bRow, error) {
+	s.fill()
+	rows := make([]Fig8bRow, 0, len(s.NetworkSizes))
+	for _, n := range s.NetworkSizes {
+		var vals [3]float64
+		for i, scheme := range []core.Scheme{core.Scheme1, core.Scheme2, core.Scheme3} {
+			run, err := runWorkload(n, s.MaxVolume, core.GroupIndexing, scheme, true, s.Seed)
+			if err != nil {
+				return nil, fmt.Errorf("fig8b scheme %d n=%d: %w", scheme, n, err)
+			}
+			vals[i] = math.Log2(run.kMsg * 1000)
+		}
+		rows = append(rows, Fig8bRow{Nodes: n, Scheme1Log2: vals[0], Scheme2Log2: vals[1], Scheme3Log2: vals[2]})
+	}
+	return rows, nil
+}

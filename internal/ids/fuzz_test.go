@@ -1,0 +1,70 @@
+package ids
+
+import "testing"
+
+func FuzzParsePrefix(f *testing.F) {
+	f.Add("0101")
+	f.Add("")
+	f.Add("2")
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := ParsePrefix(s)
+		if err != nil {
+			return
+		}
+		if p.String() != s {
+			t.Fatalf("prefix round trip: %q -> %q", s, p.String())
+		}
+		if p.Len != len(s) {
+			t.Fatalf("prefix length %d for %q", p.Len, s)
+		}
+	})
+}
+
+func FuzzParseHexID(f *testing.F) {
+	f.Add("da39a3ee5e6b4b0d3255bfef95601890afd80709")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, s string) {
+		id, err := ParseHex(s)
+		if err != nil {
+			return
+		}
+		if id.String() == s {
+			return
+		}
+		// Hex parsing is case-insensitive; compare after normalising.
+		id2, err := ParseHex(id.String())
+		if err != nil || id2 != id {
+			t.Fatalf("hex id round trip unstable: %q", s)
+		}
+	})
+}
+
+// FuzzRingArithmetic checks Add/Sub inversion and Between partitioning
+// on arbitrary byte patterns.
+func FuzzRingArithmetic(f *testing.F) {
+	f.Add([]byte{1}, []byte{2}, []byte{3})
+	f.Fuzz(func(t *testing.T, ab, bb, xb []byte) {
+		var a, b, x ID
+		copy(a[:], ab)
+		copy(b[:], bb)
+		copy(x[:], xb)
+		if a.Add(b).Sub(b) != a {
+			t.Fatal("Add/Sub not inverse")
+		}
+		if a == b {
+			return
+		}
+		inAB := Between(x, a, b)
+		inBA := Between(x, b, a)
+		onEnd := x == a || x == b
+		n := 0
+		for _, v := range []bool{inAB, inBA, onEnd} {
+			if v {
+				n++
+			}
+		}
+		if n != 1 {
+			t.Fatalf("Between partition violated: %v %v %v", inAB, inBA, onEnd)
+		}
+	})
+}

@@ -1,0 +1,329 @@
+package ids
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromUint64RoundTrip(t *testing.T) {
+	cases := []uint64{0, 1, 2, 255, 256, 1 << 32, 1<<64 - 1}
+	for _, v := range cases {
+		if got := FromUint64(v).Uint64(); got != v {
+			t.Errorf("FromUint64(%d).Uint64() = %d", v, got)
+		}
+	}
+}
+
+func TestHashDeterministic(t *testing.T) {
+	a := HashString("urn:epc:id:sgtin:0614141.812345.6789")
+	b := HashString("urn:epc:id:sgtin:0614141.812345.6789")
+	if a != b {
+		t.Fatal("Hash is not deterministic")
+	}
+	c := HashString("urn:epc:id:sgtin:0614141.812345.6790")
+	if a == c {
+		t.Fatal("distinct inputs hashed to same id")
+	}
+}
+
+func TestParseHex(t *testing.T) {
+	id := HashString("x")
+	got, err := ParseHex(id.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != id {
+		t.Fatalf("ParseHex(String()) = %v, want %v", got, id)
+	}
+	if _, err := ParseHex("zz"); err == nil {
+		t.Error("ParseHex accepted invalid hex")
+	}
+	if _, err := ParseHex("abcd"); err == nil {
+		t.Error("ParseHex accepted short hex")
+	}
+}
+
+func TestCmp(t *testing.T) {
+	a, b := FromUint64(5), FromUint64(9)
+	if a.Cmp(b) != -1 || b.Cmp(a) != 1 || a.Cmp(a) != 0 {
+		t.Error("Cmp ordering wrong")
+	}
+	if !a.Less(b) || b.Less(a) {
+		t.Error("Less wrong")
+	}
+}
+
+func TestAddSub(t *testing.T) {
+	a, b := FromUint64(1<<63), FromUint64(1<<63)
+	sum := a.Add(b) // 2^64: carries out of low 8 bytes
+	if sum.Uint64() != 0 {
+		t.Errorf("low bits of 2^63+2^63 = %d, want 0", sum.Uint64())
+	}
+	if sum[Bytes-9] != 1 {
+		t.Errorf("carry byte = %d, want 1", sum[Bytes-9])
+	}
+	if diff := sum.Sub(b); diff != a {
+		t.Errorf("Sub did not invert Add")
+	}
+	// wraparound: 0 - 1 = 2^160 - 1 (all 0xFF)
+	neg := (ID{}).Sub(FromUint64(1))
+	for i, by := range neg {
+		if by != 0xFF {
+			t.Fatalf("byte %d of -1 = %#x, want 0xFF", i, by)
+		}
+	}
+}
+
+func TestAddPow2(t *testing.T) {
+	base := FromUint64(10)
+	if got := base.AddPow2(0).Uint64(); got != 11 {
+		t.Errorf("10 + 2^0 = %d", got)
+	}
+	if got := base.AddPow2(10).Uint64(); got != 10+1024 {
+		t.Errorf("10 + 2^10 = %d", got)
+	}
+	top := (ID{}).AddPow2(Bits - 1)
+	if top[0] != 0x80 {
+		t.Errorf("2^159 top byte = %#x, want 0x80", top[0])
+	}
+	// 2^159 + 2^159 wraps to 0.
+	if sum := top.Add(top); !sum.IsZero() {
+		t.Errorf("2^159*2 = %v, want 0", sum)
+	}
+}
+
+func TestBetween(t *testing.T) {
+	a, b := FromUint64(10), FromUint64(20)
+	tests := []struct {
+		x    uint64
+		want bool
+	}{
+		{10, false}, {11, true}, {19, true}, {20, false}, {5, false}, {25, false},
+	}
+	for _, tc := range tests {
+		if got := Between(FromUint64(tc.x), a, b); got != tc.want {
+			t.Errorf("Between(%d, 10, 20) = %v", tc.x, got)
+		}
+	}
+	// wrapped interval (20, 10)
+	wrapTests := []struct {
+		x    uint64
+		want bool
+	}{
+		{25, true}, {5, true}, {15, false}, {20, false}, {10, false}, {0, true},
+	}
+	for _, tc := range wrapTests {
+		if got := Between(FromUint64(tc.x), b, a); got != tc.want {
+			t.Errorf("Between(%d, 20, 10) = %v", tc.x, got)
+		}
+	}
+	// degenerate interval (a, a) = whole ring minus a
+	if Between(a, a, a) {
+		t.Error("Between(a, a, a) should be false")
+	}
+	if !Between(b, a, a) {
+		t.Error("Between(b, a, a) should be true")
+	}
+}
+
+func TestBetweenInclusive(t *testing.T) {
+	a, b := FromUint64(10), FromUint64(20)
+	if !BetweenRightIncl(b, a, b) {
+		t.Error("(a,b] must contain b")
+	}
+	if BetweenRightIncl(a, a, b) {
+		t.Error("(a,b] must not contain a")
+	}
+	if !BetweenLeftIncl(a, a, b) {
+		t.Error("[a,b) must contain a")
+	}
+	if BetweenLeftIncl(b, a, b) {
+		t.Error("[a,b) must not contain b")
+	}
+}
+
+func TestBit(t *testing.T) {
+	var id ID
+	id[0] = 0x80
+	id[Bytes-1] = 0x01
+	if id.Bit(0) != 1 {
+		t.Error("MSB should be 1")
+	}
+	if id.Bit(1) != 0 {
+		t.Error("bit 1 should be 0")
+	}
+	if id.Bit(Bits-1) != 1 {
+		t.Error("LSB should be 1")
+	}
+}
+
+func TestLeadingZeros(t *testing.T) {
+	if n := (ID{}).LeadingZeros(); n != Bits {
+		t.Errorf("zero id has %d leading zeros", n)
+	}
+	if n := FromUint64(1).LeadingZeros(); n != Bits-1 {
+		t.Errorf("id 1 has %d leading zeros, want %d", n, Bits-1)
+	}
+	var id ID
+	id[0] = 0x40
+	if n := id.LeadingZeros(); n != 1 {
+		t.Errorf("0x40... has %d leading zeros, want 1", n)
+	}
+}
+
+func TestCommonPrefixLen(t *testing.T) {
+	a := HashString("a")
+	if CommonPrefixLen(a, a) != Bits {
+		t.Error("identical ids must share all bits")
+	}
+	var x, y ID
+	x[0], y[0] = 0x00, 0x80
+	if CommonPrefixLen(x, y) != 0 {
+		t.Error("ids differing in MSB share 0 bits")
+	}
+	x[0], y[0] = 0xF0, 0xF8
+	if got := CommonPrefixLen(x, y); got != 4 {
+		t.Errorf("CommonPrefixLen = %d, want 4", got)
+	}
+}
+
+func randomID(r *rand.Rand) ID {
+	var id ID
+	r.Read(id[:])
+	return id
+}
+
+// Property: Add and Sub are inverses.
+func TestQuickAddSubInverse(t *testing.T) {
+	f := func(a, b [Bytes]byte) bool {
+		x, y := ID(a), ID(b)
+		return x.Add(y).Sub(y) == x && x.Sub(y).Add(y) == x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Distance(a,b) + Distance(b,a) == 0 (mod 2^160) unless a==b.
+func TestQuickDistanceAntisymmetric(t *testing.T) {
+	f := func(a, b [Bytes]byte) bool {
+		x, y := ID(a), ID(b)
+		sum := Distance(x, y).Add(Distance(y, x))
+		return sum.IsZero()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: for distinct a, b, x — exactly one of x ∈ (a,b), x ∈ (b,a),
+// x ∈ {a,b} holds.
+func TestQuickBetweenPartition(t *testing.T) {
+	f := func(a, b, x [Bytes]byte) bool {
+		A, B, X := ID(a), ID(b), ID(x)
+		if A == B {
+			return true // degenerate handled elsewhere
+		}
+		inAB := Between(X, A, B)
+		inBA := Between(X, B, A)
+		onEnd := X == A || X == B
+		count := 0
+		for _, v := range []bool{inAB, inBA, onEnd} {
+			if v {
+				count++
+			}
+		}
+		return count == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: prefix round-trip — PrefixOf(id, n).Matches(id) for all n.
+func TestQuickPrefixMatches(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 500; i++ {
+		id := randomID(r)
+		n := r.Intn(Bits + 1)
+		p := PrefixOf(id, n)
+		if !p.Matches(id) {
+			t.Fatalf("PrefixOf(id, %d) does not match id", n)
+		}
+		if p.Len != n {
+			t.Fatalf("prefix length %d, want %d", p.Len, n)
+		}
+	}
+}
+
+// Property: parse/String round-trip for prefixes.
+func TestQuickPrefixStringRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		id := randomID(r)
+		n := r.Intn(33)
+		p := PrefixOf(id, n)
+		q, err := ParsePrefix(p.String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !p.Equal(q) {
+			t.Fatalf("round trip failed: %v != %v", p, q)
+		}
+	}
+}
+
+func TestPrefixChildParent(t *testing.T) {
+	p := MustParsePrefix("010")
+	c0, c1 := p.Child(0), p.Child(1)
+	if c0.String() != "0100" || c1.String() != "0101" {
+		t.Fatalf("children = %q, %q", c0.String(), c1.String())
+	}
+	if !c0.Parent().Equal(p) || !c1.Parent().Equal(p) {
+		t.Error("Parent(Child(p)) != p")
+	}
+	if !p.Contains(c0) || !p.Contains(c1) || !p.Contains(p) {
+		t.Error("Contains relation wrong")
+	}
+	if c0.Contains(p) {
+		t.Error("child must not contain parent")
+	}
+}
+
+func TestPrefixNextBit(t *testing.T) {
+	id := MustParsePrefix("0101").Bits // 0101 followed by zeros
+	p := PrefixOf(id, 2)               // "01"
+	if p.NextBit(id) != 0 {
+		t.Error("bit after \"01\" in 0101... should be 0")
+	}
+	p3 := PrefixOf(id, 3) // "010"
+	if p3.NextBit(id) != 1 {
+		t.Error("bit after \"010\" in 0101... should be 1")
+	}
+}
+
+func TestPrefixGatewayIDDistinct(t *testing.T) {
+	// Prefixes "0" and "00" must map to different gateways even though
+	// the underlying bits are identical — the string form disambiguates.
+	a := MustParsePrefix("0").GatewayID()
+	b := MustParsePrefix("00").GatewayID()
+	if a == b {
+		t.Error("gateway ids for \"0\" and \"00\" collide")
+	}
+}
+
+func TestParsePrefixErrors(t *testing.T) {
+	if _, err := ParsePrefix("01x"); err == nil {
+		t.Error("ParsePrefix accepted invalid character")
+	}
+}
+
+func TestPrefixOfPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("PrefixOf(-1) did not panic")
+		}
+	}()
+	PrefixOf(ID{}, -1)
+}

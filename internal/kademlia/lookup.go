@@ -1,0 +1,91 @@
+package kademlia
+
+import (
+	"errors"
+	"fmt"
+
+	"peertrack/internal/ids"
+	"peertrack/internal/overlay"
+	"peertrack/internal/transport"
+)
+
+// ErrLookupFailed is returned when iterative lookup cannot make
+// progress.
+var ErrLookupFailed = errors.New("kademlia: lookup failed")
+
+// Lookup resolves the node responsible for key (the XOR-closest node)
+// with the standard iterative FIND_NODE procedure: maintain a shortlist
+// of the closest known contacts, repeatedly query the closest
+// not-yet-queried one, and stop when the K closest have all been
+// queried. Hops counts the FIND_NODE RPCs issued (overlay.Node).
+func (n *Node) Lookup(key ids.ID) (overlay.Result, error) {
+	type candidate struct {
+		ref     overlay.NodeRef
+		queried bool
+	}
+	// Seed the shortlist with self plus local closest contacts — self
+	// participates as a (pre-queried) candidate so the final answer can
+	// be this node.
+	shortlist := []*candidate{{ref: n.self, queried: true}}
+	seen := map[transport.Addr]bool{n.self.Addr: true}
+	for _, c := range n.table.closest(key, K) {
+		shortlist = append(shortlist, &candidate{ref: c})
+		seen[c.Addr] = true
+	}
+	sortCands := func() {
+		for i := 1; i < len(shortlist); i++ {
+			for j := i; j > 0 && xorLess(key, shortlist[j].ref.ID, shortlist[j-1].ref.ID); j-- {
+				shortlist[j], shortlist[j-1] = shortlist[j-1], shortlist[j]
+			}
+		}
+	}
+	sortCands()
+
+	hops := 0
+	for step := 0; step < n.cfg.MaxLookupSteps; step++ {
+		// Find the closest unqueried candidate within the top K.
+		var next *candidate
+		limit := len(shortlist)
+		if limit > K {
+			limit = K
+		}
+		for _, c := range shortlist[:limit] {
+			if !c.queried {
+				next = c
+				break
+			}
+		}
+		if next == nil {
+			// Converged: the K closest known nodes have all answered.
+			best := shortlist[0].ref
+			return overlay.Result{Node: best, Hops: hops}, nil
+		}
+		next.queried = true
+		resp, err := n.call(next.ref, findNodeReq{From: n.self, Target: key})
+		hops++
+		if err != nil {
+			// Dead contact: drop from the table and from the shortlist,
+			// so the lookup converges on the closest *live* node.
+			n.table.remove(next.ref)
+			for i, c := range shortlist {
+				if c == next {
+					shortlist = append(shortlist[:i], shortlist[i+1:]...)
+					break
+				}
+			}
+			continue
+		}
+		n.table.insert(next.ref)
+		for _, c := range resp.(findNodeResp).Closest {
+			if seen[c.Addr] {
+				continue
+			}
+			seen[c.Addr] = true
+			n.table.insert(c)
+			shortlist = append(shortlist, &candidate{ref: c})
+		}
+		sortCands()
+	}
+	return overlay.Result{}, fmt.Errorf("%w: exceeded %d steps for key %s",
+		ErrLookupFailed, n.cfg.MaxLookupSteps, key.Short())
+}

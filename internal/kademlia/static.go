@@ -1,0 +1,73 @@
+package kademlia
+
+import (
+	"fmt"
+	"sort"
+
+	"peertrack/internal/ids"
+	"peertrack/internal/overlay"
+	"peertrack/internal/transport"
+)
+
+// BuildStaticNetwork constructs a fully populated Kademlia network
+// without protocol traffic: every node's buckets are filled from the
+// global membership (respecting the k-per-bucket cap, preferring the
+// XOR-closest members of each bucket). Experiments use it so message
+// counts reflect only the traceability protocol. Returns nodes sorted
+// by identifier.
+func BuildStaticNetwork(net transport.Network, addrs []transport.Addr, cfg Config) ([]*Node, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("kademlia: empty network")
+	}
+	nodes := make([]*Node, 0, len(addrs))
+	for _, a := range addrs {
+		n, err := New(net, a, cfg)
+		if err != nil {
+			return nil, err
+		}
+		nodes = append(nodes, n)
+	}
+	WireStaticTables(nodes)
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].ID().Less(nodes[j].ID()) })
+	return nodes, nil
+}
+
+// WireStaticTables fills every node's routing table from the global
+// membership: per bucket, the k XOR-closest members.
+func WireStaticTables(nodes []*Node) {
+	refs := make([]overlay.NodeRef, len(nodes))
+	for i, n := range nodes {
+		refs[i] = n.Self()
+	}
+	for _, n := range nodes {
+		t := newTable(n.self)
+		// Group contacts by bucket, keep the closest K of each.
+		byBucket := map[int][]overlay.NodeRef{}
+		for _, r := range refs {
+			if r.Addr == n.self.Addr {
+				continue
+			}
+			byBucket[t.bucketIndex(r.ID)] = append(byBucket[t.bucketIndex(r.ID)], r)
+		}
+		for idx, members := range byBucket {
+			sortByDistance(n.self.ID, members)
+			if len(members) > K {
+				members = members[:K]
+			}
+			t.buckets[idx] = members
+		}
+		n.table = t
+	}
+}
+
+// ClosestOf returns the reference among refs that is XOR-closest to
+// key — the ground-truth ownership oracle for tests.
+func ClosestOf(refs []overlay.NodeRef, key ids.ID) overlay.NodeRef {
+	best := refs[0]
+	for _, r := range refs[1:] {
+		if xorLess(key, r.ID, best.ID) {
+			best = r
+		}
+	}
+	return best
+}

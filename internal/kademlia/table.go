@@ -1,0 +1,132 @@
+package kademlia
+
+import (
+	"sort"
+	"sync"
+
+	"peertrack/internal/ids"
+	"peertrack/internal/overlay"
+)
+
+// K is the bucket size (Kademlia's k): the number of contacts kept per
+// distance range and the size of lookup result sets.
+const K = 8
+
+// xorLess reports whether a is XOR-closer to target than b.
+func xorLess(target ids.ID, a, b ids.ID) bool {
+	for i := 0; i < ids.Bytes; i++ {
+		da := a[i] ^ target[i]
+		db := b[i] ^ target[i]
+		if da != db {
+			return da < db
+		}
+	}
+	return false
+}
+
+// sortByDistance orders refs by XOR distance to target, closest first.
+func sortByDistance(target ids.ID, refs []overlay.NodeRef) {
+	sort.SliceStable(refs, func(i, j int) bool {
+		return xorLess(target, refs[i].ID, refs[j].ID)
+	})
+}
+
+// table is a Kademlia routing table: 160 k-buckets, bucket i holding
+// contacts whose common prefix with self is exactly i bits. Contacts
+// are kept least-recently-seen first; a full bucket drops newcomers
+// (the classic policy favouring long-lived nodes) unless a stale entry
+// was marked dead.
+type table struct {
+	mu      sync.RWMutex
+	self    overlay.NodeRef
+	buckets [ids.Bits][]overlay.NodeRef
+}
+
+func newTable(self overlay.NodeRef) *table {
+	return &table{self: self}
+}
+
+func (t *table) bucketIndex(id ids.ID) int {
+	cpl := ids.CommonPrefixLen(t.self.ID, id)
+	if cpl >= ids.Bits {
+		cpl = ids.Bits - 1 // self's own id; never stored anyway
+	}
+	return cpl
+}
+
+// insert adds or refreshes a contact. Returns false if the bucket was
+// full and the contact was dropped.
+func (t *table) insert(ref overlay.NodeRef) bool {
+	if ref.Equal(t.self) || ref.IsZero() {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	idx := t.bucketIndex(ref.ID)
+	b := t.buckets[idx]
+	for i, c := range b {
+		if c.Addr == ref.Addr {
+			// Move to tail (most recently seen).
+			copy(b[i:], b[i+1:])
+			b[len(b)-1] = ref
+			return true
+		}
+	}
+	if len(b) < K {
+		t.buckets[idx] = append(b, ref)
+		return true
+	}
+	return false
+}
+
+// remove drops a dead contact.
+func (t *table) remove(addr overlay.NodeRef) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	idx := t.bucketIndex(addr.ID)
+	b := t.buckets[idx]
+	for i, c := range b {
+		if c.Addr == addr.Addr {
+			t.buckets[idx] = append(b[:i], b[i+1:]...)
+			return
+		}
+	}
+}
+
+// closest returns up to n contacts closest to target by XOR distance.
+func (t *table) closest(target ids.ID, n int) []overlay.NodeRef {
+	t.mu.RLock()
+	all := make([]overlay.NodeRef, 0, 4*K)
+	for _, b := range t.buckets {
+		all = append(all, b...)
+	}
+	t.mu.RUnlock()
+	sortByDistance(target, all)
+	if len(all) > n {
+		all = all[:n]
+	}
+	return all
+}
+
+// size returns the number of contacts in the table.
+func (t *table) size() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n := 0
+	for _, b := range t.buckets {
+		n += len(b)
+	}
+	return n
+}
+
+// randomIDInBucket synthesizes an id falling into bucket idx (common
+// prefix of exactly idx bits with self), used for bucket refresh.
+func (t *table) randomIDInBucket(idx int, salt byte) ids.ID {
+	id := t.self.ID
+	// Flip bit idx; scramble the tail deterministically from salt.
+	id[idx/8] ^= 1 << (7 - idx%8)
+	for i := idx/8 + 1; i < ids.Bytes; i++ {
+		id[i] ^= salt + byte(i)
+	}
+	return id
+}

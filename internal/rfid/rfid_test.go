@@ -1,0 +1,222 @@
+package rfid
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"peertrack/internal/moods"
+	"peertrack/internal/sim"
+)
+
+func objects(n int) []moods.ObjectID {
+	out := make([]moods.ObjectID, n)
+	for i := range out {
+		out[i] = moods.ObjectID(fmt.Sprintf("obj-%d", i))
+	}
+	return out
+}
+
+func TestWindowClosesOnNMax(t *testing.T) {
+	k := sim.New(1)
+	var batches [][]moods.Observation
+	c := NewCollector(k, WindowConfig{TMax: time.Hour, NMax: 10}, func(b []moods.Observation) {
+		batches = append(batches, b)
+	})
+	k.Schedule(0, func() {
+		for i := 0; i < 25; i++ {
+			c.Observe(moods.Observation{Object: moods.ObjectID(fmt.Sprintf("o%d", i)), At: k.Now()})
+		}
+	})
+	// Run only past the arrivals, not the one-hour TMax timer: the
+	// trailing partial window is closed by Flush, not by timeout.
+	k.RunUntil(time.Minute)
+	c.Flush()
+	if len(batches) != 3 {
+		t.Fatalf("batches = %d, want 3 (10+10+5)", len(batches))
+	}
+	if len(batches[0]) != 10 || len(batches[1]) != 10 || len(batches[2]) != 5 {
+		t.Fatalf("batch sizes = %d,%d,%d", len(batches[0]), len(batches[1]), len(batches[2]))
+	}
+	if c.BySize != 2 {
+		t.Errorf("BySize = %d, want 2", c.BySize)
+	}
+	if c.ByTimeout != 0 {
+		t.Errorf("ByTimeout = %d, want 0", c.ByTimeout)
+	}
+}
+
+func TestWindowClosesOnTMax(t *testing.T) {
+	k := sim.New(1)
+	var batches [][]moods.Observation
+	c := NewCollector(k, WindowConfig{TMax: time.Second, NMax: 1000}, func(b []moods.Observation) {
+		batches = append(batches, b)
+	})
+	// Three observations in the first second, then two more much later.
+	for _, at := range []time.Duration{0, 300 * time.Millisecond, 600 * time.Millisecond,
+		5 * time.Second, 5*time.Second + 100*time.Millisecond} {
+		at := at
+		k.Schedule(at, func() {
+			c.Observe(moods.Observation{Object: "o", At: k.Now()})
+		})
+	}
+	k.Run()
+	c.Flush()
+	if len(batches) != 2 {
+		t.Fatalf("batches = %d, want 2", len(batches))
+	}
+	if len(batches[0]) != 3 || len(batches[1]) != 2 {
+		t.Fatalf("batch sizes = %d,%d", len(batches[0]), len(batches[1]))
+	}
+	if c.ByTimeout < 1 {
+		t.Errorf("ByTimeout = %d, want >= 1", c.ByTimeout)
+	}
+}
+
+func TestWindowTimerRestartsPerWindow(t *testing.T) {
+	k := sim.New(1)
+	var closeTimes []time.Duration
+	c := NewCollector(k, WindowConfig{TMax: time.Second, NMax: 1000}, func(b []moods.Observation) {
+		closeTimes = append(closeTimes, k.Now())
+	})
+	k.Schedule(0, func() { c.Observe(moods.Observation{Object: "a"}) })
+	k.Schedule(3*time.Second, func() { c.Observe(moods.Observation{Object: "b"}) })
+	k.Run()
+	if len(closeTimes) != 2 {
+		t.Fatalf("closes = %v", closeTimes)
+	}
+	if closeTimes[0] != time.Second || closeTimes[1] != 4*time.Second {
+		t.Fatalf("close times = %v, want [1s 4s]", closeTimes)
+	}
+}
+
+func TestFlushEmptyIsNoop(t *testing.T) {
+	k := sim.New(1)
+	calls := 0
+	c := NewCollector(k, WindowConfig{}, func(b []moods.Observation) { calls++ })
+	c.Flush()
+	if calls != 0 || c.Windows != 0 {
+		t.Fatal("empty flush produced a window")
+	}
+}
+
+func TestNoObservationLost(t *testing.T) {
+	k := sim.New(7)
+	total := 0
+	c := NewCollector(k, WindowConfig{TMax: 100 * time.Millisecond, NMax: 7}, func(b []moods.Observation) {
+		total += len(b)
+	})
+	r := rand.New(rand.NewSource(2))
+	const n = 500
+	for i := 0; i < n; i++ {
+		at := time.Duration(r.Intn(10000)) * time.Millisecond
+		k.Schedule(at, func() { c.Observe(moods.Observation{Object: "o", At: at}) })
+	}
+	k.Run()
+	c.Flush()
+	if total != n {
+		t.Fatalf("flushed %d observations, want %d", total, n)
+	}
+}
+
+func TestUniformStreamSortedAndComplete(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	objs := objects(200)
+	s := UniformStream(r, objs, "dc-1", time.Minute, time.Hour)
+	if len(s) != 200 {
+		t.Fatalf("len = %d", len(s))
+	}
+	for i := 1; i < len(s); i++ {
+		if s[i].At < s[i-1].At {
+			t.Fatal("stream not sorted")
+		}
+	}
+	for _, o := range s {
+		if o.At < time.Minute || o.At >= time.Minute+time.Hour {
+			t.Fatalf("observation at %v outside window", o.At)
+		}
+		if o.Node != "dc-1" {
+			t.Fatal("wrong node")
+		}
+	}
+}
+
+func TestPoissonStreamRate(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	s := PoissonStream(r, objects(5000), "n", 0, 100) // 100 obj/s
+	rate := MeanRate(s)
+	if math.Abs(rate-100) > 10 {
+		t.Fatalf("mean rate = %.1f, want ~100", rate)
+	}
+}
+
+func TestBurstyStreamGroupsTogether(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	s := BurstyStream(r, objects(100), "n", 0, 10, 50*time.Millisecond, 10*time.Second)
+	if len(s) != 100 {
+		t.Fatalf("len = %d", len(s))
+	}
+	// With 50ms spread and 10s mean gaps, a 1s window should capture
+	// whole bursts: count distinct "burst onsets" (gap > 1s).
+	bursts := 1
+	for i := 1; i < len(s); i++ {
+		if s[i].At-s[i-1].At > time.Second {
+			bursts++
+		}
+	}
+	if bursts < 5 || bursts > 10 {
+		t.Fatalf("bursts = %d, want ~10", bursts)
+	}
+}
+
+func TestNoisyStreamAndDeduplicator(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	clean := UniformStream(r, objects(100), "n", 0, time.Minute)
+	noisy := NoisyStream(r, clean, 5, 100*time.Millisecond)
+	if len(noisy) <= len(clean) {
+		t.Fatalf("noisy stream not longer: %d vs %d", len(noisy), len(clean))
+	}
+	d := NewDeduplicator(200 * time.Millisecond)
+	kept := 0
+	for _, o := range noisy {
+		if d.Admit(o) {
+			kept++
+		}
+	}
+	if kept != len(clean) {
+		t.Fatalf("dedup kept %d, want %d", kept, len(clean))
+	}
+}
+
+func TestDeduplicatorGuardExpiry(t *testing.T) {
+	d := NewDeduplicator(time.Second)
+	o1 := moods.Observation{Object: "o", Node: "n", At: 0}
+	o2 := moods.Observation{Object: "o", Node: "n", At: 500 * time.Millisecond}
+	o3 := moods.Observation{Object: "o", Node: "n", At: 2 * time.Second}
+	if !d.Admit(o1) {
+		t.Error("first read rejected")
+	}
+	if d.Admit(o2) {
+		t.Error("duplicate within guard admitted")
+	}
+	if !d.Admit(o3) {
+		t.Error("read after guard rejected")
+	}
+	// Different node is always fresh.
+	o4 := moods.Observation{Object: "o", Node: "other", At: 2 * time.Second}
+	if !d.Admit(o4) {
+		t.Error("read at different node rejected")
+	}
+}
+
+func TestMeanRateEdgeCases(t *testing.T) {
+	if MeanRate(nil) != 0 {
+		t.Error("empty stream rate != 0")
+	}
+	same := []moods.Observation{{At: time.Second}, {At: time.Second}}
+	if !math.IsInf(MeanRate(same), 1) {
+		t.Error("zero-span stream rate not +Inf")
+	}
+}

@@ -1,0 +1,119 @@
+package rfid
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"peertrack/internal/moods"
+)
+
+// Stream generators produce synthetic capture-event timings for one
+// node. They return observations sorted by time, ready to feed a
+// Collector through a simulation kernel.
+
+// UniformStream spreads one observation per object uniformly at random
+// over [start, start+span).
+func UniformStream(rng *rand.Rand, objects []moods.ObjectID, node moods.NodeName,
+	start, span time.Duration) []moods.Observation {
+	out := make([]moods.Observation, len(objects))
+	for i, o := range objects {
+		out[i] = moods.Observation{
+			Object: o,
+			Node:   node,
+			At:     start + time.Duration(rng.Int63n(int64(span))),
+		}
+	}
+	sortObs(out)
+	return out
+}
+
+// PoissonStream emits the objects with exponential inter-arrival times
+// at the given mean rate (objects per second), starting at start. The
+// number of observations equals len(objects); the total span follows
+// from the rate.
+func PoissonStream(rng *rand.Rand, objects []moods.ObjectID, node moods.NodeName,
+	start time.Duration, rate float64) []moods.Observation {
+	if rate <= 0 {
+		rate = 1
+	}
+	out := make([]moods.Observation, len(objects))
+	at := start
+	for i, o := range objects {
+		gap := time.Duration(rng.ExpFloat64() / rate * float64(time.Second))
+		at += gap
+		out[i] = moods.Observation{Object: o, Node: node, At: at}
+	}
+	return out
+}
+
+// BurstyStream models pallets arriving in bursts: objects are split
+// into groups of burstSize; each burst's members arrive within
+// burstSpread of each other, and bursts are separated by exponential
+// gaps with mean meanGap. This is the "objects often move in groups"
+// traffic shape that group indexing exploits.
+func BurstyStream(rng *rand.Rand, objects []moods.ObjectID, node moods.NodeName,
+	start time.Duration, burstSize int, burstSpread, meanGap time.Duration) []moods.Observation {
+	if burstSize <= 0 {
+		burstSize = 1
+	}
+	out := make([]moods.Observation, 0, len(objects))
+	at := start
+	for i := 0; i < len(objects); i += burstSize {
+		end := i + burstSize
+		if end > len(objects) {
+			end = len(objects)
+		}
+		for _, o := range objects[i:end] {
+			jitter := time.Duration(0)
+			if burstSpread > 0 {
+				jitter = time.Duration(rng.Int63n(int64(burstSpread)))
+			}
+			out = append(out, moods.Observation{Object: o, Node: node, At: at + jitter})
+		}
+		gap := time.Duration(rng.ExpFloat64() * float64(meanGap))
+		at += burstSpread + gap
+	}
+	sortObs(out)
+	return out
+}
+
+// NoisyStream duplicates each observation between 1 and maxReads times
+// within dwell, modelling a dock-door reader seeing a tag repeatedly.
+// Feed the result through a Deduplicator to recover the clean stream.
+func NoisyStream(rng *rand.Rand, clean []moods.Observation, maxReads int, dwell time.Duration) []moods.Observation {
+	if maxReads < 1 {
+		maxReads = 1
+	}
+	out := make([]moods.Observation, 0, len(clean)*2)
+	for _, obs := range clean {
+		reads := 1 + rng.Intn(maxReads)
+		for r := 0; r < reads; r++ {
+			dup := obs
+			if r > 0 && dwell > 0 {
+				dup.At += time.Duration(rng.Int63n(int64(dwell)))
+			}
+			out = append(out, dup)
+		}
+	}
+	sortObs(out)
+	return out
+}
+
+// MeanRate reports the average arrival rate (observations per second)
+// of a sorted stream; 0 for streams shorter than 2 events.
+func MeanRate(stream []moods.Observation) float64 {
+	if len(stream) < 2 {
+		return 0
+	}
+	span := stream[len(stream)-1].At - stream[0].At
+	if span <= 0 {
+		return math.Inf(1)
+	}
+	return float64(len(stream)-1) / span.Seconds()
+}
+
+func sortObs(s []moods.Observation) {
+	sort.SliceStable(s, func(i, j int) bool { return s[i].At < s[j].At })
+}

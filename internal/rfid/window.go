@@ -1,0 +1,149 @@
+// Package rfid models the data-capture edge of a traceable network:
+// receptors (RFID readers) deployed at nodes, the object streams they
+// produce, and the adaptive capture windows that batch arrivals for
+// group indexing.
+//
+// The windowing scheme is the paper's (Section IV-A1): a capture cycle
+// ends when T_max virtual time has passed — keeping indexing timely when
+// volume is low — or when N_max objects have been received — bounding
+// indexing-message size when volume spikes. Whichever fires first closes
+// the window, the buffered observations are flushed to the grouping
+// stage, and a new cycle starts.
+//
+// Readings are assumed cleansed (duplicate-filtered, no phantom reads),
+// as the paper assumes; the stream generators therefore emit clean
+// events, and the optional Deduplicator covers the one cleansing step
+// cheap enough to do at the edge.
+package rfid
+
+import (
+	"time"
+
+	"peertrack/internal/moods"
+	"peertrack/internal/sim"
+)
+
+// WindowConfig sets the adaptive window bounds.
+type WindowConfig struct {
+	// TMax is the maximum cycle duration; a cycle flushes at TMax even
+	// if nearly empty, bounding indexing delay. Default 1s.
+	TMax time.Duration
+	// NMax is the maximum number of observations per cycle; reaching it
+	// flushes immediately, bounding message size. Default 1024.
+	NMax int
+}
+
+func (c *WindowConfig) fill() {
+	if c.TMax <= 0 {
+		c.TMax = time.Second
+	}
+	if c.NMax <= 0 {
+		c.NMax = 1024
+	}
+}
+
+// Collector buffers one node's observations into adaptive windows and
+// delivers each closed window to flush. It is driven by a simulation
+// kernel: the TMax timer is virtual time.
+//
+// Collector is not safe for concurrent use; in the DES world all events
+// run on the kernel's single logical thread. (The TCP deployment path
+// uses its own mutex-guarded collector in the public facade.)
+type Collector struct {
+	cfg    WindowConfig
+	kernel *sim.Kernel
+	flush  func(batch []moods.Observation)
+
+	buf   []moods.Observation
+	timer *sim.Timer
+
+	// Windows counts closed windows; ByTimeout and BySize break down the
+	// close reason (a window closed by Flush counts in neither).
+	Windows   int
+	ByTimeout int
+	BySize    int
+}
+
+// NewCollector creates a collector. flush is called with each closed
+// window's observations (ownership of the slice transfers to flush).
+func NewCollector(kernel *sim.Kernel, cfg WindowConfig, flush func([]moods.Observation)) *Collector {
+	cfg.fill()
+	return &Collector{cfg: cfg, kernel: kernel, flush: flush}
+}
+
+// Observe adds one observation to the current window, opening a new
+// window (and arming its TMax timer) if none is open. If the window
+// reaches NMax it closes immediately.
+func (c *Collector) Observe(obs moods.Observation) {
+	if len(c.buf) == 0 {
+		c.timer = c.kernel.Schedule(c.cfg.TMax, func() {
+			c.timer = nil
+			if len(c.buf) > 0 {
+				c.ByTimeout++
+				c.close()
+			}
+		})
+	}
+	c.buf = append(c.buf, obs)
+	if len(c.buf) >= c.cfg.NMax {
+		if c.timer != nil {
+			c.timer.Stop()
+			c.timer = nil
+		}
+		c.BySize++
+		c.close()
+	}
+}
+
+// Flush force-closes the current window, delivering any buffered
+// observations. Used at simulation end so no capture is lost.
+func (c *Collector) Flush() {
+	if c.timer != nil {
+		c.timer.Stop()
+		c.timer = nil
+	}
+	if len(c.buf) > 0 {
+		c.close()
+	}
+}
+
+// Buffered returns the number of observations in the open window.
+func (c *Collector) Buffered() int { return len(c.buf) }
+
+func (c *Collector) close() {
+	batch := c.buf
+	c.buf = nil
+	c.Windows++
+	c.flush(batch)
+}
+
+// Deduplicator suppresses repeated reads of the same object at the same
+// node within a guard interval — the standard smoothing step for dock
+// door readers that see a tag dozens of times as a pallet rolls past.
+type Deduplicator struct {
+	guard time.Duration
+	last  map[dedupKey]time.Duration
+}
+
+type dedupKey struct {
+	obj  moods.ObjectID
+	node moods.NodeName
+}
+
+// NewDeduplicator creates a deduplicator with the given guard interval.
+func NewDeduplicator(guard time.Duration) *Deduplicator {
+	return &Deduplicator{guard: guard, last: make(map[dedupKey]time.Duration)}
+}
+
+// Admit reports whether the observation is a fresh read (true) or a
+// duplicate within the guard interval (false), updating state either
+// way so a long dwell keeps extending the suppression.
+func (d *Deduplicator) Admit(obs moods.Observation) bool {
+	k := dedupKey{obs.Object, obs.Node}
+	prev, seen := d.last[k]
+	d.last[k] = obs.At
+	if !seen {
+		return true
+	}
+	return obs.At-prev > d.guard
+}

@@ -1,0 +1,142 @@
+package transport
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// Memory is an instrumented in-process Network. Calls dispatch
+// synchronously to the destination handler in the caller's goroutine,
+// which keeps discrete-event experiments deterministic, and every round
+// trip is accounted in Stats.
+//
+// Fault injection: per-network drop probability, per-node "dead" marks,
+// and symmetric partitions. A dropped or blocked call fails with
+// ErrUnreachable after charging the request message (the request was
+// sent and lost; no response came back), mirroring how a real network
+// bills a timeout.
+type Memory struct {
+	mu       sync.Mutex
+	handlers map[Addr]Handler
+	dead     map[Addr]bool
+	groupOf  map[Addr]int // partition group; 0 = default group
+	dropRate float64
+	rng      *rand.Rand
+
+	stats *Stats
+}
+
+// NewMemory creates an empty in-process network. seed drives fault
+// injection randomness only.
+func NewMemory(seed int64) *Memory {
+	return &Memory{
+		handlers: make(map[Addr]Handler),
+		dead:     make(map[Addr]bool),
+		groupOf:  make(map[Addr]int),
+		rng:      rand.New(rand.NewSource(seed)),
+		stats:    NewStats(),
+	}
+}
+
+// Register implements Network.
+func (m *Memory) Register(addr Addr, h Handler) error {
+	if h == nil {
+		return fmt.Errorf("transport: nil handler for %s", addr)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.handlers[addr] = h
+	delete(m.dead, addr)
+	return nil
+}
+
+// Unregister implements Network.
+func (m *Memory) Unregister(addr Addr) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.handlers, addr)
+}
+
+// SetDropRate makes each call fail with the given probability in [0,1).
+func (m *Memory) SetDropRate(p float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.dropRate = p
+}
+
+// Kill marks addr unreachable without unregistering it (a crashed node
+// whose state still exists). Revive undoes it.
+func (m *Memory) Kill(addr Addr) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.dead[addr] = true
+}
+
+// Revive clears a Kill mark.
+func (m *Memory) Revive(addr Addr) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.dead, addr)
+}
+
+// Partition assigns addr to a partition group. Nodes can only reach
+// nodes in the same group. All nodes start in group 0; HealPartitions
+// restores full connectivity.
+func (m *Memory) Partition(addr Addr, group int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.groupOf[addr] = group
+}
+
+// HealPartitions returns every node to group 0.
+func (m *Memory) HealPartitions() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.groupOf = make(map[Addr]int)
+}
+
+// Stats implements Network.
+func (m *Memory) Stats() *Stats { return m.stats }
+
+// Call implements Network.
+func (m *Memory) Call(from, to Addr, req any) (any, error) {
+	m.mu.Lock()
+	h, ok := m.handlers[to]
+	blocked := !ok || m.dead[to] || m.dead[from] || m.groupOf[from] != m.groupOf[to]
+	dropped := m.dropRate > 0 && m.rng.Float64() < m.dropRate
+	m.mu.Unlock()
+
+	if blocked || dropped {
+		// The request was emitted but no response returns: charge one
+		// message, record the failure.
+		m.stats.mu.Lock()
+		m.stats.calls++
+		m.stats.messages++
+		m.stats.bytes += uint64(sizeOf(req))
+		m.stats.failures++
+		m.stats.perType[fmt.Sprintf("%T", req)]++
+		m.stats.perDest[to]++
+		m.stats.mu.Unlock()
+		return nil, ErrUnreachable
+	}
+
+	resp, err := h(from, req)
+	m.stats.recordCall(to, req, resp, err != nil)
+	if err != nil {
+		return nil, &RemoteError{Msg: err.Error()}
+	}
+	return resp, nil
+}
+
+// Addrs returns the currently registered addresses (including dead
+// ones), in no particular order.
+func (m *Memory) Addrs() []Addr {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Addr, 0, len(m.handlers))
+	for a := range m.handlers {
+		out = append(out, a)
+	}
+	return out
+}

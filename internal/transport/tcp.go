@@ -1,0 +1,303 @@
+package transport
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// rpcRequest is the wire envelope for a call. Payload concrete types
+// must be gob-registered via Register.
+type rpcRequest struct {
+	From    Addr
+	Payload any
+}
+
+// rpcResponse is the wire envelope for a reply.
+type rpcResponse struct {
+	Payload any
+	Err     string
+}
+
+// TCP is a real-network Network implementation: length-delimited gob
+// frames over persistent TCP connections with a small per-destination
+// connection pool. Handlers run in per-connection goroutines and must be
+// concurrency-safe.
+type TCP struct {
+	mu        sync.Mutex
+	listeners map[Addr]net.Listener
+	pools     map[Addr]*connPool
+	accepted  map[net.Conn]struct{}
+	closed    bool
+
+	// DialTimeout bounds connection establishment (default 5s).
+	DialTimeout time.Duration
+	// CallTimeout bounds a full round trip (default 10s).
+	CallTimeout time.Duration
+	// Secret, when non-nil, enables HMAC-SHA256 frame authentication
+	// with sequence numbers (see auth.go). All peers must share it. Set
+	// before Register/Call.
+	Secret []byte
+
+	stats *Stats
+	wg    sync.WaitGroup
+}
+
+// NewTCP creates a TCP transport.
+func NewTCP() *TCP {
+	return &TCP{
+		listeners:   make(map[Addr]net.Listener),
+		pools:       make(map[Addr]*connPool),
+		accepted:    make(map[net.Conn]struct{}),
+		DialTimeout: 5 * time.Second,
+		CallTimeout: 10 * time.Second,
+		stats:       NewStats(),
+	}
+}
+
+// Register implements Network: it binds a TCP listener on addr and
+// serves requests to h. The address must include a concrete port; use
+// RegisterAuto to bind an ephemeral port.
+func (t *TCP) Register(addr Addr, h Handler) error {
+	ln, err := net.Listen("tcp", string(addr))
+	if err != nil {
+		return fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		ln.Close()
+		return errors.New("transport: network closed")
+	}
+	t.listeners[addr] = ln
+	t.mu.Unlock()
+
+	t.wg.Add(1)
+	go t.serve(ln, h)
+	return nil
+}
+
+// RegisterAuto binds an ephemeral port on host (e.g. "127.0.0.1") and
+// returns the concrete address peers should dial.
+func (t *TCP) RegisterAuto(host string, h Handler) (Addr, error) {
+	ln, err := net.Listen("tcp", net.JoinHostPort(host, "0"))
+	if err != nil {
+		return "", fmt.Errorf("transport: listen %s: %w", host, err)
+	}
+	addr := Addr(ln.Addr().String())
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		ln.Close()
+		return "", errors.New("transport: network closed")
+	}
+	t.listeners[addr] = ln
+	t.mu.Unlock()
+
+	t.wg.Add(1)
+	go t.serve(ln, h)
+	return addr, nil
+}
+
+func (t *TCP) serve(ln net.Listener, h Handler) {
+	defer t.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			conn.Close()
+			return
+		}
+		t.accepted[conn] = struct{}{}
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go func() {
+			defer t.wg.Done()
+			defer func() {
+				conn.Close()
+				t.mu.Lock()
+				delete(t.accepted, conn)
+				t.mu.Unlock()
+			}()
+			dec := gob.NewDecoder(conn)
+			enc := gob.NewEncoder(conn)
+			var ac *authCodec
+			if t.Secret != nil {
+				ac = newAuthCodec(t.Secret, enc, dec)
+			}
+			for {
+				var req rpcRequest
+				var err error
+				if ac != nil {
+					err = ac.recv(&req)
+				} else {
+					err = dec.Decode(&req)
+				}
+				if err != nil {
+					return
+				}
+				var resp rpcResponse
+				payload, herr := h(req.From, req.Payload)
+				if herr != nil {
+					resp.Err = herr.Error()
+				} else {
+					resp.Payload = payload
+				}
+				if ac != nil {
+					err = ac.send(&resp)
+				} else {
+					err = enc.Encode(&resp)
+				}
+				if err != nil {
+					return
+				}
+			}
+		}()
+	}
+}
+
+// Unregister implements Network.
+func (t *TCP) Unregister(addr Addr) {
+	t.mu.Lock()
+	ln := t.listeners[addr]
+	delete(t.listeners, addr)
+	t.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+}
+
+// Stats implements Network.
+func (t *TCP) Stats() *Stats { return t.stats }
+
+// Call implements Network.
+func (t *TCP) Call(from, to Addr, req any) (any, error) {
+	pool := t.pool(to)
+	c, err := pool.get(t.DialTimeout)
+	if err != nil {
+		t.stats.recordCall(to, req, nil, true)
+		return nil, fmt.Errorf("%w: %s (%v)", ErrUnreachable, to, err)
+	}
+	deadline := time.Now().Add(t.CallTimeout)
+	c.conn.SetDeadline(deadline)
+	var sendErr error
+	if c.auth != nil {
+		sendErr = c.auth.send(&rpcRequest{From: from, Payload: req})
+	} else {
+		sendErr = c.enc.Encode(&rpcRequest{From: from, Payload: req})
+	}
+	if sendErr != nil {
+		c.conn.Close()
+		t.stats.recordCall(to, req, nil, true)
+		return nil, fmt.Errorf("%w: %s (%v)", ErrUnreachable, to, sendErr)
+	}
+	var resp rpcResponse
+	var recvErr error
+	if c.auth != nil {
+		recvErr = c.auth.recv(&resp)
+	} else {
+		recvErr = c.dec.Decode(&resp)
+	}
+	if recvErr != nil {
+		c.conn.Close()
+		t.stats.recordCall(to, req, nil, true)
+		return nil, fmt.Errorf("%w: %s (%v)", ErrUnreachable, to, recvErr)
+	}
+	c.conn.SetDeadline(time.Time{})
+	pool.put(c)
+	t.stats.recordCall(to, req, resp.Payload, resp.Err != "")
+	if resp.Err != "" {
+		return nil, &RemoteError{Msg: resp.Err}
+	}
+	return resp.Payload, nil
+}
+
+func (t *TCP) pool(to Addr) *connPool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	p, ok := t.pools[to]
+	if !ok {
+		p = &connPool{addr: to, secret: t.Secret, idle: make(chan *clientConn, 4)}
+		t.pools[to] = p
+	}
+	return p
+}
+
+// Close shuts down all listeners and pooled connections and waits for
+// server goroutines to exit.
+func (t *TCP) Close() {
+	t.mu.Lock()
+	t.closed = true
+	for _, ln := range t.listeners {
+		ln.Close()
+	}
+	t.listeners = make(map[Addr]net.Listener)
+	for c := range t.accepted {
+		c.Close()
+	}
+	pools := t.pools
+	t.pools = make(map[Addr]*connPool)
+	t.mu.Unlock()
+	for _, p := range pools {
+		p.drain()
+	}
+	t.wg.Wait()
+}
+
+// clientConn is a pooled outbound connection with its codec pair.
+type clientConn struct {
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+	auth *authCodec
+}
+
+// connPool keeps a few idle connections per destination.
+type connPool struct {
+	addr   Addr
+	secret []byte
+	idle   chan *clientConn
+}
+
+func (p *connPool) get(dialTimeout time.Duration) (*clientConn, error) {
+	select {
+	case c := <-p.idle:
+		return c, nil
+	default:
+	}
+	conn, err := net.DialTimeout("tcp", string(p.addr), dialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	c := &clientConn{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
+	if p.secret != nil {
+		c.auth = newAuthCodec(p.secret, c.enc, c.dec)
+	}
+	return c, nil
+}
+
+func (p *connPool) put(c *clientConn) {
+	select {
+	case p.idle <- c:
+	default:
+		c.conn.Close()
+	}
+}
+
+func (p *connPool) drain() {
+	for {
+		select {
+		case c := <-p.idle:
+			c.conn.Close()
+		default:
+			return
+		}
+	}
+}

@@ -1,0 +1,197 @@
+// Package transport abstracts message passing between PeerTrack nodes.
+//
+// The Chord overlay and the traceability layer are written against the
+// Network interface, so the identical protocol code runs over two
+// implementations:
+//
+//   - Memory: an instrumented in-process network for experiments. Every
+//     call is dispatched synchronously and accounted (message and byte
+//     counters, per-type breakdown), with optional fault injection
+//     (drop rates, partitions, dead nodes). This is the measurement
+//     substrate standing in for OverSim.
+//   - TCP: a real network transport using length-prefixed gob frames
+//     over TCP with connection pooling, used by cmd/trackd.
+//
+// A call carries one request and one response message; both directions
+// are counted. Payload types must be gob-registered (see Register).
+package transport
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Addr identifies a node endpoint. For the memory transport it is an
+// arbitrary unique name; for TCP it is a dialable "host:port".
+type Addr string
+
+// Handler processes one inbound request and returns a response. Handlers
+// must be safe for concurrent use: the TCP transport invokes them from
+// per-connection goroutines.
+type Handler func(from Addr, req any) (any, error)
+
+// Network moves requests between registered endpoints.
+type Network interface {
+	// Register installs a handler for addr. Registering an address twice
+	// replaces the handler.
+	Register(addr Addr, h Handler) error
+	// Unregister removes addr; subsequent calls to it fail with
+	// ErrUnreachable.
+	Unregister(addr Addr)
+	// Call sends req from -> to and waits for the response.
+	Call(from, to Addr, req any) (any, error)
+	// Stats returns the live counter set for this network.
+	Stats() *Stats
+}
+
+// ErrUnreachable is returned when the destination is not registered,
+// dead, or partitioned away from the caller.
+var ErrUnreachable = errors.New("transport: destination unreachable")
+
+// RemoteError wraps an application-level error returned by the remote
+// handler, distinguishing it from transport failures.
+type RemoteError struct {
+	Msg string
+}
+
+func (e *RemoteError) Error() string { return "transport: remote error: " + e.Msg }
+
+// Register makes a payload type encodable on the wire (gob) and sizable
+// for byte accounting. Call it from init() in packages that define
+// message types.
+func Register(v any) {
+	gob.Register(v)
+}
+
+// WireSizer lets a message report its approximate wire size in bytes so
+// the memory transport can account "total volume of messages
+// transferred" (the paper's Fig. 6 metric) without encoding every
+// message. Messages that do not implement it are charged DefaultMsgSize.
+type WireSizer interface {
+	WireSize() int
+}
+
+// DefaultMsgSize is the byte charge for messages that do not implement
+// WireSizer: a small fixed header plus addressing overhead.
+const DefaultMsgSize = 64
+
+func sizeOf(v any) int {
+	if v == nil {
+		return DefaultMsgSize
+	}
+	if s, ok := v.(WireSizer); ok {
+		return DefaultMsgSize + s.WireSize()
+	}
+	return DefaultMsgSize
+}
+
+// Stats accumulates traffic counters. All methods are safe for
+// concurrent use.
+type Stats struct {
+	mu       sync.Mutex
+	messages uint64
+	bytes    uint64
+	calls    uint64
+	failures uint64
+	perType  map[string]uint64
+	perDest  map[Addr]uint64
+}
+
+// NewStats returns an empty counter set.
+func NewStats() *Stats {
+	return &Stats{perType: make(map[string]uint64), perDest: make(map[Addr]uint64)}
+}
+
+func (s *Stats) recordCall(to Addr, req, resp any, failed bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.calls++
+	s.messages += 2 // request + response
+	s.bytes += uint64(sizeOf(req) + sizeOf(resp))
+	s.perType[fmt.Sprintf("%T", req)]++
+	s.perDest[to]++
+	if failed {
+		s.failures++
+	}
+}
+
+// Snapshot is a point-in-time copy of the counters.
+type Snapshot struct {
+	Messages uint64 // individual messages (2 per successful round trip)
+	Bytes    uint64 // approximate wire bytes
+	Calls    uint64 // round trips attempted
+	Failures uint64 // calls that failed at transport or handler level
+}
+
+// Snapshot copies the current counter values.
+func (s *Stats) Snapshot() Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Snapshot{Messages: s.messages, Bytes: s.bytes, Calls: s.calls, Failures: s.failures}
+}
+
+// Delta returns the difference of two snapshots (s2 - s1 where s2 is the
+// receiver argument ordering: now minus earlier).
+func (a Snapshot) Delta(earlier Snapshot) Snapshot {
+	return Snapshot{
+		Messages: a.Messages - earlier.Messages,
+		Bytes:    a.Bytes - earlier.Bytes,
+		Calls:    a.Calls - earlier.Calls,
+		Failures: a.Failures - earlier.Failures,
+	}
+}
+
+// ByType returns a copy of the per-request-type call counts.
+func (s *Stats) ByType() map[string]uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]uint64, len(s.perType))
+	for k, v := range s.perType {
+		out[k] = v
+	}
+	return out
+}
+
+// ByDest returns a copy of the per-destination call counts, used for
+// load-balance analysis of gateway traffic.
+func (s *Stats) ByDest() map[Addr]uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[Addr]uint64, len(s.perDest))
+	for k, v := range s.perDest {
+		out[k] = v
+	}
+	return out
+}
+
+// TopDests returns up to n destinations sorted by descending call count,
+// for diagnostics.
+func (s *Stats) TopDests(n int) []Addr {
+	m := s.ByDest()
+	addrs := make([]Addr, 0, len(m))
+	for a := range m {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool {
+		if m[addrs[i]] != m[addrs[j]] {
+			return m[addrs[i]] > m[addrs[j]]
+		}
+		return addrs[i] < addrs[j]
+	})
+	if len(addrs) > n {
+		addrs = addrs[:n]
+	}
+	return addrs
+}
+
+// Reset zeroes all counters.
+func (s *Stats) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.messages, s.bytes, s.calls, s.failures = 0, 0, 0, 0
+	s.perType = make(map[string]uint64)
+	s.perDest = make(map[Addr]uint64)
+}

@@ -1,0 +1,108 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"peertrack/internal/epc"
+	"peertrack/internal/moods"
+)
+
+// SupplyChain is a 4-tier topology — factories ship to distribution
+// centres, DCs to warehouses, warehouses to retail stores — the shape
+// of the nation-wide RFID networks that motivate the paper.
+type SupplyChain struct {
+	Factories  []moods.NodeName
+	DCs        []moods.NodeName
+	Warehouses []moods.NodeName
+	Stores     []moods.NodeName
+}
+
+// NewSupplyChain builds a topology with the given tier sizes.
+func NewSupplyChain(factories, dcs, warehouses, stores int) *SupplyChain {
+	mk := func(prefix string, n int) []moods.NodeName {
+		out := make([]moods.NodeName, n)
+		for i := range out {
+			out[i] = moods.NodeName(fmt.Sprintf("%s-%03d", prefix, i))
+		}
+		return out
+	}
+	return &SupplyChain{
+		Factories:  mk("factory", factories),
+		DCs:        mk("dc", dcs),
+		Warehouses: mk("warehouse", warehouses),
+		Stores:     mk("store", stores),
+	}
+}
+
+// AllNodes returns every location in the chain.
+func (sc *SupplyChain) AllNodes() []moods.NodeName {
+	out := make([]moods.NodeName, 0,
+		len(sc.Factories)+len(sc.DCs)+len(sc.Warehouses)+len(sc.Stores))
+	out = append(out, sc.Factories...)
+	out = append(out, sc.DCs...)
+	out = append(out, sc.Warehouses...)
+	out = append(out, sc.Stores...)
+	return out
+}
+
+// Route draws one downstream route factory → DC → warehouse → store.
+func (sc *SupplyChain) Route(rng *rand.Rand) []moods.NodeName {
+	return []moods.NodeName{
+		sc.Factories[rng.Intn(len(sc.Factories))],
+		sc.DCs[rng.Intn(len(sc.DCs))],
+		sc.Warehouses[rng.Intn(len(sc.Warehouses))],
+		sc.Stores[rng.Intn(len(sc.Stores))],
+	}
+}
+
+// Shipment is a lot of objects travelling one route together.
+type Shipment struct {
+	Objects []moods.ObjectID
+	Route   []moods.NodeName
+	// Departs is the capture time at the first route node.
+	Departs time.Duration
+}
+
+// Observations expands the shipment into capture events: the whole lot
+// is read within readSpread at each route stop, stops separated by
+// hopGap.
+func (sh Shipment) Observations(rng *rand.Rand, hopGap, readSpread time.Duration) []moods.Observation {
+	out := make([]moods.Observation, 0, len(sh.Objects)*len(sh.Route))
+	at := sh.Departs
+	for _, node := range sh.Route {
+		for _, obj := range sh.Objects {
+			jitter := time.Duration(0)
+			if readSpread > 0 {
+				jitter = time.Duration(rng.Int63n(int64(readSpread)))
+			}
+			out = append(out, moods.Observation{Object: obj, Node: node, At: at + jitter})
+		}
+		at += hopGap
+	}
+	return out
+}
+
+// GenerateShipments produces n shipments of lotSize EPC-tagged objects
+// each, with exponential inter-departure gaps of mean meanGap.
+func (sc *SupplyChain) GenerateShipments(seed int64, n, lotSize int, meanGap time.Duration) []Shipment {
+	rng := rand.New(rand.NewSource(seed))
+	gen := epc.NewGenerator(seed, 8, 64)
+	out := make([]Shipment, 0, n)
+	departs := time.Duration(0)
+	for i := 0; i < n; i++ {
+		lot := gen.Lot(lotSize)
+		objs := make([]moods.ObjectID, len(lot))
+		for j, tag := range lot {
+			urn, err := tag.URN()
+			if err != nil {
+				panic(fmt.Sprintf("workload: invalid generated tag: %v", err))
+			}
+			objs[j] = moods.ObjectID(urn)
+		}
+		departs += time.Duration(rng.ExpFloat64() * float64(meanGap))
+		out = append(out, Shipment{Objects: objs, Route: sc.Route(rng), Departs: departs})
+	}
+	return out
+}

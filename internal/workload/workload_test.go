@@ -1,0 +1,256 @@
+package workload
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"peertrack/internal/moods"
+)
+
+func nodes(n int) []moods.NodeName {
+	out := make([]moods.NodeName, n)
+	for i := range out {
+		out[i] = moods.NodeName(strings.Repeat("n", 1) + string(rune('A'+i%26)) + string(rune('0'+i/26)))
+	}
+	return out
+}
+
+func TestPaperSpecCounts(t *testing.T) {
+	spec := PaperSpec{
+		Nodes:          nodes(20),
+		ObjectsPerNode: 100,
+		MoveFraction:   0.10,
+		TraceLen:       10,
+		Seed:           1,
+	}
+	res, err := spec.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Objects) != 2000 {
+		t.Fatalf("objects = %d", len(res.Objects))
+	}
+	if len(res.Movers) != 200 {
+		t.Fatalf("movers = %d, want 10%%", len(res.Movers))
+	}
+	// Observations: one placement per object + 9 extra hops per mover.
+	want := 2000 + 200*9
+	if len(res.Observations) != want {
+		t.Fatalf("observations = %d, want %d", len(res.Observations), want)
+	}
+}
+
+func TestObservationsSortedAndHorizon(t *testing.T) {
+	spec := PaperSpec{Nodes: nodes(15), ObjectsPerNode: 50, MoveFraction: 0.2, TraceLen: 5, Seed: 2}
+	res, err := spec.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.Observations); i++ {
+		if res.Observations[i].At < res.Observations[i-1].At {
+			t.Fatal("observations not sorted")
+		}
+	}
+	last := res.Observations[len(res.Observations)-1].At
+	if res.Horizon != last {
+		t.Fatalf("horizon %v != last %v", res.Horizon, last)
+	}
+}
+
+func TestMoverVisitsDistinctNodes(t *testing.T) {
+	spec := PaperSpec{Nodes: nodes(12), ObjectsPerNode: 20, MoveFraction: 0.5, TraceLen: 10, Seed: 3}
+	res, err := spec.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	perObj := map[moods.ObjectID][]moods.Observation{}
+	for _, o := range res.Observations {
+		perObj[o.Object] = append(perObj[o.Object], o)
+	}
+	for _, m := range res.Movers {
+		obs := perObj[m]
+		if len(obs) != 10 {
+			t.Fatalf("mover %s has %d observations, want 10 (origin + 9 hops)", m, len(obs))
+		}
+		seen := map[moods.NodeName]bool{}
+		for _, o := range obs {
+			seen[o.Node] = true
+		}
+		// Origin plus 9 distinct route hops; route excludes origin, so
+		// all 10 are distinct.
+		if len(seen) != 10 {
+			t.Fatalf("mover %s visited %d distinct nodes", m, len(seen))
+		}
+	}
+}
+
+func TestGroupedMovementSharesRouteAndWindow(t *testing.T) {
+	spec := PaperSpec{
+		Nodes: nodes(20), ObjectsPerNode: 50, MoveFraction: 0.2,
+		TraceLen: 6, Grouped: true, Seed: 4,
+	}
+	res, err := spec.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Group movers by origin (their first observation's node); each
+	// origin's movers must share hop nodes and tightly clustered times.
+	firstNode := map[moods.ObjectID]moods.NodeName{}
+	hops := map[moods.ObjectID][]moods.Observation{}
+	for _, o := range res.Observations {
+		if _, ok := firstNode[o.Object]; !ok {
+			firstNode[o.Object] = o.Node
+			continue
+		}
+		hops[o.Object] = append(hops[o.Object], o)
+	}
+	byOrigin := map[moods.NodeName][]moods.ObjectID{}
+	for _, m := range res.Movers {
+		byOrigin[firstNode[m]] = append(byOrigin[firstNode[m]], m)
+	}
+	for origin, members := range byOrigin {
+		if len(members) < 2 {
+			continue
+		}
+		ref := hops[members[0]]
+		for _, m := range members[1:] {
+			h := hops[m]
+			if len(h) != len(ref) {
+				t.Fatalf("origin %s: mover hop counts differ", origin)
+			}
+			for i := range h {
+				if h[i].Node != ref[i].Node {
+					t.Fatalf("origin %s: route differs between group members", origin)
+				}
+				dt := h[i].At - ref[i].At
+				if dt < 0 {
+					dt = -dt
+				}
+				if dt > 200*time.Millisecond {
+					t.Fatalf("origin %s: group member %v apart at hop %d", origin, dt, i)
+				}
+			}
+		}
+	}
+}
+
+func TestIndividualMovementSpreads(t *testing.T) {
+	spec := PaperSpec{
+		Nodes: nodes(20), ObjectsPerNode: 100, MoveFraction: 0.3,
+		TraceLen: 4, Grouped: false, Seed: 5, HopGap: time.Minute,
+	}
+	res, err := spec.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Departure times of movers should span a wide range (≫ one window).
+	var min, max time.Duration
+	first := true
+	seen := map[moods.ObjectID]int{}
+	for _, o := range res.Observations {
+		seen[o.Object]++
+		if seen[o.Object] == 2 { // first hop after placement
+			if first {
+				min, max = o.At, o.At
+				first = false
+			}
+			if o.At < min {
+				min = o.At
+			}
+			if o.At > max {
+				max = o.At
+			}
+		}
+	}
+	if max-min < 5*time.Minute {
+		t.Fatalf("individual departures span only %v", max-min)
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := (PaperSpec{}).Generate(); err == nil {
+		t.Error("empty node set accepted")
+	}
+	if _, err := (PaperSpec{Nodes: nodes(3), TraceLen: 10}).Generate(); err == nil {
+		t.Error("trace longer than node count accepted")
+	}
+}
+
+func TestRealEPCIds(t *testing.T) {
+	spec := PaperSpec{Nodes: nodes(5), ObjectsPerNode: 10, TraceLen: 2, Seed: 6, RealEPC: true}
+	res, err := spec.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range res.Objects {
+		if !strings.HasPrefix(string(o), "urn:epc:id:sgtin:") {
+			t.Fatalf("object id %q is not an EPC urn", o)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	spec := PaperSpec{Nodes: nodes(10), ObjectsPerNode: 30, MoveFraction: 0.1, TraceLen: 5, Seed: 7}
+	a, _ := spec.Generate()
+	b, _ := spec.Generate()
+	if len(a.Observations) != len(b.Observations) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a.Observations {
+		if a.Observations[i] != b.Observations[i] {
+			t.Fatal("same seed produced different workloads")
+		}
+	}
+}
+
+func TestSupplyChainTopology(t *testing.T) {
+	sc := NewSupplyChain(2, 3, 5, 10)
+	all := sc.AllNodes()
+	if len(all) != 20 {
+		t.Fatalf("nodes = %d", len(all))
+	}
+	rng := rand.New(rand.NewSource(1))
+	route := sc.Route(rng)
+	if len(route) != 4 {
+		t.Fatalf("route = %v", route)
+	}
+	if !strings.HasPrefix(string(route[0]), "factory") ||
+		!strings.HasPrefix(string(route[3]), "store") {
+		t.Fatalf("route tiers wrong: %v", route)
+	}
+}
+
+func TestShipmentsExpand(t *testing.T) {
+	sc := NewSupplyChain(2, 2, 4, 8)
+	ships := sc.GenerateShipments(1, 5, 20, time.Hour)
+	if len(ships) != 5 {
+		t.Fatalf("shipments = %d", len(ships))
+	}
+	rng := rand.New(rand.NewSource(2))
+	prev := time.Duration(-1)
+	for _, sh := range ships {
+		if len(sh.Objects) != 20 {
+			t.Fatalf("lot size = %d", len(sh.Objects))
+		}
+		if sh.Departs < prev {
+			t.Fatal("departures not monotone")
+		}
+		prev = sh.Departs
+		obs := sh.Observations(rng, 30*time.Minute, time.Second)
+		if len(obs) != 20*4 {
+			t.Fatalf("observations = %d", len(obs))
+		}
+		// Every object is seen at every route stop.
+		count := map[moods.ObjectID]int{}
+		for _, o := range obs {
+			count[o.Object]++
+		}
+		for _, c := range count {
+			if c != 4 {
+				t.Fatalf("object seen %d times", c)
+			}
+		}
+	}
+}

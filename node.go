@@ -1,0 +1,337 @@
+package peertrack
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"peertrack/internal/chord"
+	"peertrack/internal/core"
+	"peertrack/internal/ids"
+	"peertrack/internal/moods"
+	"peertrack/internal/netsize"
+	"peertrack/internal/transport"
+)
+
+// Node is a live traceable-network participant: a Chord node plus the
+// PeerTrack protocol served over TCP. Organisations run one Node per
+// site, join a bootstrap peer, and feed it their (cleansed) RFID
+// capture events.
+type Node struct {
+	tr     *transport.TCP
+	chord  *chord.Node
+	peer   *core.Peer
+	pm     *core.PrefixManager
+	pinned bool // operator pinned the network-size estimate
+
+	mu     sync.Mutex
+	closed bool
+	stopCh chan struct{}
+	wg     sync.WaitGroup
+}
+
+// NodeOptions configures StartNode. The zero value is usable.
+type NodeOptions struct {
+	// Mode is Individual or Grouped (default Grouped).
+	Mode IndexingMode
+	// StabilizeEvery is the overlay maintenance cadence (default 2s).
+	StabilizeEvery time.Duration
+	// WindowInterval is T_interval for capture windows (default 1s).
+	WindowInterval time.Duration
+	// WindowMaxObjects is N_max (default 1024).
+	WindowMaxObjects int
+	// NetworkSize, when > 0, pins the Nn estimate used for the prefix
+	// length instead of deriving it from overlay density. Pin it to the
+	// same value on every node of small deployments.
+	NetworkSize float64
+	// LMin is the minimum prefix length (default 3).
+	LMin int
+	// NetworkSecret, when non-empty, enables HMAC authentication of all
+	// P2P frames; every node of the network must share it.
+	NetworkSecret string
+}
+
+func (o *NodeOptions) fill() {
+	if o.StabilizeEvery <= 0 {
+		o.StabilizeEvery = 2 * time.Second
+	}
+	if o.WindowInterval <= 0 {
+		o.WindowInterval = time.Second
+	}
+	if o.LMin <= 0 {
+		o.LMin = 3
+	}
+}
+
+// nodeEpoch anchors live timestamps: observation times are durations
+// since the Unix epoch, identical on every node.
+var nodeEpoch = time.Unix(0, 0)
+
+// StartNode binds a PeerTrack node on listen ("host:port"; a port of 0
+// or an empty string binds an ephemeral loopback port — read the final
+// address from Addr). The node starts as a single-node network; call
+// Join to enter an existing one.
+func StartNode(listen string, opts NodeOptions) (*Node, error) {
+	opts.fill()
+	tr := transport.NewTCP()
+	if opts.NetworkSecret != "" {
+		tr.Secret = []byte(opts.NetworkSecret)
+	}
+	var peer *core.Peer
+	var cn *chord.Node
+	handler := func(from transport.Addr, req any) (any, error) {
+		if cn == nil {
+			return nil, fmt.Errorf("peertrack: node starting")
+		}
+		return cn.HandleRPC(from, req)
+	}
+	var addr transport.Addr
+	var err error
+	if listen == "" || hasZeroPort(listen) {
+		host := "127.0.0.1"
+		if listen != "" {
+			host = hostOf(listen)
+		}
+		addr, err = tr.RegisterAuto(host, handler)
+	} else {
+		addr = transport.Addr(listen)
+		err = tr.Register(addr, handler)
+	}
+	if err != nil {
+		tr.Close()
+		return nil, err
+	}
+
+	cn = chord.NewPrebound(tr, addr, ids.Hash([]byte(addr)), chord.Config{})
+	pm := core.NewPrefixManager(core.Scheme2, opts.LMin, 1)
+	if opts.NetworkSize > 0 {
+		pm.SetNetworkSize(opts.NetworkSize)
+	}
+	clock := func() time.Duration { return time.Since(nodeEpoch) }
+	peer = core.NewPeer(cn, tr, pm, core.Config{
+		Mode: opts.Mode,
+		NMax: opts.WindowMaxObjects,
+	}, clock)
+
+	n := &Node{tr: tr, chord: cn, peer: peer, pm: pm, pinned: opts.NetworkSize > 0, stopCh: make(chan struct{})}
+	n.wg.Add(1)
+	go n.maintain(opts)
+	return n, nil
+}
+
+func hasZeroPort(listen string) bool {
+	for i := len(listen) - 1; i >= 0; i-- {
+		if listen[i] == ':' {
+			return listen[i+1:] == "0"
+		}
+	}
+	return false
+}
+
+func hostOf(listen string) string {
+	for i := len(listen) - 1; i >= 0; i-- {
+		if listen[i] == ':' {
+			return listen[:i]
+		}
+	}
+	return listen
+}
+
+// Addr returns the node's dialable address — its identity in the
+// network and the location name on traces.
+func (n *Node) Addr() string { return string(n.chord.Addr()) }
+
+// Join enters the network that bootstrap belongs to.
+func (n *Node) Join(bootstrap string) error {
+	ref := chord.NodeRef{
+		ID:   ids.Hash([]byte(bootstrap)),
+		Addr: transport.Addr(bootstrap),
+	}
+	if err := n.chord.Join(ref); err != nil {
+		return err
+	}
+	n.chord.Stabilize()
+	n.refreshNetworkSize()
+	return nil
+}
+
+// maintain runs overlay stabilization, finger repair, window flushes,
+// and network-size refresh until Close.
+func (n *Node) maintain(opts NodeOptions) {
+	defer n.wg.Done()
+	stab := time.NewTicker(opts.StabilizeEvery)
+	defer stab.Stop()
+	flush := time.NewTicker(opts.WindowInterval)
+	defer flush.Stop()
+	est := time.NewTicker(10 * opts.StabilizeEvery)
+	defer est.Stop()
+	for {
+		select {
+		case <-n.stopCh:
+			return
+		case <-stab.C:
+			n.chord.CheckPredecessor()
+			n.chord.Stabilize()
+			n.chord.FixFingers()
+		case <-flush.C:
+			n.peer.FlushWindow()
+		case <-est.C:
+			n.refreshNetworkSize()
+			// Re-home any index buckets whose gateway placement is
+			// stale (ring convergence, membership changes) and merge
+			// split histories.
+			n.peer.InvalidateGatewayCache()
+			n.peer.ReconcileStep()
+		}
+	}
+}
+
+// refreshNetworkSize re-estimates Nn from overlay density unless the
+// operator pinned it.
+func (n *Node) refreshNetworkSize() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed || n.pinned {
+		return
+	}
+	est := netsize.DensityEstimate(n.chord.Self(), n.chord.Successors())
+	if est > 1 {
+		old := n.pm.Lp()
+		if _, new := n.pm.SetNetworkSize(est); new != old {
+			n.peer.InvalidateGatewayCache()
+		}
+	}
+}
+
+// Observe ingests one capture event at this node, stamped now.
+func (n *Node) Observe(object string) error {
+	return n.ObserveAt(object, time.Now())
+}
+
+// ObserveAt ingests one capture event with an explicit timestamp.
+func (n *Node) ObserveAt(object string, at time.Time) error {
+	return n.peer.Observe(moods.Observation{
+		Object: moods.ObjectID(object),
+		At:     at.Sub(nodeEpoch),
+	})
+}
+
+// Flush force-closes the current capture window (group mode).
+func (n *Node) Flush() error { return n.peer.FlushWindow() }
+
+// Locate answers "where was this object at time t?".
+func (n *Node) Locate(object string, at time.Time) (string, QueryStats, error) {
+	res, err := n.peer.Locate(moods.ObjectID(object), at.Sub(nodeEpoch))
+	stats := QueryStats{Hops: res.Hops}
+	if err != nil {
+		return "", stats, err
+	}
+	return string(res.Node), stats, nil
+}
+
+// Trace answers "where has this object been?".
+func (n *Node) Trace(object string) ([]Stop, QueryStats, error) {
+	res, err := n.peer.FullTrace(moods.ObjectID(object))
+	stats := QueryStats{Hops: res.Hops}
+	if err != nil {
+		return nil, stats, err
+	}
+	return toStops(res.Path), stats, nil
+}
+
+// TraceBetween answers TR(o, t1, t2): the trajectory within a window.
+func (n *Node) TraceBetween(object string, t1, t2 time.Time) ([]Stop, QueryStats, error) {
+	res, err := n.peer.Trace(moods.ObjectID(object), t1.Sub(nodeEpoch), t2.Sub(nodeEpoch))
+	stats := QueryStats{Hops: res.Hops}
+	if err != nil {
+		return nil, stats, err
+	}
+	return toStops(res.Path), stats, nil
+}
+
+// ResolveTrace answers an object's full trajectory including movements
+// made while packed inside parent containers.
+func (n *Node) ResolveTrace(object string) ([]Stop, QueryStats, error) {
+	res, err := n.peer.ResolveTrace(moods.ObjectID(object))
+	stats := QueryStats{Hops: res.Hops}
+	if err != nil {
+		return nil, stats, err
+	}
+	return toStops(res.Path), stats, nil
+}
+
+// Pack records an aggregation event at this node: children packed into
+// parent now.
+func (n *Node) Pack(parent string, children []string) error {
+	return n.peer.Pack(moods.ObjectID(parent), toObjectIDs(children), time.Since(nodeEpoch))
+}
+
+// Unpack records the matching disaggregation event.
+func (n *Node) Unpack(parent string, children []string) error {
+	return n.peer.Unpack(moods.ObjectID(parent), toObjectIDs(children), time.Since(nodeEpoch))
+}
+
+// PredictNext predicts where an object will move next based on the
+// historical flows through its current location.
+func (n *Node) PredictNext(object string) (Prediction, QueryStats, error) {
+	res, err := n.peer.PredictNext(moods.ObjectID(object))
+	stats := QueryStats{Hops: res.Hops}
+	if err != nil {
+		return Prediction{}, stats, err
+	}
+	return Prediction{
+		Current:     string(res.Current),
+		Next:        string(res.Next),
+		Probability: res.Probability,
+		ETA:         res.ETA,
+	}, stats, nil
+}
+
+// Inventory returns the objects currently present at this node.
+func (n *Node) Inventory() []string {
+	objs := n.peer.Inventory()
+	out := make([]string, len(objs))
+	for i, o := range objs {
+		out[i] = string(o)
+	}
+	return out
+}
+
+// StorageStats returns local storage counters: visit records in the
+// repository and gateway index records held.
+func (n *Node) StorageStats() (visits, indexed int) {
+	return n.peer.LocalVisits(), n.peer.IndexedEntries()
+}
+
+// Snapshot persists the node's durable state (repository, index,
+// replicas, transition model) to w.
+func (n *Node) Snapshot(w io.Writer) error { return n.peer.Snapshot(w) }
+
+// Restore loads a snapshot produced by Snapshot. Call it before Join.
+func (n *Node) Restore(r io.Reader) error { return n.peer.Restore(r) }
+
+// Close leaves the ring and stops serving.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	n.mu.Unlock()
+	close(n.stopCh)
+	n.wg.Wait()
+	err := n.chord.Leave()
+	n.tr.Close()
+	if err != nil && err != chord.ErrLeft {
+		return err
+	}
+	return nil
+}
+
+// RingInfo reports the node's overlay neighbours and current prefix
+// length, for diagnostics.
+func (n *Node) RingInfo() (succ, pred string, lp int) {
+	return string(n.chord.Successor().Addr), string(n.chord.Predecessor().Addr), n.pm.Lp()
+}

@@ -1,0 +1,362 @@
+package peertrack
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestSimulationQuickstartFlow(t *testing.T) {
+	sim, err := NewSimulation(SimOptions{Nodes: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := sim.Nodes()
+	if len(nodes) != 16 {
+		t.Fatalf("nodes = %d", len(nodes))
+	}
+	obj := "urn:epc:id:sgtin:0614141.812345.400"
+	sim.Observe(nodes[0], obj, 1*time.Second)
+	sim.Observe(nodes[5], obj, 2*time.Minute)
+	sim.Observe(nodes[9], obj, 4*time.Minute)
+	sim.Run(10 * time.Minute)
+
+	stops, stats, err := sim.Trace(nodes[3], obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stops) != 3 {
+		t.Fatalf("stops = %v", stops)
+	}
+	if stops[0].Node != nodes[0] || stops[2].Node != nodes[9] {
+		t.Fatalf("trace = %v", stops)
+	}
+	if stats.Hops <= 0 || stats.Time <= 0 {
+		t.Errorf("stats = %+v", stats)
+	}
+
+	loc, _, err := sim.Locate(nodes[1], obj, 3*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loc != nodes[5] {
+		t.Fatalf("located at %q, want %q", loc, nodes[5])
+	}
+	if _, _, err := sim.Locate(nodes[1], "nope", time.Hour); !errors.Is(err, ErrNotTracked) {
+		t.Fatalf("untracked err = %v", err)
+	}
+}
+
+func TestSimulationTraceBetween(t *testing.T) {
+	sim, err := NewSimulation(SimOptions{Nodes: 12, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := sim.Nodes()
+	obj := "windowed-object"
+	for i := 0; i < 5; i++ {
+		sim.Observe(nodes[i*2], obj, time.Duration(i+1)*time.Minute)
+	}
+	sim.Run(10 * time.Minute)
+	stops, _, err := sim.TraceBetween(nodes[1], obj, 150*time.Second, 250*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stops) != 3 { // node at 2m (occupied), 3m, 4m
+		t.Fatalf("windowed stops = %v", stops)
+	}
+}
+
+func TestSimulationUnknownNode(t *testing.T) {
+	sim, _ := NewSimulation(SimOptions{Nodes: 4})
+	if err := sim.Observe("nowhere", "o", time.Second); err == nil {
+		t.Error("observe at unknown node accepted")
+	}
+	if _, _, err := sim.Trace("nowhere", "o"); err == nil {
+		t.Error("trace from unknown node accepted")
+	}
+}
+
+func TestSimulationIndividualMode(t *testing.T) {
+	sim, err := NewSimulation(SimOptions{Nodes: 8, Mode: Individual})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := sim.Nodes()
+	obj := "ind-object"
+	sim.Observe(nodes[0], obj, time.Second)
+	sim.Observe(nodes[3], obj, time.Minute)
+	sim.Run(2 * time.Minute)
+	stops, _, err := sim.Trace(nodes[6], obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stops) != 2 {
+		t.Fatalf("stops = %v", stops)
+	}
+	if sim.Messages() == 0 {
+		t.Error("no messages counted")
+	}
+}
+
+func TestSimulationGrow(t *testing.T) {
+	sim, err := NewSimulation(SimOptions{Nodes: 8, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := sim.Nodes()
+	obj := "grow-object"
+	sim.Observe(nodes[0], obj, time.Second)
+	sim.Observe(nodes[4], obj, time.Minute)
+	sim.Run(2 * time.Minute)
+	if err := sim.Grow(24); err != nil {
+		t.Fatal(err)
+	}
+	if len(sim.Nodes()) != 32 {
+		t.Fatalf("nodes after grow = %d", len(sim.Nodes()))
+	}
+	stops, _, err := sim.Trace(sim.Nodes()[20], obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stops) != 2 {
+		t.Fatalf("stops after grow = %v", stops)
+	}
+}
+
+func TestLiveNodesOverTCP(t *testing.T) {
+	// Three-organisation live network on loopback.
+	opts := NodeOptions{NetworkSize: 3, StabilizeEvery: 50 * time.Millisecond, WindowInterval: 50 * time.Millisecond}
+	a, err := StartNode("127.0.0.1:0", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := StartNode("127.0.0.1:0", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	c, err := StartNode("127.0.0.1:0", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if err := b.Join(a.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Join(a.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	// Let stabilization converge the 3-ring.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if !a.chord.Predecessor().IsZero() && !b.chord.Predecessor().IsZero() && !c.chord.Predecessor().IsZero() {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	obj := "urn:epc:id:sgtin:0614141.812345.777"
+	t0 := time.Now()
+	if err := a.ObserveAt(obj, t0); err != nil {
+		t.Fatal(err)
+	}
+	a.Flush()
+	if err := b.ObserveAt(obj, t0.Add(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	b.Flush()
+	if err := c.ObserveAt(obj, t0.Add(2*time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	c.Flush()
+
+	stops, _, err := a.Trace(obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stops) != 3 {
+		t.Fatalf("live trace = %v", stops)
+	}
+	want := []string{a.Addr(), b.Addr(), c.Addr()}
+	for i, s := range stops {
+		if s.Node != want[i] {
+			t.Fatalf("live trace order = %v, want %v", stops, want)
+		}
+	}
+	loc, _, err := b.Locate(obj, t0.Add(1500*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loc != b.Addr() {
+		t.Fatalf("located at %q, want %q", loc, b.Addr())
+	}
+}
+
+func TestLiveNodesWithSharedSecret(t *testing.T) {
+	opts := NodeOptions{
+		NetworkSize:    2,
+		NetworkSecret:  "supply-chain-secret",
+		StabilizeEvery: 50 * time.Millisecond,
+		WindowInterval: 50 * time.Millisecond,
+	}
+	a, err := StartNode("127.0.0.1:0", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := StartNode("127.0.0.1:0", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if err := b.Join(a.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	obj := "secured-object"
+	if err := a.ObserveAt(obj, time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	a.Flush()
+	if _, _, err := b.Trace(obj); err != nil {
+		t.Fatalf("trace over authenticated transport: %v", err)
+	}
+
+	// A node with the wrong secret cannot join.
+	evil, err := StartNode("127.0.0.1:0", NodeOptions{
+		NetworkSize:   2,
+		NetworkSecret: "wrong",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer evil.Close()
+	if err := evil.Join(a.Addr()); err == nil {
+		t.Fatal("join with wrong secret succeeded")
+	}
+}
+
+func TestLiveNodeCloseIdempotent(t *testing.T) {
+	n, err := StartNode("127.0.0.1:0", NodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSimulationTrace(b *testing.B) {
+	sim, err := NewSimulation(SimOptions{Nodes: 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	nodes := sim.Nodes()
+	for i := 0; i < 128; i++ {
+		obj := fmt.Sprintf("bench-%d", i)
+		sim.Observe(nodes[i%64], obj, time.Second)
+		sim.Observe(nodes[(i+7)%64], obj, time.Minute)
+		sim.Observe(nodes[(i+13)%64], obj, 2*time.Minute)
+	}
+	sim.Run(5 * time.Minute)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := sim.Trace(nodes[i%64], fmt.Sprintf("bench-%d", i%128)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestSimulationContainment(t *testing.T) {
+	sim, err := NewSimulation(SimOptions{Nodes: 16, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := sim.Nodes()
+	pallet := "pallet-x"
+	box := "box-x"
+	sim.Observe(nodes[1], box, time.Minute)
+	sim.Observe(nodes[1], pallet, time.Minute)
+	sim.Pack(nodes[1], pallet, []string{box}, 2*time.Minute)
+	sim.Observe(nodes[6], pallet, time.Hour)
+	sim.Unpack(nodes[6], pallet, []string{box}, time.Hour+time.Minute)
+	sim.Observe(nodes[11], box, 2*time.Hour)
+	sim.Run(3 * time.Hour)
+
+	stops, _, err := sim.ResolveTrace(nodes[0], box)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stops) != 3 || stops[1].Node != nodes[6] {
+		t.Fatalf("resolved stops = %v", stops)
+	}
+	if err := sim.Pack("nowhere", pallet, []string{box}, time.Hour); err == nil {
+		t.Error("pack at unknown node accepted")
+	}
+}
+
+func TestSimulationInventoryAndDwell(t *testing.T) {
+	sim, err := NewSimulation(SimOptions{Nodes: 12, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := sim.Nodes()
+	// Three objects arrive at node 3; one moves on to node 7 after 20m.
+	for i := 0; i < 3; i++ {
+		sim.Observe(nodes[3], fmt.Sprintf("inv-%d", i), time.Minute)
+	}
+	sim.Observe(nodes[7], "inv-0", 21*time.Minute)
+	sim.Run(time.Hour)
+
+	count, objs, err := sim.InventoryAt(nodes[0], nodes[3], 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 2 || len(objs) != 2 {
+		t.Fatalf("inventory = %d %v", count, objs)
+	}
+	dep, dwell, err := sim.DwellStatsAt(nodes[0], nodes[3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dep != 1 {
+		t.Fatalf("departures = %d", dep)
+	}
+	if dwell < 19*time.Minute || dwell > 21*time.Minute {
+		t.Fatalf("dwell = %v", dwell)
+	}
+	if _, _, err := sim.InventoryAt("nowhere", nodes[3], 0); err == nil {
+		t.Error("unknown asker accepted")
+	}
+}
+
+func TestSimulationShrink(t *testing.T) {
+	sim, err := NewSimulation(SimOptions{Nodes: 32, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := sim.Nodes()
+	obj := "shrink-obj"
+	sim.Observe(nodes[0], obj, time.Second)
+	sim.Observe(nodes[5], obj, time.Minute)
+	sim.Run(2 * time.Minute)
+	if err := sim.Shrink(16); err != nil {
+		t.Fatal(err)
+	}
+	if len(sim.Nodes()) != 16 {
+		t.Fatalf("nodes after shrink = %d", len(sim.Nodes()))
+	}
+	stops, _, err := sim.Trace(sim.Nodes()[3], obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stops) != 2 {
+		t.Fatalf("stops after shrink = %v", stops)
+	}
+}
