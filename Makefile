@@ -1,0 +1,35 @@
+GO ?= go
+
+.PHONY: build test check vet race bench figures
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is the tier-1 gate: vet plus the full suite under the race
+# detector (the sharded stats and parallel sweep runner are exercised
+# concurrently by their tests).
+check: vet race
+
+# bench refreshes the hot-path perf ledger. The baseline block of an
+# existing BENCH_CORE.json is preserved, so the file keeps before/after
+# numbers for the current optimisation round.
+bench: build
+	$(GO) run ./cmd/peertrack-bench -benchcore BENCH_CORE.json -scale default
+
+# micro runs just the package-level hot-path microbenchmarks.
+micro:
+	$(GO) test -run xxx -bench 'BenchmarkTransportCall|BenchmarkStatsSnapshot' ./internal/transport/
+	$(GO) test -run xxx -bench 'BenchmarkKernel|BenchmarkTimerStop' ./internal/sim/
+
+# figures prints every reproduced figure at laptop scale.
+figures:
+	$(GO) run ./cmd/peertrack-bench -fig all -scale default

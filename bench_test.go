@@ -17,7 +17,10 @@ import (
 	"peertrack/internal/moods"
 )
 
-// benchScale keeps one iteration under a few seconds.
+// benchScale keeps one iteration under a few seconds. Workers is left
+// at 0, so figure sweeps fan out across GOMAXPROCS via the parallel
+// runner — worker count does not affect the reported metrics (rows are
+// byte-identical at any parallelism), only wall-clock.
 func benchScale(b *testing.B) experiments.Scale {
 	b.Helper()
 	s := experiments.Tiny()

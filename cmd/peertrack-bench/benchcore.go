@@ -1,0 +1,151 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"peertrack/internal/experiments"
+	"peertrack/internal/sim"
+	"peertrack/internal/transport"
+)
+
+// BENCH_CORE.json is the repository's hot-path perf ledger: ns/op and
+// allocs/op for the two innermost operations (Memory.Call and
+// Kernel.Step) plus wall-clock per evaluation figure. The baseline
+// block is preserved across regenerations, so the committed file always
+// shows before/after for the current optimisation round and gives later
+// PRs a trajectory to beat.
+
+type coreStat struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+type coreSnapshot struct {
+	MemoryCall coreStat           `json:"memory_call"`
+	KernelStep coreStat           `json:"kernel_step"`
+	FigureMs   map[string]float64 `json:"figure_wall_ms"`
+}
+
+type benchCoreFile struct {
+	GeneratedAt  string        `json:"generated_at"`
+	GoMaxProcs   int           `json:"gomaxprocs"`
+	Scale        string        `json:"scale"`
+	Workers      int           `json:"workers"`
+	BaselineNote string        `json:"baseline_note,omitempty"`
+	Baseline     *coreSnapshot `json:"baseline,omitempty"`
+	Current      coreSnapshot  `json:"current"`
+}
+
+func statOf(r testing.BenchmarkResult) coreStat {
+	return coreStat{
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+}
+
+type coreBenchReq struct{ N int }
+
+func (coreBenchReq) WireSize() int { return 32 }
+
+func benchMemoryCall() coreStat {
+	m := transport.NewMemory(1)
+	addr := transport.Addr("bench-node")
+	var resp any = coreBenchReq{N: 1}
+	if err := m.Register(addr, func(from transport.Addr, req any) (any, error) {
+		return resp, nil
+	}); err != nil {
+		panic(err)
+	}
+	var req any = coreBenchReq{N: 7}
+	return statOf(testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := m.Call(addr, addr, req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+}
+
+func benchKernelStep() coreStat {
+	k := sim.New(1)
+	fn := func() {}
+	return statOf(testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			k.Schedule(time.Microsecond, fn)
+			k.Step()
+		}
+	}))
+}
+
+// benchCore measures the hot-path microbenchmarks and every figure's
+// wall clock, then writes path. An existing baseline block in path is
+// carried forward; if the file has none, the measurement becomes the
+// baseline for future runs.
+func benchCore(path, scaleName string, scale experiments.Scale) error {
+	out := benchCoreFile{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Scale:       scaleName,
+		Workers:     scale.Workers,
+	}
+	if prev, err := os.ReadFile(path); err == nil {
+		var old benchCoreFile
+		if json.Unmarshal(prev, &old) == nil {
+			out.Baseline = old.Baseline
+			out.BaselineNote = old.BaselineNote
+		}
+	}
+
+	fmt.Fprintln(os.Stderr, "# bench-core: Memory.Call")
+	out.Current.MemoryCall = benchMemoryCall()
+	fmt.Fprintln(os.Stderr, "# bench-core: Kernel.Step")
+	out.Current.KernelStep = benchKernelStep()
+
+	out.Current.FigureMs = make(map[string]float64)
+	figs := []struct {
+		name string
+		run  func() error
+	}{
+		{"fig6a", func() error { _, err := experiments.Fig6a(scale); return err }},
+		{"fig6b", func() error { _, err := experiments.Fig6b(scale); return err }},
+		{"fig7a", func() error { _, err := experiments.Fig7a(scale); return err }},
+		{"fig7b", func() error { _, err := experiments.Fig7b(scale); return err }},
+		{"fig8a", func() error { _, _, err := experiments.Fig8a(scale); return err }},
+		{"fig8b", func() error { _, err := experiments.Fig8b(scale); return err }},
+	}
+	for _, f := range figs {
+		fmt.Fprintf(os.Stderr, "# bench-core: %s\n", f.name)
+		start := time.Now()
+		if err := f.run(); err != nil {
+			return fmt.Errorf("bench-core %s: %w", f.name, err)
+		}
+		out.Current.FigureMs[f.name] = float64(time.Since(start).Microseconds()) / 1000
+	}
+	if out.Baseline == nil {
+		out.Baseline = &out.Current
+		out.BaselineNote = "first recorded run"
+	}
+
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("# bench-core: wrote %s (Memory.Call %.1f ns/op %d allocs, Kernel.Step %.1f ns/op %d allocs)\n",
+		path,
+		out.Current.MemoryCall.NsPerOp, out.Current.MemoryCall.AllocsPerOp,
+		out.Current.KernelStep.NsPerOp, out.Current.KernelStep.AllocsPerOp)
+	return nil
+}

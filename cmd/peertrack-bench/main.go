@@ -5,11 +5,19 @@
 // Usage:
 //
 //	peertrack-bench [-fig 6a|6b|7a|7b|8a|8b|triangle|window|alpha|cache|intermediate|all]
-//	                [-scale tiny|default|full] [-csv] [-seed N]
+//	                [-scale tiny|default|full] [-csv] [-seed N] [-parallel N]
+//	                [-benchcore FILE]
 //
 // The full scale matches the paper (512 nodes, 5000 objects/node) and
 // takes tens of minutes plus several GB of memory; default runs every
 // figure in seconds while preserving the trends.
+//
+// Figure sweeps fan their independent simulation points across
+// -parallel workers (default GOMAXPROCS); every worker count produces
+// byte-identical rows, so -parallel 1 is only needed to time the
+// sequential runner. -benchcore measures the hot-path microbenchmarks
+// plus per-figure wall clock and writes the BENCH_CORE.json perf
+// snapshot instead of printing tables.
 package main
 
 import (
@@ -34,6 +42,8 @@ func main() {
 	steps := flag.Int("steps", 0, "override: number of volume points")
 	sizes := flag.String("sizes", "", "override: comma-separated node counts for size sweeps")
 	queries := flag.Int("queries", 0, "override: queries per measurement")
+	parallel := flag.Int("parallel", 0, "sweep workers: 0 = GOMAXPROCS, 1 = sequential")
+	benchcorePath := flag.String("benchcore", "", "write a BENCH_CORE.json hot-path perf snapshot to this file and exit")
 	flag.Parse()
 
 	var scale experiments.Scale
@@ -71,6 +81,16 @@ func main() {
 			}
 			scale.NetworkSizes = append(scale.NetworkSizes, v)
 		}
+	}
+
+	scale.Workers = *parallel
+
+	if *benchcorePath != "" {
+		if err := benchCore(*benchcorePath, *scaleName, scale); err != nil {
+			fmt.Fprintf(os.Stderr, "benchcore: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	figs := strings.Split(*fig, ",")

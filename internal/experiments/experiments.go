@@ -41,6 +41,11 @@ type Scale struct {
 	Queries int
 	// Seed drives workload and query sampling.
 	Seed int64
+	// Workers bounds how many sweep points run concurrently. 0 means
+	// GOMAXPROCS; 1 forces the sequential runner. Every worker count
+	// produces byte-identical rows: points are independent simulations
+	// seeded from Seed alone (see runner.go).
+	Workers int
 }
 
 // Default is a laptop-scale configuration (seconds per figure).
@@ -155,25 +160,36 @@ type Fig6aRow struct {
 	GroupKMsgs      float64
 }
 
-// Fig6a regenerates Fig. 6a.
+// Fig6a regenerates Fig. 6a. The volume points (and the two indexing
+// modes within each point) are independent simulations, fanned out
+// across Scale.Workers.
 func Fig6a(s Scale) ([]Fig6aRow, error) {
 	s.fill()
-	rows := make([]Fig6aRow, 0, s.VolumeSteps)
-	for i := 1; i <= s.VolumeSteps; i++ {
-		vol := s.MaxVolume * i / s.VolumeSteps
-		ind, err := runWorkload(s.Nodes, vol, core.IndividualIndexing, core.Scheme2, true, s.Seed)
-		if err != nil {
-			return nil, fmt.Errorf("fig6a individual vol=%d: %w", vol, err)
+	rows := make([]Fig6aRow, s.VolumeSteps)
+	for i := range rows {
+		rows[i].ObjectsPerNode = s.MaxVolume * (i + 1) / s.VolumeSteps
+	}
+	// Two tasks per volume point, writing disjoint fields of the row.
+	err := runTasks(s.workers(), 2*s.VolumeSteps, func(t int) error {
+		row := &rows[t/2]
+		vol := row.ObjectsPerNode
+		if t%2 == 0 {
+			ind, err := runWorkload(s.Nodes, vol, core.IndividualIndexing, core.Scheme2, true, s.Seed)
+			if err != nil {
+				return fmt.Errorf("fig6a individual vol=%d: %w", vol, err)
+			}
+			row.IndividualKMsgs = ind.kMsg
+		} else {
+			grp, err := runWorkload(s.Nodes, vol, core.GroupIndexing, core.Scheme2, true, s.Seed)
+			if err != nil {
+				return fmt.Errorf("fig6a group vol=%d: %w", vol, err)
+			}
+			row.GroupKMsgs = grp.kMsg
 		}
-		grp, err := runWorkload(s.Nodes, vol, core.GroupIndexing, core.Scheme2, true, s.Seed)
-		if err != nil {
-			return nil, fmt.Errorf("fig6a group vol=%d: %w", vol, err)
-		}
-		rows = append(rows, Fig6aRow{
-			ObjectsPerNode:  vol,
-			IndividualKMsgs: ind.kMsg,
-			GroupKMsgs:      grp.kMsg,
-		})
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -187,29 +203,42 @@ type Fig6bRow struct {
 	GroupSingleKMsgs float64 // group indexing, objects move individually
 }
 
-// Fig6b regenerates Fig. 6b.
+// Fig6b regenerates Fig. 6b. Each (network size, series) cell is an
+// independent simulation, fanned out across Scale.Workers.
 func Fig6b(s Scale) ([]Fig6bRow, error) {
 	s.fill()
-	rows := make([]Fig6bRow, 0, len(s.NetworkSizes))
-	for _, n := range s.NetworkSizes {
-		ind, err := runWorkload(n, s.MaxVolume, core.IndividualIndexing, core.Scheme2, true, s.Seed)
-		if err != nil {
-			return nil, fmt.Errorf("fig6b individual n=%d: %w", n, err)
+	rows := make([]Fig6bRow, len(s.NetworkSizes))
+	for i, n := range s.NetworkSizes {
+		rows[i].Nodes = n
+	}
+	// Three tasks per size, one per series, writing disjoint fields.
+	err := runTasks(s.workers(), 3*len(s.NetworkSizes), func(t int) error {
+		row := &rows[t/3]
+		n := row.Nodes
+		switch t % 3 {
+		case 0:
+			ind, err := runWorkload(n, s.MaxVolume, core.IndividualIndexing, core.Scheme2, true, s.Seed)
+			if err != nil {
+				return fmt.Errorf("fig6b individual n=%d: %w", n, err)
+			}
+			row.IndividualKMsgs = ind.kMsg
+		case 1:
+			grpG, err := runWorkload(n, s.MaxVolume, core.GroupIndexing, core.Scheme2, true, s.Seed)
+			if err != nil {
+				return fmt.Errorf("fig6b grouped n=%d: %w", n, err)
+			}
+			row.GroupMovedKMsgs = grpG.kMsg
+		case 2:
+			grpI, err := runWorkload(n, s.MaxVolume, core.GroupIndexing, core.Scheme2, false, s.Seed)
+			if err != nil {
+				return fmt.Errorf("fig6b group-individual n=%d: %w", n, err)
+			}
+			row.GroupSingleKMsgs = grpI.kMsg
 		}
-		grpG, err := runWorkload(n, s.MaxVolume, core.GroupIndexing, core.Scheme2, true, s.Seed)
-		if err != nil {
-			return nil, fmt.Errorf("fig6b grouped n=%d: %w", n, err)
-		}
-		grpI, err := runWorkload(n, s.MaxVolume, core.GroupIndexing, core.Scheme2, false, s.Seed)
-		if err != nil {
-			return nil, fmt.Errorf("fig6b group-individual n=%d: %w", n, err)
-		}
-		rows = append(rows, Fig6bRow{
-			Nodes:            n,
-			IndividualKMsgs:  ind.kMsg,
-			GroupMovedKMsgs:  grpG.kMsg,
-			GroupSingleKMsgs: grpI.kMsg,
-		})
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -261,31 +290,42 @@ func queryPoint(nodes, perNode, queries int, seed int64) (Fig7Row, error) {
 	}, nil
 }
 
-// Fig7a regenerates Fig. 7a: query time vs network size.
+// Fig7a regenerates Fig. 7a: query time vs network size. Points are
+// independent simulations, fanned out across Scale.Workers.
 func Fig7a(s Scale) ([]Fig7Row, error) {
 	s.fill()
-	rows := make([]Fig7Row, 0, len(s.NetworkSizes))
-	for _, n := range s.NetworkSizes {
+	rows := make([]Fig7Row, len(s.NetworkSizes))
+	err := runTasks(s.workers(), len(s.NetworkSizes), func(i int) error {
+		n := s.NetworkSizes[i]
 		row, err := queryPoint(n, s.MaxVolume, s.Queries, s.Seed)
 		if err != nil {
-			return nil, fmt.Errorf("fig7a n=%d: %w", n, err)
+			return fmt.Errorf("fig7a n=%d: %w", n, err)
 		}
-		rows = append(rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
 
-// Fig7b regenerates Fig. 7b: query time vs data volume.
+// Fig7b regenerates Fig. 7b: query time vs data volume. Points are
+// independent simulations, fanned out across Scale.Workers.
 func Fig7b(s Scale) ([]Fig7Row, error) {
 	s.fill()
-	rows := make([]Fig7Row, 0, s.VolumeSteps)
-	for i := 1; i <= s.VolumeSteps; i++ {
-		vol := s.MaxVolume * i / s.VolumeSteps
+	rows := make([]Fig7Row, s.VolumeSteps)
+	err := runTasks(s.workers(), s.VolumeSteps, func(i int) error {
+		vol := s.MaxVolume * (i + 1) / s.VolumeSteps
 		row, err := queryPoint(s.Nodes, vol, s.Queries, s.Seed)
 		if err != nil {
-			return nil, fmt.Errorf("fig7b vol=%d: %w", vol, err)
+			return fmt.Errorf("fig7b vol=%d: %w", vol, err)
 		}
-		rows = append(rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -308,15 +348,18 @@ type Fig8aSummary struct {
 }
 
 // Fig8a regenerates Fig. 8a: the load-balance curves of the three Lp
-// schemes, sampled at deciles, plus summary statistics.
+// schemes, sampled at deciles, plus summary statistics. The schemes are
+// independent simulations, fanned out across Scale.Workers.
 func Fig8a(s Scale) ([]Fig8aRow, []Fig8aSummary, error) {
 	s.fill()
-	var rows []Fig8aRow
-	var sums []Fig8aSummary
-	for _, scheme := range []core.Scheme{core.Scheme1, core.Scheme2, core.Scheme3} {
+	schemes := []core.Scheme{core.Scheme1, core.Scheme2, core.Scheme3}
+	rows := make([]Fig8aRow, 10*len(schemes))
+	sums := make([]Fig8aSummary, len(schemes))
+	err := runTasks(s.workers(), len(schemes), func(si int) error {
+		scheme := schemes[si]
 		run, err := runWorkload(s.Nodes, s.MaxVolume, core.GroupIndexing, scheme, true, s.Seed)
 		if err != nil {
-			return nil, nil, fmt.Errorf("fig8a scheme %d: %w", scheme, err)
+			return fmt.Errorf("fig8a scheme %d: %w", scheme, err)
 		}
 		loads := run.nw.IndexLoads()
 		nf, lf := metrics.LoadCurve(loads)
@@ -327,14 +370,18 @@ func Fig8a(s Scale) ([]Fig8aRow, []Fig8aSummary, error) {
 			if idx < 0 {
 				idx = 0
 			}
-			rows = append(rows, Fig8aRow{Scheme: scheme, NodeFrac: nf[idx], LoadFrac: lf[idx]})
+			rows[si*10+d-1] = Fig8aRow{Scheme: scheme, NodeFrac: nf[idx], LoadFrac: lf[idx]}
 		}
-		sums = append(sums, Fig8aSummary{
+		sums[si] = Fig8aSummary{
 			Scheme:       scheme,
 			Gini:         metrics.Gini(loads),
 			MaxMeanRatio: metrics.MaxMeanRatio(loads),
 			FractionIdle: metrics.FractionIdle(loads),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
 	}
 	return rows, sums, nil
 }
@@ -348,20 +395,36 @@ type Fig8bRow struct {
 	Scheme3Log2 float64
 }
 
-// Fig8b regenerates Fig. 8b.
+// Fig8b regenerates Fig. 8b. Each (network size, scheme) cell is an
+// independent simulation, fanned out across Scale.Workers.
 func Fig8b(s Scale) ([]Fig8bRow, error) {
 	s.fill()
-	rows := make([]Fig8bRow, 0, len(s.NetworkSizes))
-	for _, n := range s.NetworkSizes {
-		var vals [3]float64
-		for i, scheme := range []core.Scheme{core.Scheme1, core.Scheme2, core.Scheme3} {
-			run, err := runWorkload(n, s.MaxVolume, core.GroupIndexing, scheme, true, s.Seed)
-			if err != nil {
-				return nil, fmt.Errorf("fig8b scheme %d n=%d: %w", scheme, n, err)
-			}
-			vals[i] = math.Log2(run.kMsg * 1000)
+	schemes := []core.Scheme{core.Scheme1, core.Scheme2, core.Scheme3}
+	rows := make([]Fig8bRow, len(s.NetworkSizes))
+	for i, n := range s.NetworkSizes {
+		rows[i].Nodes = n
+	}
+	// One task per (size, scheme) cell, writing disjoint fields.
+	err := runTasks(s.workers(), len(schemes)*len(s.NetworkSizes), func(t int) error {
+		row := &rows[t/3]
+		scheme := schemes[t%3]
+		run, err := runWorkload(row.Nodes, s.MaxVolume, core.GroupIndexing, scheme, true, s.Seed)
+		if err != nil {
+			return fmt.Errorf("fig8b scheme %d n=%d: %w", scheme, row.Nodes, err)
 		}
-		rows = append(rows, Fig8bRow{Nodes: n, Scheme1Log2: vals[0], Scheme2Log2: vals[1], Scheme3Log2: vals[2]})
+		v := math.Log2(run.kMsg * 1000)
+		switch t % 3 {
+		case 0:
+			row.Scheme1Log2 = v
+		case 1:
+			row.Scheme2Log2 = v
+		case 2:
+			row.Scheme3Log2 = v
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"errors"
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+// TestParallelRowsMatchSequential is the determinism gate for the
+// parallel sweep runner: the same Scale and Seed must produce
+// byte-identical rows whether points run on one worker or many.
+func TestParallelRowsMatchSequential(t *testing.T) {
+	seq := Tiny()
+	seq.Workers = 1
+	par := Tiny()
+	par.Workers = 4
+
+	seqRows, err := Fig6a(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parRows, err := Fig6a(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seqRows, parRows) {
+		t.Errorf("Fig6a diverged:\nseq %+v\npar %+v", seqRows, parRows)
+	}
+
+	seq7, err := Fig7a(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par7, err := Fig7a(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq7, par7) {
+		t.Errorf("Fig7a diverged:\nseq %+v\npar %+v", seq7, par7)
+	}
+
+	seq8, seqSums, err := Fig8a(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par8, parSums, err := Fig8a(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq8, par8) || !reflect.DeepEqual(seqSums, parSums) {
+		t.Errorf("Fig8a diverged")
+	}
+}
+
+func TestRunTasksCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 3, 16} {
+		const n = 37
+		var hits [n]atomic.Int32
+		if err := runTasks(workers, n, func(i int) error {
+			hits[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Errorf("workers=%d: task %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestRunTasksReturnsLowestIndexError(t *testing.T) {
+	errLow, errHigh := errors.New("low"), errors.New("high")
+	err := runTasks(8, 20, func(i int) error {
+		switch i {
+		case 3:
+			return errLow
+		case 11:
+			return errHigh
+		}
+		return nil
+	})
+	if err != errLow {
+		t.Errorf("err = %v, want the lowest-index error", err)
+	}
+}

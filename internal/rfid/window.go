@@ -55,7 +55,7 @@ type Collector struct {
 	flush  func(batch []moods.Observation)
 
 	buf   []moods.Observation
-	timer *sim.Timer
+	timer sim.Timer
 
 	// Windows counts closed windows; ByTimeout and BySize break down the
 	// close reason (a window closed by Flush counts in neither).
@@ -77,7 +77,7 @@ func NewCollector(kernel *sim.Kernel, cfg WindowConfig, flush func([]moods.Obser
 func (c *Collector) Observe(obs moods.Observation) {
 	if len(c.buf) == 0 {
 		c.timer = c.kernel.Schedule(c.cfg.TMax, func() {
-			c.timer = nil
+			c.timer = sim.Timer{}
 			if len(c.buf) > 0 {
 				c.ByTimeout++
 				c.close()
@@ -86,10 +86,8 @@ func (c *Collector) Observe(obs moods.Observation) {
 	}
 	c.buf = append(c.buf, obs)
 	if len(c.buf) >= c.cfg.NMax {
-		if c.timer != nil {
-			c.timer.Stop()
-			c.timer = nil
-		}
+		c.timer.Stop()
+		c.timer = sim.Timer{}
 		c.BySize++
 		c.close()
 	}
@@ -98,10 +96,8 @@ func (c *Collector) Observe(obs moods.Observation) {
 // Flush force-closes the current window, delivering any buffered
 // observations. Used at simulation end so no capture is lost.
 func (c *Collector) Flush() {
-	if c.timer != nil {
-		c.timer.Stop()
-		c.timer = nil
-	}
+	c.timer.Stop()
+	c.timer = sim.Timer{}
 	if len(c.buf) > 0 {
 		c.close()
 	}

@@ -1,0 +1,55 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkKernelSchedule measures the schedule-then-run cycle of the
+// event kernel: each iteration schedules one event and steps it, the
+// steady-state pattern of a message-passing simulation.
+func BenchmarkKernelSchedule(b *testing.B) {
+	k := New(1)
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Schedule(time.Microsecond, fn)
+		k.Step()
+	}
+}
+
+// BenchmarkKernelScheduleDepth measures scheduling against a deep
+// queue, where heap sift cost and allocation behaviour both matter.
+func BenchmarkKernelScheduleDepth(b *testing.B) {
+	k := New(1)
+	fn := func() {}
+	const depth = 1024
+	for i := 0; i < depth; i++ {
+		k.Schedule(time.Duration(i)*time.Millisecond, fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Schedule(time.Hour, fn)
+		k.Step()
+	}
+}
+
+// BenchmarkTimerStop measures the schedule/cancel cycle that
+// retry timers and capture windows generate; with eager heap removal a
+// stop-heavy workload must not let the queue grow.
+func BenchmarkTimerStop(b *testing.B) {
+	k := New(1)
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tm := k.Schedule(time.Second, fn)
+		tm.Stop()
+	}
+	b.StopTimer()
+	if k.Pending() > 1 {
+		b.Fatalf("cancelled events leaked: %d pending", k.Pending())
+	}
+}

@@ -11,6 +11,12 @@
 // time in timestamp order (ties broken by scheduling order), which is
 // the standard sequential DES execution model and is what makes message
 // counting exact.
+//
+// The hot path is allocation-free in steady state: event structs are
+// recycled through a freelist, Timer handles are values carrying a
+// generation number (so a handle to a recycled event is detected and
+// ignored), and Stop removes cancelled events from the heap eagerly, so
+// stop-heavy workloads keep the queue bounded.
 package sim
 
 import (
@@ -24,12 +30,15 @@ import (
 // simulation.
 type Time = time.Duration
 
-// event is a scheduled callback.
+// event is a scheduled callback. Events are pooled: after running or
+// being cancelled they return to the kernel's freelist, and gen is
+// bumped so stale Timer handles no longer match.
 type event struct {
 	at  Time
 	seq uint64 // tie-breaker: FIFO among equal timestamps
 	fn  func()
-	idx int // heap index, -1 when cancelled/popped
+	idx int    // heap index, -1 when not queued
+	gen uint64 // incremented on each recycle
 }
 
 // eventQueue is a min-heap on (at, seq).
@@ -62,20 +71,27 @@ func (q *eventQueue) Pop() any {
 	return e
 }
 
-// Timer is a handle to a scheduled event that can be cancelled.
+// Timer is a value handle to a scheduled event that can be cancelled.
+// The zero Timer is valid and inert: Stop on it reports false. A Timer
+// outliving its event (because the event ran, was stopped, or its
+// pooled struct was recycled) is detected via the generation number and
+// is likewise inert.
 type Timer struct {
-	e *event
+	k   *Kernel
+	e   *event
+	gen uint64
 }
 
-// Stop cancels the timer. It reports whether the event was still
-// pending (and is now guaranteed not to run).
-func (t *Timer) Stop() bool {
-	if t == nil || t.e == nil || t.e.fn == nil {
+// Stop cancels the timer, removing the event from the queue
+// immediately. It reports whether the event was still pending (and is
+// now guaranteed not to run).
+func (t Timer) Stop() bool {
+	if t.e == nil || t.e.gen != t.gen || t.e.idx < 0 {
 		return false
 	}
-	pending := t.e.idx >= 0
-	t.e.fn = nil // mark cancelled; popped lazily
-	return pending
+	heap.Remove(&t.k.queue, t.e.idx)
+	t.k.release(t.e)
+	return true
 }
 
 // Kernel is a discrete-event scheduler. The zero value is not usable;
@@ -86,6 +102,7 @@ type Kernel struct {
 	seq     uint64
 	rng     *rand.Rand
 	stopped bool
+	free    []*event // recycled event structs
 
 	// Executed counts events that have run (cancelled events excluded).
 	Executed uint64
@@ -105,9 +122,28 @@ func (k *Kernel) Now() Time { return k.now }
 // reproducible.
 func (k *Kernel) Rand() *rand.Rand { return k.rng }
 
+func (k *Kernel) alloc() *event {
+	if n := len(k.free); n > 0 {
+		e := k.free[n-1]
+		k.free[n-1] = nil
+		k.free = k.free[:n-1]
+		return e
+	}
+	return &event{idx: -1}
+}
+
+// release recycles an event already removed from the queue. Bumping gen
+// invalidates every Timer handle issued for this incarnation.
+func (k *Kernel) release(e *event) {
+	e.fn = nil
+	e.idx = -1
+	e.gen++
+	k.free = append(k.free, e)
+}
+
 // Schedule runs fn after delay of virtual time. A negative delay is an
 // error in the caller; it panics to surface the bug immediately.
-func (k *Kernel) Schedule(delay Time, fn func()) *Timer {
+func (k *Kernel) Schedule(delay Time, fn func()) Timer {
 	if delay < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", delay))
 	}
@@ -115,7 +151,7 @@ func (k *Kernel) Schedule(delay Time, fn func()) *Timer {
 }
 
 // At runs fn at absolute virtual time t (>= Now).
-func (k *Kernel) At(t Time, fn func()) *Timer {
+func (k *Kernel) At(t Time, fn func()) Timer {
 	if t < k.now {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, k.now))
 	}
@@ -123,34 +159,35 @@ func (k *Kernel) At(t Time, fn func()) *Timer {
 		panic("sim: nil event function")
 	}
 	k.seq++
-	e := &event{at: t, seq: k.seq, fn: fn}
+	e := k.alloc()
+	e.at, e.seq, e.fn = t, k.seq, fn
 	heap.Push(&k.queue, e)
-	return &Timer{e: e}
+	return Timer{k: k, e: e, gen: e.gen}
 }
 
-// Pending returns the number of events in the queue, including
-// cancelled-but-not-yet-popped ones.
+// Pending returns the number of events in the queue. Cancelled events
+// are removed eagerly, so every pending event will run.
 func (k *Kernel) Pending() int { return k.queue.Len() }
 
 // Stop makes Run return after the currently executing event completes.
 func (k *Kernel) Stop() { k.stopped = true }
 
 // Step executes the single earliest pending event. It reports false if
-// the queue held no runnable events.
+// the queue was empty.
 func (k *Kernel) Step() bool {
-	for k.queue.Len() > 0 {
-		e := heap.Pop(&k.queue).(*event)
-		if e.fn == nil {
-			continue // cancelled
-		}
-		k.now = e.at
-		fn := e.fn
-		e.fn = nil
-		k.Executed++
-		fn()
-		return true
+	if k.queue.Len() == 0 {
+		return false
 	}
-	return false
+	e := heap.Pop(&k.queue).(*event)
+	k.now = e.at
+	fn := e.fn
+	// Recycle before running: fn may schedule new events, and reusing
+	// this struct immediately keeps the freelist hot. The handle for
+	// this incarnation is already invalidated by release's gen bump.
+	k.release(e)
+	k.Executed++
+	fn()
+	return true
 }
 
 // Run executes events until the queue drains or Stop is called. It
@@ -167,25 +204,8 @@ func (k *Kernel) Run() Time {
 // returns. Events scheduled beyond the deadline remain queued.
 func (k *Kernel) RunUntil(deadline Time) {
 	k.stopped = false
-	for !k.stopped {
-		// Peek for the next runnable event within the deadline.
-		ran := false
-		for k.queue.Len() > 0 {
-			head := k.queue[0]
-			if head.fn == nil {
-				heap.Pop(&k.queue)
-				continue
-			}
-			if head.at > deadline {
-				break
-			}
-			k.Step()
-			ran = true
-			break
-		}
-		if !ran {
-			break
-		}
+	for !k.stopped && k.queue.Len() > 0 && k.queue[0].at <= deadline {
+		k.Step()
 	}
 	if k.now < deadline {
 		k.now = deadline

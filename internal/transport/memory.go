@@ -17,12 +17,14 @@ import (
 // sent and lost; no response came back), mirroring how a real network
 // bills a timeout.
 type Memory struct {
-	mu       sync.Mutex
+	mu       sync.RWMutex // guards handlers, dead, groupOf, dropRate
 	handlers map[Addr]Handler
 	dead     map[Addr]bool
 	groupOf  map[Addr]int // partition group; 0 = default group
 	dropRate float64
-	rng      *rand.Rand
+
+	rngMu sync.Mutex // fault-injection randomness, drawn only when dropRate > 0
+	rng   *rand.Rand
 
 	stats *Stats
 }
@@ -101,23 +103,22 @@ func (m *Memory) Stats() *Stats { return m.stats }
 
 // Call implements Network.
 func (m *Memory) Call(from, to Addr, req any) (any, error) {
-	m.mu.Lock()
+	m.mu.RLock()
 	h, ok := m.handlers[to]
 	blocked := !ok || m.dead[to] || m.dead[from] || m.groupOf[from] != m.groupOf[to]
-	dropped := m.dropRate > 0 && m.rng.Float64() < m.dropRate
-	m.mu.Unlock()
+	dropRate := m.dropRate
+	m.mu.RUnlock()
+	dropped := false
+	if dropRate > 0 {
+		m.rngMu.Lock()
+		dropped = m.rng.Float64() < dropRate
+		m.rngMu.Unlock()
+	}
 
 	if blocked || dropped {
 		// The request was emitted but no response returns: charge one
 		// message, record the failure.
-		m.stats.mu.Lock()
-		m.stats.calls++
-		m.stats.messages++
-		m.stats.bytes += uint64(sizeOf(req))
-		m.stats.failures++
-		m.stats.perType[fmt.Sprintf("%T", req)]++
-		m.stats.perDest[to]++
-		m.stats.mu.Unlock()
+		m.stats.recordDrop(to, req)
 		return nil, ErrUnreachable
 	}
 

@@ -1,0 +1,152 @@
+package transport
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+type statsReq struct{ N int }
+
+func (statsReq) WireSize() int { return 16 }
+
+type statsResp struct{ OK bool }
+
+func (statsResp) WireSize() int { return 8 }
+
+// TestStatsConcurrentMergeEqualsSerial hammers Memory.Call from many
+// goroutines and checks the merged Snapshot (and per-type/per-dest
+// breakdowns) against an identical serial run. Run under -race this is
+// the safety gate for the sharded counters.
+func TestStatsConcurrentMergeEqualsSerial(t *testing.T) {
+	const goroutines = 8
+	const callsPer = 500
+	const dests = 32
+
+	build := func() (*Memory, []Addr) {
+		m := NewMemory(1)
+		addrs := make([]Addr, dests)
+		for i := range addrs {
+			addrs[i] = Addr(string(rune('a'+i%26)) + string(rune('0'+i/26)))
+			if err := m.Register(addrs[i], func(from Addr, req any) (any, error) {
+				return statsResp{OK: true}, nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// One dead destination exercises the drop path concurrently too.
+		m.Kill(addrs[dests-1])
+		return m, addrs
+	}
+
+	workload := func(m *Memory, addrs []Addr, g int) {
+		for i := 0; i < callsPer; i++ {
+			to := addrs[(g*callsPer+i)%dests]
+			_, _ = m.Call(addrs[0], to, statsReq{N: i})
+		}
+	}
+
+	serial, addrs := build()
+	for g := 0; g < goroutines; g++ {
+		workload(serial, addrs, g)
+	}
+
+	conc, caddrs := build()
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			workload(conc, caddrs, g)
+		}(g)
+	}
+	wg.Wait()
+
+	if got, want := conc.Stats().Snapshot(), serial.Stats().Snapshot(); got != want {
+		t.Errorf("concurrent snapshot %+v != serial %+v", got, want)
+	}
+	if got, want := conc.Stats().ByType(), serial.Stats().ByType(); !reflect.DeepEqual(got, want) {
+		t.Errorf("concurrent ByType %v != serial %v", got, want)
+	}
+	if got, want := conc.Stats().ByDest(), serial.Stats().ByDest(); !reflect.DeepEqual(got, want) {
+		t.Errorf("concurrent ByDest %v != serial %v", got, want)
+	}
+}
+
+// TestMemoryCallZeroAllocs pins the success path of Memory.Call to zero
+// heap allocations: the interned type table and sharded counters must
+// not regress to formatting or boxing per call.
+func TestMemoryCallZeroAllocs(t *testing.T) {
+	m := NewMemory(1)
+	addr := Addr("node-0")
+	var resp any = statsResp{OK: true} // pre-boxed: the handler itself must not allocate
+	if err := m.Register(addr, func(from Addr, req any) (any, error) {
+		return resp, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var req any = statsReq{N: 7}
+	// Warm up: intern the type name and create the map entries.
+	if _, err := m.Call(addr, addr, req); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		if _, err := m.Call(addr, addr, req); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Memory.Call success path allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestDropPathAccounting checks the unified drop/blocked accounting:
+// one request message on the wire, one failure, and the same per-type
+// and per-destination attribution as a successful call.
+func TestDropPathAccounting(t *testing.T) {
+	m := NewMemory(1)
+	from, to := Addr("src"), Addr("dst")
+	if err := m.Register(from, func(Addr, any) (any, error) { return nil, nil }); err != nil {
+		t.Fatal(err)
+	}
+	// dst never registered: the call is blocked.
+	req := statsReq{N: 1}
+	if _, err := m.Call(from, to, req); err != ErrUnreachable {
+		t.Fatalf("err = %v, want ErrUnreachable", err)
+	}
+	snap := m.Stats().Snapshot()
+	want := Snapshot{Calls: 1, Messages: 1, Bytes: uint64(DefaultMsgSize + req.WireSize()), Failures: 1}
+	if snap != want {
+		t.Errorf("snapshot = %+v, want %+v", snap, want)
+	}
+	if got := m.Stats().ByType()["transport.statsReq"]; got != 1 {
+		t.Errorf("ByType[transport.statsReq] = %d, want 1", got)
+	}
+	if got := m.Stats().ByDest()[to]; got != 1 {
+		t.Errorf("ByDest[dst] = %d, want 1", got)
+	}
+}
+
+// TestStatsResetClearsShards verifies Reset zeroes every shard.
+func TestStatsResetClearsShards(t *testing.T) {
+	m := NewMemory(1)
+	for i := 0; i < 40; i++ {
+		addr := Addr(string(rune('a' + i%26)))
+		if err := m.Register(addr, func(Addr, any) (any, error) { return nil, nil }); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Call(addr, addr, statsReq{N: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.Stats().Reset()
+	if snap := m.Stats().Snapshot(); snap != (Snapshot{}) {
+		t.Errorf("snapshot after reset = %+v", snap)
+	}
+	if bt := m.Stats().ByType(); len(bt) != 0 {
+		t.Errorf("ByType after reset = %v", bt)
+	}
+	if bd := m.Stats().ByDest(); len(bd) != 0 {
+		t.Errorf("ByDest after reset = %v", bd)
+	}
+}

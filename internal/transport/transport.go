@@ -20,6 +20,7 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"reflect"
 	"sort"
 	"sync"
 )
@@ -88,34 +89,102 @@ func sizeOf(v any) int {
 	return DefaultMsgSize
 }
 
-// Stats accumulates traffic counters. All methods are safe for
-// concurrent use.
-type Stats struct {
+// typeNames interns the fmt.Sprintf("%T", v) string per concrete type,
+// so the per-call accounting never formats. Interning is global: type
+// names are process-wide facts, and sharing the table across Stats
+// instances means each type is formatted exactly once per process.
+var typeNames sync.Map // reflect.Type -> string
+
+func typeName(v any) string {
+	if v == nil {
+		return "<nil>"
+	}
+	t := reflect.TypeOf(v)
+	if s, ok := typeNames.Load(t); ok {
+		return s.(string)
+	}
+	s := fmt.Sprintf("%T", v)
+	typeNames.LoadOrStore(t, s)
+	return s
+}
+
+// statsShardCount must be a power of two; shards are picked by a hash
+// of the destination address, so calls to different destinations touch
+// different cache lines and different map mutexes.
+const statsShardCount = 16
+
+type statsShard struct {
 	mu       sync.Mutex
+	calls    uint64
 	messages uint64
 	bytes    uint64
-	calls    uint64
 	failures uint64
 	perType  map[string]uint64
 	perDest  map[Addr]uint64
+
+	_ [24]byte // pad shards apart to curb false sharing
+}
+
+// record takes exactly one uncontended-in-the-DES-case shard lock; the
+// scalar counters ride in the same critical section as the map bumps,
+// which benchmarks faster single-threaded than per-field atomics while
+// still scaling across shards under concurrent traffic.
+func (sh *statsShard) record(to Addr, name string, calls, messages, bytes, failures uint64) {
+	sh.mu.Lock()
+	sh.calls += calls
+	sh.messages += messages
+	sh.bytes += bytes
+	sh.failures += failures
+	sh.perType[name]++
+	sh.perDest[to]++
+	sh.mu.Unlock()
+}
+
+// shardOf hashes an address (FNV-1a) to a shard index without
+// allocating.
+func shardOf(to Addr) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(to); i++ {
+		h = (h ^ uint32(to[i])) * 16777619
+	}
+	return h & (statsShardCount - 1)
+}
+
+// Stats accumulates traffic counters. All methods are safe for
+// concurrent use. Counters are sharded by destination address: writers
+// touch only their shard (atomics for the scalar totals, a short
+// critical section for the per-type/per-destination maps) and readers
+// merge the shards on demand, so the hot recording path never contends
+// on a single global mutex.
+type Stats struct {
+	shards [statsShardCount]statsShard
 }
 
 // NewStats returns an empty counter set.
 func NewStats() *Stats {
-	return &Stats{perType: make(map[string]uint64), perDest: make(map[Addr]uint64)}
+	s := &Stats{}
+	for i := range s.shards {
+		s.shards[i].perType = make(map[string]uint64)
+		s.shards[i].perDest = make(map[Addr]uint64)
+	}
+	return s
 }
 
+// recordCall accounts one completed round trip: request and response
+// both crossed the wire.
 func (s *Stats) recordCall(to Addr, req, resp any, failed bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.calls++
-	s.messages += 2 // request + response
-	s.bytes += uint64(sizeOf(req) + sizeOf(resp))
-	s.perType[fmt.Sprintf("%T", req)]++
-	s.perDest[to]++
+	var failures uint64
 	if failed {
-		s.failures++
+		failures = 1
 	}
+	s.shards[shardOf(to)].record(to, typeName(req), 1, 2, uint64(sizeOf(req)+sizeOf(resp)), failures)
+}
+
+// recordDrop accounts a call whose request was emitted but never
+// answered (drop, partition, dead or unregistered destination): one
+// message on the wire, one failure, no response bytes.
+func (s *Stats) recordDrop(to Addr, req any) {
+	s.shards[shardOf(to)].record(to, typeName(req), 1, 1, uint64(sizeOf(req)), 1)
 }
 
 // Snapshot is a point-in-time copy of the counters.
@@ -126,11 +195,22 @@ type Snapshot struct {
 	Failures uint64 // calls that failed at transport or handler level
 }
 
-// Snapshot copies the current counter values.
+// Snapshot merges the shards into one counter copy. It is a consistent
+// total whenever no call is concurrently in flight (the DES case); under
+// concurrent traffic each shard is individually accurate to a point in
+// time.
 func (s *Stats) Snapshot() Snapshot {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return Snapshot{Messages: s.messages, Bytes: s.bytes, Calls: s.calls, Failures: s.failures}
+	var out Snapshot
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		out.Messages += sh.messages
+		out.Bytes += sh.bytes
+		out.Calls += sh.calls
+		out.Failures += sh.failures
+		sh.mu.Unlock()
+	}
+	return out
 }
 
 // Delta returns the difference of two snapshots (s2 - s1 where s2 is the
@@ -144,25 +224,31 @@ func (a Snapshot) Delta(earlier Snapshot) Snapshot {
 	}
 }
 
-// ByType returns a copy of the per-request-type call counts.
+// ByType returns a merged copy of the per-request-type call counts.
 func (s *Stats) ByType() map[string]uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make(map[string]uint64, len(s.perType))
-	for k, v := range s.perType {
-		out[k] = v
+	out := make(map[string]uint64)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for k, v := range sh.perType {
+			out[k] += v
+		}
+		sh.mu.Unlock()
 	}
 	return out
 }
 
-// ByDest returns a copy of the per-destination call counts, used for
-// load-balance analysis of gateway traffic.
+// ByDest returns a merged copy of the per-destination call counts, used
+// for load-balance analysis of gateway traffic.
 func (s *Stats) ByDest() map[Addr]uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make(map[Addr]uint64, len(s.perDest))
-	for k, v := range s.perDest {
-		out[k] = v
+	out := make(map[Addr]uint64)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for k, v := range sh.perDest {
+			out[k] += v
+		}
+		sh.mu.Unlock()
 	}
 	return out
 }
@@ -189,9 +275,12 @@ func (s *Stats) TopDests(n int) []Addr {
 
 // Reset zeroes all counters.
 func (s *Stats) Reset() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.messages, s.bytes, s.calls, s.failures = 0, 0, 0, 0
-	s.perType = make(map[string]uint64)
-	s.perDest = make(map[Addr]uint64)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		sh.calls, sh.messages, sh.bytes, sh.failures = 0, 0, 0, 0
+		sh.perType = make(map[string]uint64)
+		sh.perDest = make(map[Addr]uint64)
+		sh.mu.Unlock()
+	}
 }
