@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check vet race bench figures
+.PHONY: build test check vet race bench figures chaos-short chaos
 
 build:
 	$(GO) build ./...
@@ -16,8 +16,18 @@ race:
 
 # check is the tier-1 gate: vet plus the full suite under the race
 # detector (the sharded stats and parallel sweep runner are exercised
-# concurrently by their tests).
-check: vet race
+# concurrently by their tests), plus the short chaos sweep.
+check: vet race chaos-short
+
+# chaos-short sweeps 500 seeded fault scenarios (4:1 safe:lossy) under
+# the race detector. Any failure prints the seed and a minimized
+# schedule; rerun it with `go run ./cmd/peertrack-chaos -seed N`.
+chaos-short:
+	$(GO) run -race ./cmd/peertrack-chaos -seeds 500
+
+# chaos is the long sweep for soak runs.
+chaos:
+	$(GO) run -race ./cmd/peertrack-chaos -seeds 5000
 
 # bench refreshes the hot-path perf ledger. The baseline block of an
 # existing BENCH_CORE.json is preserved, so the file keeps before/after

@@ -1,0 +1,121 @@
+// Command peertrack-chaos runs batches of seeded chaos scenarios
+// against the full PeerTrack stack and reports the verdict. Each
+// scenario is fully determined by its seed: the same seed always yields
+// the same fault schedule, message interleaving, and result, so any
+// failure this command prints reproduces with `-seed N`.
+//
+// Usage:
+//
+//	peertrack-chaos [-seeds N] [-seed N] [-profile safe|lossy|both]
+//	                [-nodes N] [-epochs N] [-drop P] [-workers N] [-v]
+//
+// Without -seed it sweeps -seeds scenarios starting at seed 1 (split
+// 4:1 between the safe and lossy profiles when -profile both). On any
+// failure it minimizes the first failing schedule by deterministic
+// re-execution and prints the shrunk reproduction before exiting 1.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"peertrack/internal/chaos"
+)
+
+func main() {
+	seeds := flag.Int("seeds", 100, "number of seeded scenarios to sweep")
+	seed := flag.Int64("seed", 0, "run exactly this one seed instead of sweeping")
+	profile := flag.String("profile", "both", "safe, lossy, or both (sweeps split 4:1)")
+	nodes := flag.Int("nodes", 0, "initial network size (0 = harness default)")
+	epochs := flag.Int("epochs", 0, "fault epochs per scenario (0 = harness default)")
+	drop := flag.Float64("drop", 0, "lossy-profile drop rate (0 = harness default)")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel scenarios")
+	verbose := flag.Bool("v", false, "print every scenario report")
+	flag.Parse()
+
+	base := chaos.Config{Nodes: *nodes, Epochs: *epochs, DropRate: *drop}
+
+	if *seed != 0 {
+		ok := true
+		for _, p := range profilesFor(*profile) {
+			cfg := base
+			cfg.Seed = *seed
+			cfg.Profile = p
+			rep := chaos.Run(cfg)
+			fmt.Println(rep)
+			if rep.Failed() {
+				minimize(cfg)
+				ok = false
+			}
+		}
+		if !ok {
+			os.Exit(1)
+		}
+		return
+	}
+
+	failed := false
+	for _, p := range profilesFor(*profile) {
+		n := *seeds
+		if *profile == "both" {
+			// 4:1 safe:lossy — structural correctness gets the bulk of the
+			// budget; the lossy share bounds degradation under loss.
+			if p == chaos.ProfileSafe {
+				n = *seeds * 4 / 5
+			} else {
+				n = *seeds - *seeds*4/5
+			}
+		}
+		if n == 0 {
+			continue
+		}
+		cfg := base
+		cfg.Seed = 1
+		cfg.Profile = p
+		sw := chaos.Sweep(cfg, n, *workers)
+		fmt.Println(sw)
+		if *verbose {
+			for s := int64(0); s < int64(n); s++ {
+				c := cfg
+				c.Seed = cfg.Seed + s
+				fmt.Println(" ", chaos.Run(c))
+			}
+		}
+		if sw.Failed() {
+			failed = true
+			first := sw.Failures[0]
+			fmt.Printf("\nfirst failure:\n%s\n", first)
+			c := cfg
+			c.Seed = first.Seed
+			minimize(c)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// minimize shrinks cfg's failing schedule and prints the reproduction.
+func minimize(cfg chaos.Config) {
+	sched := chaos.Generate(cfg)
+	min := chaos.Minimize(cfg, sched)
+	fmt.Printf("\nminimal reproduction (seed %d, %s profile):\n  schedule: %s\n  %s\n",
+		cfg.Seed, cfg.Profile, min, chaos.RunSchedule(cfg, min))
+}
+
+func profilesFor(name string) []chaos.Profile {
+	switch name {
+	case "safe":
+		return []chaos.Profile{chaos.ProfileSafe}
+	case "lossy":
+		return []chaos.Profile{chaos.ProfileLossy}
+	case "both":
+		return []chaos.Profile{chaos.ProfileSafe, chaos.ProfileLossy}
+	default:
+		fmt.Fprintf(os.Stderr, "peertrack-chaos: unknown profile %q (want safe, lossy, or both)\n", name)
+		os.Exit(2)
+		return nil
+	}
+}

@@ -1,0 +1,88 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Config{Seed: 42})
+	b := Generate(Config{Seed: 42})
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different schedules:\n%v\n%v", a, b)
+	}
+	c := Generate(Config{Seed: 43})
+	if reflect.DeepEqual(a, c) {
+		t.Fatalf("different seeds produced identical schedules: %v", a)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	for _, profile := range []Profile{ProfileSafe, ProfileLossy} {
+		cfg := Config{Seed: 7, Profile: profile}
+		a := Run(cfg)
+		b := Run(cfg)
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: same seed, different reports:\n%v\n%v", profile, a, b)
+		}
+	}
+}
+
+func TestSafeScenariosClean(t *testing.T) {
+	n := 40
+	if testing.Short() {
+		n = 10
+	}
+	sw := Sweep(Config{Seed: 1, Profile: ProfileSafe}, n, 4)
+	for _, f := range sw.Failures {
+		t.Errorf("safe scenario failed:\n%s", f)
+	}
+	if sw.LocateTotal == 0 || sw.TraceTotal == 0 {
+		t.Fatalf("sweep ran no queries: %s", sw)
+	}
+	// The safe profile scores every query as an invariant, so a clean
+	// sweep means perfect accuracy by construction.
+	if sw.LocateOK != sw.LocateTotal || sw.TraceOK != sw.TraceTotal {
+		t.Errorf("safe sweep not exact: %s", sw)
+	}
+}
+
+func TestLossyScenariosWithinBounds(t *testing.T) {
+	n := 15
+	if testing.Short() {
+		n = 5
+	}
+	sw := Sweep(Config{Seed: 1, Profile: ProfileLossy}, n, 4)
+	for _, f := range sw.Failures {
+		t.Errorf("lossy scenario failed:\n%s", f)
+	}
+}
+
+func TestMinimizeShrinksFailingSchedule(t *testing.T) {
+	// An impossible accuracy floor makes every lossy run fail its
+	// bounds, giving the minimizer a deterministic failure to preserve.
+	cfg := Config{Seed: 3, Profile: ProfileLossy, DropRate: 0.5, MinLocateOK: 2, MinTraceOK: 2, Epochs: 5}
+	sched := Generate(cfg)
+	if !RunSchedule(cfg, sched).Failed() {
+		t.Fatal("setup: schedule unexpectedly passed")
+	}
+	min := Minimize(cfg, sched)
+	if len(min.Epochs) >= len(sched.Epochs) {
+		t.Errorf("minimizer did not shrink: %d -> %d epochs", len(sched.Epochs), len(min.Epochs))
+	}
+	if !RunSchedule(cfg, min).Failed() {
+		t.Errorf("minimized schedule no longer fails: %s", min)
+	}
+	if min.Spec.ObjectsPerNode >= Generate(cfg).Spec.ObjectsPerNode && min.Spec.ObjectsPerNode != 1 {
+		t.Logf("population not shed (ok if failure needs it): %d", min.Spec.ObjectsPerNode)
+	}
+}
+
+func TestMinimizeLeavesPassingScheduleAlone(t *testing.T) {
+	cfg := Config{Seed: 5, Profile: ProfileSafe}
+	sched := Generate(cfg)
+	min := Minimize(cfg, sched)
+	if !reflect.DeepEqual(min, sched) {
+		t.Errorf("passing schedule was modified:\n%v\n%v", sched, min)
+	}
+}

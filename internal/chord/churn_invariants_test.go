@@ -1,0 +1,101 @@
+package chord_test
+
+// External test package: internal/invariants imports chord, so the
+// ring-invariant churn regression has to live outside package chord to
+// avoid an import cycle.
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"peertrack/internal/chord"
+	"peertrack/internal/invariants"
+	"peertrack/internal/transport"
+)
+
+// TestChurnRingInvariants drives seeded join/leave churn through the
+// real protocol (Join, Leave, Stabilize) and asserts after each settled
+// round that invariants.CheckRing finds a fully converged ring — the
+// same global checker the chaos harness runs, so a stabilization
+// regression fails here with a named invariant rather than a wrong
+// lookup somewhere downstream.
+func TestChurnRingInvariants(t *testing.T) {
+	net := transport.NewMemory(1)
+	rng := rand.New(rand.NewSource(23))
+
+	var all []*chord.Node
+	var seq int
+	join := func(bootstrap *chord.Node) *chord.Node {
+		seq++
+		n, err := chord.New(net, transport.Addr(fmt.Sprintf("churn-%03d", seq)), chord.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bootstrap != nil {
+			if err := n.Join(bootstrap.Self()); err != nil {
+				t.Fatalf("join %s: %v", n.Addr(), err)
+			}
+		}
+		all = append(all, n)
+		return n
+	}
+
+	live := func() []*chord.Node {
+		out := make([]*chord.Node, 0, len(all))
+		for _, n := range all {
+			if !n.Left() {
+				out = append(out, n)
+			}
+		}
+		return out
+	}
+
+	// settleClean runs maintenance rounds until CheckRing is clean,
+	// bounded so a non-converging regression fails instead of spinning.
+	settleClean := func(round int) {
+		nodes := live()
+		for r := 0; r < 4*len(nodes)+8; r++ {
+			for _, n := range nodes {
+				n.CheckPredecessor()
+				if err := n.Stabilize(); err != nil {
+					t.Fatalf("round %d: stabilize %s: %v", round, n.Addr(), err)
+				}
+			}
+			if len(invariants.CheckRing(all)) == 0 {
+				return
+			}
+		}
+		vs := invariants.CheckRing(all)
+		for _, v := range vs {
+			t.Errorf("round %d: %s", round, v)
+		}
+		t.Fatalf("round %d: ring did not converge (%d nodes, %d violations)", round, len(nodes), len(vs))
+	}
+
+	first := join(nil)
+	for i := 0; i < 9; i++ {
+		join(first)
+		settleClean(-1)
+	}
+
+	for round := 0; round < 15; round++ {
+		nodes := live()
+		if rng.Intn(2) == 0 && len(nodes) > 4 {
+			// Voluntary leave of a deterministic random victim.
+			sort.Slice(nodes, func(i, j int) bool { return nodes[i].Addr() < nodes[j].Addr() })
+			victim := nodes[rng.Intn(len(nodes))]
+			if err := victim.Leave(); err != nil {
+				t.Fatalf("round %d: leave %s: %v", round, victim.Addr(), err)
+			}
+		} else {
+			join(live()[0])
+		}
+		settleClean(round)
+	}
+
+	if n := len(live()); n < 4 {
+		t.Fatalf("test drifted to %d live nodes; churn mix needs rebalancing", n)
+	}
+}

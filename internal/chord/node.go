@@ -152,6 +152,10 @@ func (n *Node) Successors() []NodeRef {
 	return out
 }
 
+// SuccessorListLen returns the configured successor-list length r (the
+// invariant checker compares actual lists against min(r, N-1)).
+func (n *Node) SuccessorListLen() int { return n.cfg.SuccessorListLen }
+
 // Predecessor returns the current predecessor (zero if unknown).
 func (n *Node) Predecessor() NodeRef {
 	n.mu.RLock()

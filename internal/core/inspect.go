@@ -1,0 +1,108 @@
+package core
+
+import (
+	"sort"
+
+	"peertrack/internal/ids"
+	"peertrack/internal/moods"
+)
+
+// State inspection for the whole-network invariant checker
+// (internal/invariants) and the chaos harness. These accessors copy
+// internal state directly, without sending any messages, so checking
+// invariants between chaos steps never perturbs transport statistics or
+// the fault-injection randomness stream.
+
+// IndividualBucketKey is the bucket key under which individual-indexing
+// records are stored, exposed so external inspectors (the invariant
+// checker) can address that bucket in a dump.
+const IndividualBucketKey = individualBucket
+
+// BucketSnapshot is a copy of one gateway bucket: the prefix group it
+// indexes, its records, and whether it has ever delegated records to
+// its Data Triangle children.
+type BucketSnapshot struct {
+	Key        string
+	Prefix     ids.Prefix
+	Individual bool // the per-object bucket of individual-indexing mode
+	Delegated  bool
+	Entries    []IndexEntry
+}
+
+// DumpIndex returns a copy of every primary gateway bucket this peer
+// holds, sorted by bucket key with entries sorted by hashed id.
+func (p *Peer) DumpIndex() []BucketSnapshot { return p.gw.dump() }
+
+// DumpReplicas returns a copy of every replica bucket this peer holds.
+func (p *Peer) DumpReplicas() []BucketSnapshot { return p.replica.dump() }
+
+// DumpVisits returns a copy of this peer's local repository: every
+// object it has observed with the stitched IOP links.
+func (p *Peer) DumpVisits() map[moods.ObjectID][]VisitRecord {
+	p.repo.mu.RLock()
+	defer p.repo.mu.RUnlock()
+	out := make(map[moods.ObjectID][]VisitRecord, len(p.repo.visits))
+	for obj, vs := range p.repo.visits {
+		out[obj] = append([]VisitRecord(nil), vs...)
+	}
+	return out
+}
+
+// MaxDescent returns the configured Data Triangle descent bound.
+func (p *Peer) MaxDescent() int { return p.cfg.MaxDescent }
+
+// Mode returns the configured indexing mode.
+func (p *Peer) Mode() Mode { return p.cfg.Mode }
+
+// Replicas returns the configured replication factor.
+func (p *Peer) Replicas() int { return p.cfg.Replicas }
+
+// InjectIndexEntry plants an index record directly into a bucket,
+// bypassing the protocol. It exists so invariant-checker tests can
+// fabricate corrupted states (wrong bucket, duplicate record) and prove
+// the checker catches them; production code must never call it.
+func (p *Peer) InjectIndexEntry(bucketKey string, e IndexEntry) {
+	if bucketKey == individualBucket {
+		p.gw.upsertKeyed(individualBucket, e)
+		return
+	}
+	pfx, err := ids.ParsePrefix(bucketKey)
+	if err != nil {
+		return
+	}
+	p.gw.upsert(pfx, e)
+}
+
+// RemoveIndexEntry deletes an index record from a bucket, bypassing the
+// protocol (test hook, see InjectIndexEntry).
+func (p *Peer) RemoveIndexEntry(bucketKey string, id ids.ID) {
+	p.gw.removeAll(bucketKey, []ids.ID{id})
+}
+
+// OverlayKind reports which DHT the network runs on.
+func (nw *Network) OverlayKind() OverlayKind { return nw.cfg.Overlay }
+
+// dump copies every bucket of the store (see Peer.DumpIndex).
+func (g *gatewayStore) dump() []BucketSnapshot {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]BucketSnapshot, 0, len(g.buckets))
+	for key, b := range g.buckets {
+		snap := BucketSnapshot{
+			Key:        key,
+			Prefix:     b.prefix,
+			Individual: key == individualBucket,
+			Delegated:  b.delegated,
+			Entries:    make([]IndexEntry, 0, len(b.entries)),
+		}
+		for _, e := range b.entries {
+			snap.Entries = append(snap.Entries, *e)
+		}
+		sort.Slice(snap.Entries, func(i, j int) bool {
+			return snap.Entries[i].ID.Less(snap.Entries[j].ID)
+		})
+		out = append(out, snap)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}

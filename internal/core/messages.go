@@ -49,7 +49,16 @@ func (r groupArriveReq) WireSize() int {
 	return len(r.Prefix) + len(r.Node) + 8 + sizeOfEvents(r.Events)
 }
 
-type groupArriveResp struct{}
+// groupArriveResp acknowledges a group indexing message. Deferred
+// returns the late-reported events the gateway could not yet stitch
+// into their objects' IOP lists because a chain segment was unreachable
+// (see stitchInsert); the reporting node re-buffers them and retries at
+// its next window flush.
+type groupArriveResp struct {
+	Deferred []ObjEvent
+}
+
+func (r groupArriveResp) WireSize() int { return sizeOfEvents(r.Deferred) }
 
 // iopSetToReq is message M2: the gateway tells the previous node that
 // each object has moved on (sets o.to = To there).

@@ -240,6 +240,17 @@ func (nw *Network) IndexLoads() []float64 {
 // caches are invalidated, and the splitting/re-homing process runs to
 // a fixed point. Returns (oldLp, newLp).
 func (nw *Network) Grow(k int) (int, int, error) {
+	// Allocate the lowest name indices not currently in use. After a
+	// Shrink the live indices need not be contiguous (peers are kept in
+	// ring order, so departures can leave holes anywhere), and reusing a
+	// live name would alias two peers onto one transport address and one
+	// chord ID.
+	fresh := make([]transport.Addr, 0, k)
+	for i := 0; len(fresh) < k; i++ {
+		if name := NodeNameFor(i); nw.byName[name] == nil {
+			fresh = append(fresh, transport.Addr(name))
+		}
+	}
 	start := len(nw.peers)
 	switch nw.cfg.Overlay {
 	case KademliaOverlay:
@@ -247,8 +258,7 @@ func (nw *Network) Grow(k int) (int, int, error) {
 		for _, p := range nw.peers {
 			kadNodes = append(kadNodes, p.Node().(*kademlia.Node))
 		}
-		for i := 0; i < k; i++ {
-			addr := transport.Addr(NodeNameFor(start + i))
+		for _, addr := range fresh {
 			n, err := kademlia.New(nw.Transport, addr, kademlia.Config{})
 			if err != nil {
 				return 0, 0, err
@@ -264,8 +274,7 @@ func (nw *Network) Grow(k int) (int, int, error) {
 		for _, p := range nw.peers {
 			chordNodes = append(chordNodes, p.Node().(*chord.Node))
 		}
-		for i := 0; i < k; i++ {
-			addr := transport.Addr(NodeNameFor(start + i))
+		for _, addr := range fresh {
 			n, err := chord.New(nw.Transport, addr, chord.Config{})
 			if err != nil {
 				return 0, 0, err
@@ -321,6 +330,11 @@ func (nw *Network) Shrink(k int) (int, int, error) {
 		l.InvalidateGatewayCache()
 		for pass := 0; pass < 8 && l.ReconcileStep() > 0; pass++ {
 		}
+		// A leaver's stale routing can fail to place some records (its
+		// lookup may terminate at another leaver); hand any remainder to
+		// a survivor so departure never loses index records — the
+		// reconciliation below re-homes them correctly.
+		l.evacuate(remaining[0].Addr())
 		nw.Transport.Unregister(l.Addr())
 		delete(nw.byName, l.Name())
 	}

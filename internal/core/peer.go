@@ -15,6 +15,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -103,6 +104,13 @@ type Peer struct {
 	cacheMu sync.RWMutex
 	gwCache map[string]overlay.NodeRef // prefix string → gateway
 
+	// lateMu guards lateTries: consecutive failed attempts to stitch a
+	// late-reported visit, keyed by (object, node, time). Bounded by
+	// lateStitchRetries so records lost with a departed node cannot
+	// defer an event forever.
+	lateMu    sync.Mutex
+	lateTries map[string]int
+
 	// OnFlush, if set, is invoked after each window flush with the
 	// number of groups sent (test/metrics hook).
 	OnFlush func(groups int)
@@ -130,6 +138,8 @@ func NewPeer(node overlay.Node, net transport.Network, pm *PrefixManager, cfg Co
 		trans:   newTransitionStats(),
 		contain: newContainStore(),
 		gwCache: make(map[string]overlay.NodeRef),
+
+		lateTries: make(map[string]int),
 	}
 	node.SetAppHandler(p.handleRPC)
 	return p
@@ -203,14 +213,36 @@ func (p *Peer) FlushWindow() error {
 		groups[prefix] = append(groups[prefix], ObjEvent{Object: obs.Object, Arrived: obs.At})
 	}
 
+	// Deterministic group order: fault injection draws randomness per
+	// call, so map-order iteration would make lossy runs unreproducible.
+	prefixes := make([]string, 0, len(groups))
+	for prefix := range groups {
+		prefixes = append(prefixes, prefix)
+	}
+	sort.Strings(prefixes)
+
 	var firstErr error
 	var failed []moods.Observation
-	for prefix, events := range groups {
+	for _, prefix := range prefixes {
+		events := groups[prefix]
 		pfx := ids.MustParsePrefix(prefix)
 		gwRef, err := p.resolveGateway(pfx)
 		if err == nil {
 			req := groupArriveReq{Prefix: prefix, Events: events, Node: p.Name(), At: p.clock()}
-			_, err = p.call(gwRef, req)
+			var resp any
+			resp, err = p.call(gwRef, req)
+			if err == nil {
+				// Late events whose IOP stitch hit an unreachable chain
+				// segment come back deferred: re-buffer them so the next
+				// flush retries once the fault heals.
+				if gr, ok := resp.(groupArriveResp); ok {
+					for _, ev := range gr.Deferred {
+						failed = append(failed, moods.Observation{
+							Object: ev.Object, Node: p.Name(), At: ev.Arrived,
+						})
+					}
+				}
+			}
 			if err != nil {
 				err = fmt.Errorf("core: group index %q at %s: %w", prefix, gwRef.Addr, err)
 				// The resolution may be stale (churn); retry fresh next
@@ -316,8 +348,7 @@ func (p *Peer) handleRPC(from transport.Addr, req any) (any, error) {
 		p.gatewayArrive(r)
 		return arriveResp{}, nil
 	case groupArriveReq:
-		p.gatewayGroupArrive(r)
-		return groupArriveResp{}, nil
+		return groupArriveResp{Deferred: p.gatewayGroupArrive(r)}, nil
 	case iopSetToReq:
 		for _, obj := range r.Objects {
 			// Learn the outbound transition for prediction: dwell is
@@ -424,9 +455,11 @@ func (p *Peer) gatewayArrive(r arriveReq) {
 		}
 	default:
 		// Late observation: the indexed state is newer than this event
-		// (window flush ordering). Stitch the visit immediately before
-		// the current latest without moving the index head.
-		p.stitchBefore(r.Event.Object, r.Node, prev, individualBucket, ids.Prefix{}, r.Event.Arrived)
+		// (window flush ordering). Splice the visit into the IOP list at
+		// its chronological position without moving the index head.
+		// Individual indexing has no window to re-buffer into, so a
+		// deferred stitch is best-effort (retried only if re-reported).
+		p.stitchInsert(r.Event.Object, r.Node, prev, individualBucket, ids.Prefix{}, r.Event.Arrived)
 	}
 }
 
@@ -467,20 +500,103 @@ func (p *Peer) mergeEntry(bucketKey string, pfx ids.Prefix, e IndexEntry) {
 	upsert(newer)
 }
 
-// stitchBefore links a late-reported visit at node nd in front of the
-// currently indexed latest visit: nd.to = latest, latest.from = nd, and
-// the entry's Prev adopts nd when it had none.
-func (p *Peer) stitchBefore(obj moods.ObjectID, nd moods.NodeName, cur IndexEntry, bucketKey string, pfx ids.Prefix, at time.Duration) {
-	if nd == cur.Latest {
-		return
+// lateStitchRetries bounds how many times a late-visit stitch is
+// deferred on an unreachable chain segment before the gateway gives up
+// linking it. Transient faults (crashed or partitioned nodes) heal
+// within a few flush retries; a failure that persists this long means
+// the segment's records left the network with a departed node and can
+// never be fetched again.
+const lateStitchRetries = 8
+
+// lateRetry accounts one failed stitch attempt for the (obj, nd, at)
+// late event and reports whether the caller should defer and retry.
+func (p *Peer) lateRetry(obj moods.ObjectID, nd moods.NodeName, at time.Duration) bool {
+	key := fmt.Sprintf("%s|%s|%d", obj, nd, at)
+	p.lateMu.Lock()
+	defer p.lateMu.Unlock()
+	p.lateTries[key]++
+	if p.lateTries[key] < lateStitchRetries {
+		return true
 	}
+	delete(p.lateTries, key)
+	return false
+}
+
+// lateForget clears the retry counter after an attempt that reached the
+// insertion point.
+func (p *Peer) lateForget(obj moods.ObjectID, nd moods.NodeName, at time.Duration) {
+	key := fmt.Sprintf("%s|%s|%d", obj, nd, at)
+	p.lateMu.Lock()
+	delete(p.lateTries, key)
+	p.lateMu.Unlock()
+}
+
+// stitchInsert splices a late-reported visit — object seen at node nd
+// at time `at`, arriving at the gateway after later visits were already
+// indexed — into the object's IOP list at its chronological position.
+// Window flushes from different nodes can reach the gateway in any
+// order, so the late visit's true neighbours may lie anywhere down the
+// chain; the gateway only indexes the head, so the insertion point is
+// found by walking the list backwards from the head, after which both
+// neighbouring links are re-pointed around nd.
+//
+// It returns false when an unreachable node interrupted the walk before
+// the insertion point was known: writing links around an unverified
+// position would disconnect reachable parts of the chain, so the caller
+// defers the event and retries after the fault heals. Once a failure
+// has persisted lateStitchRetries attempts (the segment's records left
+// with a departed node), the event is abandoned: the visit stays
+// recorded at nd, unlinked, exactly as reachable knowledge permits.
+func (p *Peer) stitchInsert(obj moods.ObjectID, nd moods.NodeName, cur IndexEntry, bucketKey string, pfx ids.Prefix, at time.Duration) bool {
+	if nd == cur.Latest {
+		return true
+	}
+	// Walk back from the head to the latest visit at or before `at`.
+	succNode, succAt := cur.Latest, cur.Arrived
+	predNode := moods.Nowhere
+	node, bound := cur.Latest, cur.Arrived+1
+	for steps := 0; steps < maxWalk; steps++ {
+		visits, _, err := p.fetchVisits(node, obj)
+		if err != nil {
+			return !p.lateRetry(obj, nd, at)
+		}
+		v, ok := pickVisit(visits, bound)
+		if !ok {
+			break // chain broken below: insert with no known predecessor
+		}
+		if v.Arrived <= at {
+			predNode = node
+			break
+		}
+		succNode, succAt = node, v.Arrived
+		if v.From == "" {
+			break // the whole known chain is later than `at`
+		}
+		node, bound = v.From, v.Arrived
+	}
+	p.lateForget(obj, nd, at)
+
+	// pred → nd. A same-node predecessor means a re-sighting at nd with
+	// no movement in between; like the head-move path, no link is
+	// written (it also covers an already-inserted duplicate retry).
+	if predNode != moods.Nowhere && predNode != nd {
+		p.callAddr(transport.Addr(predNode), iopSetToReq{
+			Objects: []moods.ObjectID{obj}, To: nd, At: at,
+		})
+		p.callAddr(transport.Addr(nd), iopSetFromReq{
+			Links: []IOPLink{{Object: obj, From: predNode, At: at}},
+		})
+	}
+	// nd → succ.
 	p.callAddr(transport.Addr(nd), iopSetToReq{
-		Objects: []moods.ObjectID{obj}, To: cur.Latest, At: cur.Arrived,
+		Objects: []moods.ObjectID{obj}, To: succNode, At: succAt,
 	})
-	p.callAddr(transport.Addr(cur.Latest), iopSetFromReq{
-		Links: []IOPLink{{Object: obj, From: nd, At: cur.Arrived}},
+	p.callAddr(transport.Addr(succNode), iopSetFromReq{
+		Links: []IOPLink{{Object: obj, From: nd, At: succAt}},
 	})
-	if cur.Prev == "" {
+	// When nd slots in directly before the head, it becomes the head's
+	// predecessor.
+	if succNode == cur.Latest && succAt == cur.Arrived {
 		cur.Prev = nd
 		if bucketKey == individualBucket {
 			p.gw.upsertKeyed(individualBucket, cur)
@@ -488,6 +604,7 @@ func (p *Peer) stitchBefore(obj moods.ObjectID, nd moods.NodeName, cur IndexEntr
 			p.gw.upsert(pfx, cur)
 		}
 	}
+	return true
 }
 
 // gatewayGroupArrive processes one group indexing message, implementing
@@ -495,10 +612,12 @@ func (p *Peer) stitchBefore(obj moods.ObjectID, nd moods.NodeName, cur IndexEntr
 // refresh the rest from ascents and descents, update the index, stitch
 // IOP links in per-source batches, then delegate if the bucket
 // overflowed.
-func (p *Peer) gatewayGroupArrive(r groupArriveReq) {
+// It returns the late events whose IOP stitching had to be deferred on
+// an unreachable chain segment; the reporting node re-buffers them.
+func (p *Peer) gatewayGroupArrive(r groupArriveReq) []ObjEvent {
 	pfx, err := ids.ParsePrefix(r.Prefix)
 	if err != nil {
-		return
+		return nil
 	}
 	now := p.clock()
 
@@ -535,13 +654,17 @@ func (p *Peer) gatewayGroupArrive(r groupArriveReq) {
 	toBatches := make(map[moods.NodeName][]moods.ObjectID)
 	var fromLinks []IOPLink
 	var updated []IndexEntry
+	var deferred []ObjEvent
 	for _, ev := range r.Events {
 		id := idOf[ev.Object]
 		prev, had := p.gw.lookup(r.Prefix, id)
 		if had && ev.Arrived < prev.Arrived {
-			// Late observation (window flush ordering): stitch before
-			// the indexed latest instead of moving the head.
-			p.stitchBefore(ev.Object, r.Node, prev, r.Prefix, pfx, ev.Arrived)
+			// Late observation (window flush ordering): splice it into
+			// the IOP list at its chronological position instead of
+			// moving the head.
+			if !p.stitchInsert(ev.Object, r.Node, prev, r.Prefix, pfx, ev.Arrived) {
+				deferred = append(deferred, ev)
+			}
 			continue
 		}
 		entry := IndexEntry{
@@ -564,9 +687,16 @@ func (p *Peer) gatewayGroupArrive(r groupArriveReq) {
 		updated = append(updated, entry)
 	}
 	p.replicate(r.Prefix, updated)
-	// One message per distinct source node (M2 batched)...
-	for prevNode, objs := range toBatches {
-		p.callAddr(transport.Addr(prevNode), iopSetToReq{Objects: objs, To: r.Node, At: r.At})
+	// One message per distinct source node (M2 batched), in
+	// deterministic node order...
+	prevNodes := make([]string, 0, len(toBatches))
+	for prevNode := range toBatches {
+		prevNodes = append(prevNodes, string(prevNode))
+	}
+	sort.Strings(prevNodes)
+	for _, pn := range prevNodes {
+		prevNode := moods.NodeName(pn)
+		p.callAddr(transport.Addr(prevNode), iopSetToReq{Objects: toBatches[prevNode], To: r.Node, At: r.At})
 	}
 	// ...and one message back to the destination (M3 batched).
 	if len(fromLinks) > 0 {
@@ -574,6 +704,7 @@ func (p *Peer) gatewayGroupArrive(r groupArriveReq) {
 	}
 
 	p.maybeDelegate(pfx)
+	return deferred
 }
 
 // refreshFromAscent pulls index records for the given objects from the

@@ -33,6 +33,42 @@ func TestSchemePrefixLengths(t *testing.T) {
 	}
 }
 
+func TestSchemePrefixLenEdgeCases(t *testing.T) {
+	cases := []struct {
+		name       string
+		nn         float64
+		lmin       int
+		s1, s2, s3 int
+	}{
+		// Below the formula's domain everything is the bootstrap floor.
+		{"empty", 0, 3, 3, 3, 3},
+		{"single node", 1, 3, 3, 3, 3},
+		// Nn=2: log2 = 1, so Scheme2's log2 log2 term vanishes (it only
+		// contributes once log2 Nn > 1) and Schemes 1 and 2 coincide.
+		{"two nodes", 2, 0, 1, 1, 2},
+		{"three nodes", 3, 0, 2, 3, 4},
+		// Powers of two: the ceil is exact for Schemes 1 and 3.
+		{"4", 4, 0, 2, 3, 4},
+		{"8", 8, 0, 3, 5, 6},
+		{"16", 16, 0, 4, 6, 8},
+		{"256", 256, 0, 8, 11, 16},
+		{"1024", 1024, 0, 10, 14, 20},
+		{"65536", 65536, 0, 16, 20, 32},
+		// Astronomical Nn: Scheme3 (2·100 = 200) exceeds the identifier
+		// width and is capped; the others still fit.
+		{"2^100", math.Pow(2, 100), 0, 100, 107, ids.Bits},
+		// A negative floor is treated as 0, not propagated.
+		{"negative lmin", 1, -5, 0, 0, 0},
+	}
+	for _, c := range cases {
+		for s, want := range map[Scheme]int{Scheme1: c.s1, Scheme2: c.s2, Scheme3: c.s3} {
+			if got := s.PrefixLen(c.nn, c.lmin); got != want {
+				t.Errorf("%s: %v.PrefixLen(%v, %d) = %d, want %d", c.name, s, c.nn, c.lmin, got, want)
+			}
+		}
+	}
+}
+
 func TestSchemeLMinFloor(t *testing.T) {
 	if got := Scheme2.PrefixLen(2, 5); got != 5 {
 		t.Errorf("Lp with LMin=5 at Nn=2: %d", got)

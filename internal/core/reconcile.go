@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sort"
+
 	"peertrack/internal/ids"
 	"peertrack/internal/transport"
 )
@@ -22,7 +24,9 @@ import (
 func (p *Peer) ReconcileStep() int {
 	moved := 0
 	lp := p.pm.Lp()
-	for _, key := range p.gw.bucketKeys() {
+	keys := p.gw.bucketKeys()
+	sort.Strings(keys) // deterministic migration order (see FlushWindow)
+	for _, key := range keys {
 		if key == individualBucket {
 			// Per-object records re-home individually (below), never
 			// split/merge by prefix level.
@@ -72,7 +76,14 @@ func (p *Peer) ReconcileStep() int {
 			if len(entries) == 0 {
 				continue
 			}
-			p.call(gwRef, delegateReq{Prefix: key, Entries: entries})
+			if _, err := p.call(gwRef, delegateReq{Prefix: key, Entries: entries}); err != nil {
+				// Index records must never be lost to a failed migration:
+				// re-insert and report the bucket as still moving so the
+				// caller retries on a later pass.
+				for _, e := range entries {
+					p.gw.upsert(pfx, e)
+				}
+			}
 			moved++
 		}
 	}
@@ -98,6 +109,35 @@ func (p *Peer) sendEntries(pfx ids.Prefix, entries []IndexEntry) {
 	}
 }
 
+// evacuate drains every remaining index bucket and hands the records to
+// the given address directly, bypassing DHT routing. Shrink uses it as
+// a last resort when a leaver's stale routing cannot deliver records to
+// their new owners (a lookup can terminate at another leaver): the
+// receiver may not own them, but the subsequent network-wide
+// reconciliation re-homes them through correct routing — the invariant
+// is that departure never loses index records, wherever they land.
+func (p *Peer) evacuate(to transport.Addr) {
+	keys := p.gw.bucketKeys()
+	sort.Strings(keys)
+	for _, key := range keys {
+		entries := p.gw.drain(key)
+		if len(entries) == 0 {
+			continue
+		}
+		if _, err := p.callAddr(to, delegateReq{Prefix: key, Entries: entries}); err != nil {
+			// Receiver unreachable: keep the records local rather than
+			// lose them.
+			for _, e := range entries {
+				if key == individualBucket {
+					p.gw.upsertKeyed(key, e)
+				} else if pfx, perr := ids.ParsePrefix(key); perr == nil {
+					p.gw.upsert(pfx, e)
+				}
+			}
+		}
+	}
+}
+
 // rehomeIndividual re-homes per-object index records whose successor
 // moved (individual-indexing mode under churn).
 func (p *Peer) rehomeIndividual() int {
@@ -111,6 +151,7 @@ func (p *Peer) rehomeIndividual() int {
 		entries = append(entries, *e)
 	}
 	p.gw.mu.RUnlock()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].ID.Less(entries[j].ID) })
 
 	moved := 0
 	byDest := make(map[string][]IndexEntry)
@@ -121,7 +162,13 @@ func (p *Peer) rehomeIndividual() int {
 		}
 		byDest[string(res.Node.Addr)] = append(byDest[string(res.Node.Addr)], e)
 	}
-	for dest, es := range byDest {
+	dests := make([]string, 0, len(byDest))
+	for dest := range byDest {
+		dests = append(dests, dest)
+	}
+	sort.Strings(dests)
+	for _, dest := range dests {
+		es := byDest[dest]
 		if _, err := p.callAddr(transport.Addr(dest), delegateReq{Prefix: individualBucket, Entries: es}); err != nil {
 			continue
 		}

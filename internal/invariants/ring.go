@@ -1,0 +1,85 @@
+package invariants
+
+import (
+	"fmt"
+
+	"peertrack/internal/chord"
+	"peertrack/internal/moods"
+)
+
+// CheckRing verifies that a set of Chord nodes forms one fully
+// converged ring: sorted by identifier, every live node's successor
+// list is exactly the next min(r, m−1) live nodes and its predecessor
+// is the previous one. Departed nodes (Left) are excluded. This is the
+// post-churn convergence condition the chaos harness and the churn
+// regression test assert after stabilization settles.
+func CheckRing(nodes []*chord.Node) []Violation {
+	live := make([]*chord.Node, 0, len(nodes))
+	for _, n := range nodes {
+		if !n.Left() {
+			live = append(live, n)
+		}
+	}
+	m := len(live)
+	if m == 0 {
+		return nil
+	}
+	sorted := append([]*chord.Node(nil), live...)
+	chord.SortByID(sorted)
+
+	var out []Violation
+	add := func(n *chord.Node, inv, format string, args ...any) {
+		out = append(out, Violation{
+			Invariant: inv,
+			Node:      moods.NodeName(n.Addr()),
+			Detail:    fmt.Sprintf(format, args...),
+		})
+	}
+
+	isLive := make(map[moods.NodeName]bool, m)
+	for _, n := range live {
+		isLive[moods.NodeName(n.Addr())] = true
+	}
+
+	for i, n := range sorted {
+		succs := n.Successors()
+		if m == 1 {
+			if len(succs) != 1 || !succs[0].Equal(n.Self()) {
+				add(n, "ring-successor", "single-node ring must point at itself, got %v", succs)
+			}
+			continue
+		}
+		// References to departed nodes linger in successor lists until
+		// they age out (stabilization never pings list tails), occupying
+		// capacity. The convergence condition is therefore on the list's
+		// live projection: it must be exactly the next live nodes in ring
+		// order, and it may fall short of min(r, m−1) only because stale
+		// refs fill the list to capacity r.
+		liveSuccs := succs[:0:0]
+		for _, s := range succs {
+			if isLive[moods.NodeName(s.Addr)] {
+				liveSuccs = append(liveSuccs, s)
+			}
+		}
+		wantLen := n.SuccessorListLen()
+		if wantLen > m-1 {
+			wantLen = m - 1
+		}
+		if len(liveSuccs) < wantLen && len(succs) < n.SuccessorListLen() {
+			add(n, "ring-succ-len", "%d live successors of %d wanted (list %d/%d)",
+				len(liveSuccs), wantLen, len(succs), n.SuccessorListLen())
+		}
+		for k := 0; k < len(liveSuccs) && k < wantLen; k++ {
+			want := sorted[(i+1+k)%m].Self()
+			if !liveSuccs[k].Equal(want) {
+				add(n, "ring-successor", "live successors[%d]=%s, want %s", k, liveSuccs[k].Addr, want.Addr)
+				break // the rest of the list is shifted; one report suffices
+			}
+		}
+		wantPred := sorted[(i-1+m)%m].Self()
+		if pred := n.Predecessor(); !pred.Equal(wantPred) {
+			add(n, "ring-pred", "predecessor=%s, want %s", pred.Addr, wantPred.Addr)
+		}
+	}
+	return out
+}

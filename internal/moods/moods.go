@@ -141,6 +141,20 @@ func (h *HistoryStore) Objects() int {
 	return len(h.hist)
 }
 
+// ObjectIDs returns every distinct object seen, sorted, so callers that
+// sweep the whole population (the invariant checker) iterate
+// deterministically.
+func (h *HistoryStore) ObjectIDs() []ObjectID {
+	h.mu.RLock()
+	out := make([]ObjectID, 0, len(h.hist))
+	for o := range h.hist {
+		out = append(out, o)
+	}
+	h.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 // Locate implements Locator: the node of the latest observation at or
 // before t.
 func (h *HistoryStore) Locate(o ObjectID, t time.Duration) (NodeName, error) {

@@ -60,11 +60,18 @@ func (m *Memory) Unregister(addr Addr) {
 	delete(m.handlers, addr)
 }
 
-// SetDropRate makes each call fail with the given probability in [0,1).
-func (m *Memory) SetDropRate(p float64) {
+// SetDropRate makes each call fail with the given probability. Rates
+// outside [0, 1] (including NaN) are rejected: a silent clamp would let
+// an experiment config typo (e.g. a percentage where a fraction is
+// expected) skew every fault-injection result downstream.
+func (m *Memory) SetDropRate(p float64) error {
+	if !(p >= 0 && p <= 1) { // negated to catch NaN
+		return fmt.Errorf("transport: drop rate %v outside [0,1]", p)
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.dropRate = p
+	return nil
 }
 
 // Kill marks addr unreachable without unregistering it (a crashed node
@@ -108,18 +115,25 @@ func (m *Memory) Call(from, to Addr, req any) (any, error) {
 	blocked := !ok || m.dead[to] || m.dead[from] || m.groupOf[from] != m.groupOf[to]
 	dropRate := m.dropRate
 	m.mu.RUnlock()
-	dropped := false
+	if blocked {
+		// The request was emitted into a partition or at a dead node: no
+		// response returns. Charge one message, bill it as blocked. A
+		// structurally unreachable call never consumes fault-injection
+		// randomness, so partition schedules do not perturb the drop
+		// sequence of the surviving traffic.
+		m.stats.recordBlocked(to, req)
+		return nil, ErrUnreachable
+	}
 	if dropRate > 0 {
 		m.rngMu.Lock()
-		dropped = m.rng.Float64() < dropRate
+		dropped := m.rng.Float64() < dropRate
 		m.rngMu.Unlock()
-	}
-
-	if blocked || dropped {
-		// The request was emitted but no response returns: charge one
-		// message, record the failure.
-		m.stats.recordDrop(to, req)
-		return nil, ErrUnreachable
+		if dropped {
+			// The request was emitted but lost in flight: charge one
+			// message, record the failure.
+			m.stats.recordDrop(to, req)
+			return nil, ErrUnreachable
+		}
 	}
 
 	resp, err := h(from, req)

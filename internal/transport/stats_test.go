@@ -115,7 +115,7 @@ func TestDropPathAccounting(t *testing.T) {
 		t.Fatalf("err = %v, want ErrUnreachable", err)
 	}
 	snap := m.Stats().Snapshot()
-	want := Snapshot{Calls: 1, Messages: 1, Bytes: uint64(DefaultMsgSize + req.WireSize()), Failures: 1}
+	want := Snapshot{Calls: 1, Messages: 1, Bytes: uint64(DefaultMsgSize + req.WireSize()), Failures: 1, Blocked: 1}
 	if snap != want {
 		t.Errorf("snapshot = %+v, want %+v", snap, want)
 	}

@@ -119,6 +119,8 @@ type statsShard struct {
 	messages uint64
 	bytes    uint64
 	failures uint64
+	drops    uint64
+	blocked  uint64
 	perType  map[string]uint64
 	perDest  map[Addr]uint64
 
@@ -129,12 +131,14 @@ type statsShard struct {
 // scalar counters ride in the same critical section as the map bumps,
 // which benchmarks faster single-threaded than per-field atomics while
 // still scaling across shards under concurrent traffic.
-func (sh *statsShard) record(to Addr, name string, calls, messages, bytes, failures uint64) {
+func (sh *statsShard) record(to Addr, name string, calls, messages, bytes, failures, drops, blocked uint64) {
 	sh.mu.Lock()
 	sh.calls += calls
 	sh.messages += messages
 	sh.bytes += bytes
 	sh.failures += failures
+	sh.drops += drops
+	sh.blocked += blocked
 	sh.perType[name]++
 	sh.perDest[to]++
 	sh.mu.Unlock()
@@ -177,14 +181,22 @@ func (s *Stats) recordCall(to Addr, req, resp any, failed bool) {
 	if failed {
 		failures = 1
 	}
-	s.shards[shardOf(to)].record(to, typeName(req), 1, 2, uint64(sizeOf(req)+sizeOf(resp)), failures)
+	s.shards[shardOf(to)].record(to, typeName(req), 1, 2, uint64(sizeOf(req)+sizeOf(resp)), failures, 0, 0)
 }
 
-// recordDrop accounts a call whose request was emitted but never
-// answered (drop, partition, dead or unregistered destination): one
-// message on the wire, one failure, no response bytes.
+// recordDrop accounts a call whose request was emitted and lost to
+// random message loss: one message on the wire, one failure, no
+// response bytes.
 func (s *Stats) recordDrop(to Addr, req any) {
-	s.shards[shardOf(to)].record(to, typeName(req), 1, 1, uint64(sizeOf(req)), 1)
+	s.shards[shardOf(to)].record(to, typeName(req), 1, 1, uint64(sizeOf(req)), 1, 1, 0)
+}
+
+// recordBlocked accounts a call whose destination was structurally
+// unreachable (dead, partitioned away, or unregistered): like a drop it
+// charges one request message and one failure, but is counted
+// separately so fault accounting conserves (see Snapshot.Conserves).
+func (s *Stats) recordBlocked(to Addr, req any) {
+	s.shards[shardOf(to)].record(to, typeName(req), 1, 1, uint64(sizeOf(req)), 1, 0, 1)
 }
 
 // Snapshot is a point-in-time copy of the counters.
@@ -193,6 +205,27 @@ type Snapshot struct {
 	Bytes    uint64 // approximate wire bytes
 	Calls    uint64 // round trips attempted
 	Failures uint64 // calls that failed at transport or handler level
+	Drops    uint64 // calls lost to random message loss (subset of Failures)
+	Blocked  uint64 // calls to dead/partitioned/unregistered nodes (subset of Failures)
+}
+
+// Completed returns the number of calls whose request reached a handler
+// (successes plus handler-level failures).
+func (s Snapshot) Completed() uint64 { return s.Calls - s.Drops - s.Blocked }
+
+// Successes returns the number of calls that completed without any
+// failure.
+func (s Snapshot) Successes() uint64 { return s.Calls - s.Failures }
+
+// Conserves reports whether the counters are internally consistent:
+// every call either completed (2 messages) or was dropped/blocked (1
+// message), drops and blocked are failures, and failures never exceed
+// calls. The chaos harness asserts this after every scenario step.
+func (s Snapshot) Conserves() bool {
+	if s.Drops+s.Blocked > s.Failures || s.Failures > s.Calls {
+		return false
+	}
+	return s.Messages == 2*s.Calls-s.Drops-s.Blocked
 }
 
 // Snapshot merges the shards into one counter copy. It is a consistent
@@ -208,6 +241,8 @@ func (s *Stats) Snapshot() Snapshot {
 		out.Bytes += sh.bytes
 		out.Calls += sh.calls
 		out.Failures += sh.failures
+		out.Drops += sh.drops
+		out.Blocked += sh.blocked
 		sh.mu.Unlock()
 	}
 	return out
@@ -221,6 +256,8 @@ func (a Snapshot) Delta(earlier Snapshot) Snapshot {
 		Bytes:    a.Bytes - earlier.Bytes,
 		Calls:    a.Calls - earlier.Calls,
 		Failures: a.Failures - earlier.Failures,
+		Drops:    a.Drops - earlier.Drops,
+		Blocked:  a.Blocked - earlier.Blocked,
 	}
 }
 
@@ -279,6 +316,7 @@ func (s *Stats) Reset() {
 		sh := &s.shards[i]
 		sh.mu.Lock()
 		sh.calls, sh.messages, sh.bytes, sh.failures = 0, 0, 0, 0
+		sh.drops, sh.blocked = 0, 0
 		sh.perType = make(map[string]uint64)
 		sh.perDest = make(map[Addr]uint64)
 		sh.mu.Unlock()
