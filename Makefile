@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check vet race bench figures chaos-short chaos
+.PHONY: build test check vet lint race bench figures chaos-short chaos
 
 build:
 	$(GO) build ./...
@@ -11,13 +11,25 @@ test:
 vet:
 	$(GO) vet ./...
 
-race:
-	$(GO) test -race ./...
+# lint builds the in-tree determinism checker and runs it over the whole
+# module (test files included). It exits non-zero on any unsuppressed
+# diagnostic; suppress a deliberate exception with
+# `//lint:allow <pass> <reason>` on or above the flagged line. The same
+# binary speaks the vettool protocol:
+#   go vet -vettool=bin/peertrack-lint ./...
+lint: bin/peertrack-lint
+	./bin/peertrack-lint ./...
 
-# check is the tier-1 gate: vet plus the full suite under the race
-# detector (the sharded stats and parallel sweep runner are exercised
-# concurrently by their tests), plus the short chaos sweep.
-check: vet race chaos-short
+bin/peertrack-lint: FORCE
+	$(GO) build -o bin/peertrack-lint ./cmd/peertrack-lint
+
+FORCE:
+
+# check is the tier-1 gate: vet, the determinism lint suite, the full
+# test suite under the race detector (the sharded stats and parallel
+# sweep runner are exercised concurrently by their tests), and the
+# short chaos sweep.
+check: vet lint race chaos-short
 
 # chaos-short sweeps 500 seeded fault scenarios (4:1 safe:lossy) under
 # the race detector. Any failure prints the seed and a minimized

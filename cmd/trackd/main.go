@@ -87,7 +87,10 @@ func main() {
 	}
 
 	backend := &nodeBackend{node: node, dataPath: *dataPath}
-	httpSrv := &http.Server{Addr: *control, Handler: ctlapi.Handler(backend)}
+	// A live node runs on the wall clock; the explicit Clock is the same
+	// seam the deterministic harness uses to drive handlers on virtual
+	// time.
+	httpSrv := &http.Server{Addr: *control, Handler: ctlapi.HandlerWithClock(backend, time.Now)}
 	go func() {
 		log.Printf("control API on http://%s", *control)
 		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {

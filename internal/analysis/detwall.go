@@ -1,0 +1,60 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// wallClockFuncs are the package time functions that read or wait on
+// the wall clock. time.Duration arithmetic and the duration constants
+// are of course fine — sim.Time is a time.Duration — as are explicit
+// constructors like time.Unix and time.Date, which turn supplied data
+// into a Time without consulting the clock.
+var wallClockFuncs = map[string]string{
+	"Now":       "read the wall clock",
+	"Since":     "read the wall clock",
+	"Until":     "read the wall clock",
+	"Sleep":     "block on the wall clock",
+	"After":     "start a wall-clock timer",
+	"Tick":      "start a wall-clock ticker",
+	"NewTimer":  "construct a wall-clock timer",
+	"NewTicker": "construct a wall-clock ticker",
+	"AfterFunc": "construct a wall-clock timer",
+}
+
+// DetWall forbids wall-clock access in deterministic packages.
+//
+// The sweep runner and the chaos harness both require byte-identical
+// replay from a seed; a single time.Now() in a handler makes the replay
+// diverge in a way the minimizer then chases for hours. Simulated code
+// must take virtual time from the kernel (sim.Time via Kernel.Now, or a
+// clock func threaded through construction) instead.
+var DetWall = &Analyzer{
+	Name:      "detwall",
+	Doc:       "forbid time.Now/Since/Sleep and timer construction in deterministic packages; use the sim kernel's virtual clock",
+	AppliesTo: deterministicOnly,
+	Run:       runDetWall,
+}
+
+func runDetWall(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			expr, ok := n.(ast.Expr)
+			if !ok {
+				return true
+			}
+			name, ok := selectorCall(pass.TypesInfo, expr, "time")
+			if !ok {
+				return true
+			}
+			what, bad := wallClockFuncs[name]
+			if !bad {
+				return true
+			}
+			pass.Reportf(n.Pos(),
+				"time.%s would %s in a deterministic package; take virtual time from the sim kernel (sim.Time / Kernel.Now) instead",
+				name, what)
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,245 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MapOrder flags map iteration whose body feeds an order-sensitive
+// sink.
+//
+// Go randomizes map iteration order per range statement, so a loop that
+// appends map keys to a slice, prints, encodes, hashes, or string-
+// concatenates per element produces different bytes on every run — the
+// exact bug class that breaks the sweep runner's byte-identical-rows
+// guarantee. The pass accepts the standard idiom: collect keys into a
+// slice and sort it (a sort/slices call naming the slice later in the
+// same block suppresses the finding). Pure aggregation (sums, counters,
+// map-to-map copies) is not flagged.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "flag range-over-map bodies that append/print/encode/hash per element without a subsequent sort",
+	Run:  runMapOrder,
+}
+
+// orderSinkMethods are method names that emit bytes in call order:
+// io.Writer and strings/bytes builders, encoders, and hashes.
+var orderSinkMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true,
+	"WriteRune": true, "Encode": true, "Sum": true,
+}
+
+// fmtPrinters are the fmt functions that emit (Sprint* excluded: its
+// result is order-sensitive only if accumulated, which the
+// concatenation check catches).
+var fmtPrinters = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+}
+
+func runMapOrder(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			for _, list := range stmtLists(n) {
+				checkStmtList(pass, list)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// stmtLists returns the statement sequences owned by n, so a range
+// statement can be related to the statements that follow it in the same
+// block (where the suppressing sort would be).
+func stmtLists(n ast.Node) [][]ast.Stmt {
+	switch s := n.(type) {
+	case *ast.BlockStmt:
+		return [][]ast.Stmt{s.List}
+	case *ast.CaseClause:
+		return [][]ast.Stmt{s.Body}
+	case *ast.CommClause:
+		return [][]ast.Stmt{s.Body}
+	}
+	return nil
+}
+
+func checkStmtList(pass *Pass, stmts []ast.Stmt) {
+	for i, stmt := range stmts {
+		rs, ok := unwrapRange(stmt)
+		if !ok {
+			continue
+		}
+		t := pass.TypesInfo.TypeOf(rs.X)
+		if t == nil {
+			continue
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			continue
+		}
+		direct, appendTargets := findSinks(pass, rs)
+		if direct != "" {
+			pass.Reportf(rs.Pos(),
+				"map iteration order is randomized, and this loop %s per element; iterate sorted keys instead",
+				direct)
+			continue
+		}
+		for obj, what := range appendTargets {
+			if !sortedLater(pass, stmts[i+1:], obj) {
+				pass.Reportf(rs.Pos(),
+					"map iteration order is randomized, and this loop %s %q without a later sort in this block; sort it (sort.*/slices.*) before it is emitted or compared",
+					what, obj.Name())
+			}
+		}
+	}
+}
+
+func unwrapRange(stmt ast.Stmt) (*ast.RangeStmt, bool) {
+	for {
+		switch s := stmt.(type) {
+		case *ast.LabeledStmt:
+			stmt = s.Stmt
+		case *ast.RangeStmt:
+			return s, true
+		default:
+			return nil, false
+		}
+	}
+}
+
+// findSinks scans the range body. It returns a description of the first
+// immediately-order-sensitive sink (printing, encoding, hashing,
+// concatenating), plus the set of outer-declared slice variables the
+// body appends to — those are deferred sinks, acceptable if sorted
+// later.
+func findSinks(pass *Pass, rs *ast.RangeStmt) (direct string, appendTargets map[types.Object]string) {
+	appendTargets = map[types.Object]string{}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if direct != "" {
+			return false
+		}
+		switch s := n.(type) {
+		case *ast.CallExpr:
+			if name, ok := selectorCall(pass.TypesInfo, s.Fun, "fmt"); ok && fmtPrinters[name] {
+				direct = "prints (fmt." + name + ")"
+				return false
+			}
+			if sel, ok := s.Fun.(*ast.SelectorExpr); ok {
+				// A method named like an emitter, resolved to a real
+				// method (not a package function, which the fmt check
+				// above handles).
+				if orderSinkMethods[sel.Sel.Name] {
+					if fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok && fn.Type().(*types.Signature).Recv() != nil {
+						direct = "writes to an encoder/writer/hash (." + sel.Sel.Name + ")"
+						return false
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			checkAssignSinks(pass, rs, s, &direct, appendTargets)
+		}
+		return true
+	})
+	return direct, appendTargets
+}
+
+func checkAssignSinks(pass *Pass, rs *ast.RangeStmt, s *ast.AssignStmt, direct *string, appendTargets map[types.Object]string) {
+	// s += ... on an outer string accumulates in iteration order.
+	if s.Tok == token.ADD_ASSIGN && len(s.Lhs) == 1 {
+		if obj := outerObject(pass, rs, s.Lhs[0]); obj != nil {
+			if b, ok := obj.Type().Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+				*direct = "concatenates onto string \"" + obj.Name() + "\""
+				return
+			}
+		}
+	}
+	// v = append(v, ...) where v is declared outside the loop.
+	if len(s.Lhs) != len(s.Rhs) {
+		return
+	}
+	for i, rhs := range s.Rhs {
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok || id.Name != "append" {
+			continue
+		}
+		if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); !isBuiltin {
+			continue
+		}
+		if obj := outerObject(pass, rs, s.Lhs[i]); obj != nil {
+			appendTargets[obj] = "appends to"
+		}
+	}
+}
+
+// outerObject resolves expr to a variable declared outside the range
+// statement, or nil.
+func outerObject(pass *Pass, rs *ast.RangeStmt, expr ast.Expr) types.Object {
+	id, ok := expr.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := pass.TypesInfo.ObjectOf(id)
+	if obj == nil || obj.Pos() == token.NoPos {
+		return nil
+	}
+	if obj.Pos() >= rs.Pos() && obj.Pos() <= rs.End() {
+		return nil // declared inside the loop; dies with the iteration
+	}
+	return obj
+}
+
+// sortedLater reports whether any statement in rest sorts obj: a call
+// into sort or slices, or a call to a helper named Sort*/sort*, with
+// obj among the (possibly nested) arguments.
+func sortedLater(pass *Pass, rest []ast.Stmt, obj types.Object) bool {
+	for _, stmt := range rest {
+		found := false
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || found {
+				return !found
+			}
+			if !isSortCall(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				ast.Inspect(arg, func(a ast.Node) bool {
+					if id, ok := a.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == obj {
+						found = true
+					}
+					return !found
+				})
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// isSortCall matches sort.*, slices.*, and local helpers whose name
+// starts with Sort/sort (e.g. the chord tests' SortRefs).
+func isSortCall(pass *Pass, call *ast.CallExpr) bool {
+	if _, ok := selectorCall(pass.TypesInfo, call.Fun, "sort"); ok {
+		return true
+	}
+	if _, ok := selectorCall(pass.TypesInfo, call.Fun, "slices"); ok {
+		return true
+	}
+	var name string
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		name = fun.Name
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	}
+	return strings.HasPrefix(name, "Sort") || strings.HasPrefix(name, "sort")
+}

@@ -1,0 +1,237 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MsgFreeze flags mutation of a message after it has been handed to the
+// transport.
+//
+// The in-memory transport dispatches synchronously and shares pointers:
+// the handler on the far side (and the chaos harness's oracle) sees the
+// very object the caller passed to Call/Send. Writing through that
+// pointer after the call therefore mutates state the peer already owns
+// — a heisenbug the race detector cannot always see because the
+// "remote" handler may have returned already. The pass is
+// intra-procedural and flow-insensitive beyond source order: it flags
+// writes that appear textually after the send in the same function
+// body. A deliberate reuse (e.g. resetting a pooled request) can be
+// annotated with //lint:allow msgfreeze.
+var MsgFreeze = &Analyzer{
+	Name: "msgfreeze",
+	Doc:  "flag writes through a message pointer after it was passed to transport Call/Send in the same function",
+	Run:  runMsgFreeze,
+}
+
+// transportSendMethods are the methods that hand a message to the
+// transport layer.
+var transportSendMethods = map[string]bool{"Call": true, "Send": true}
+
+// isTransportPkg matches the real transport package and the short
+// testdata stand-in.
+func isTransportPkg(pkg *types.Package) bool {
+	if pkg == nil {
+		return false
+	}
+	path := pkg.Path()
+	return path == "peertrack/internal/transport" ||
+		path == "transport" ||
+		strings.HasSuffix(path, "/transport")
+}
+
+func runMsgFreeze(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				checkFuncBody(pass, body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// sentMsg records one pointer argument handed to the transport.
+type sentMsg struct {
+	obj    types.Object
+	method string
+	end    token.Pos // end of the sending call; writes after this are flagged
+}
+
+func checkFuncBody(pass *Pass, body *ast.BlockStmt) {
+	var sent []sentMsg
+
+	// First pass: find transport sends and the pointer-typed message
+	// arguments they capture. Nested function literals get their own
+	// checkFuncBody walk, so skip them here to keep positions within
+	// one frame; a send in a closure does not freeze the outer frame's
+	// view (and vice versa) under this pass's source-order model.
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !transportSendMethods[sel.Sel.Name] {
+			return true
+		}
+		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || !isTransportPkg(fn.Pkg()) {
+			return true
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || sig.Recv() == nil {
+			return true
+		}
+		for _, arg := range call.Args {
+			if obj := pointerMsgObject(pass, arg); obj != nil {
+				sent = append(sent, sentMsg{obj: obj, method: sel.Sel.Name, end: call.End()})
+			}
+		}
+		return true
+	})
+	if len(sent) == 0 {
+		return
+	}
+
+	// Second pass: find writes through those pointers after the send. A
+	// whole-variable reassignment (m = &msg{...}) re-points the name at
+	// a fresh object, so later writes are fine — model that by
+	// retiring the record.
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					obj := pass.TypesInfo.ObjectOf(id)
+					if obj == nil {
+						continue
+					}
+					if _, isPtr := obj.Type().Underlying().(*types.Pointer); isPtr {
+						// Re-pointing the name at a fresh object frees
+						// later writes.
+						retire(&sent, obj, s.Pos())
+					} else {
+						// A value variable sent via &v: assigning the
+						// whole value overwrites the shared pointee.
+						report(pass, sent, id, id.Pos())
+					}
+					continue
+				}
+				reportWriteThrough(pass, sent, lhs)
+			}
+		case *ast.IncDecStmt:
+			reportWriteThrough(pass, sent, s.X)
+		}
+		return true
+	})
+}
+
+// pointerMsgObject resolves arg to the variable whose pointee crosses
+// the transport: a pointer-typed identifier, or &ident of a composite.
+func pointerMsgObject(pass *Pass, arg ast.Expr) types.Object {
+	switch a := arg.(type) {
+	case *ast.Ident:
+		obj := pass.TypesInfo.ObjectOf(a)
+		if obj == nil {
+			return nil
+		}
+		if _, ok := obj.Type().Underlying().(*types.Pointer); ok {
+			return obj
+		}
+	case *ast.UnaryExpr:
+		if a.Op == token.AND {
+			if id, ok := a.X.(*ast.Ident); ok {
+				return pass.TypesInfo.ObjectOf(id)
+			}
+		}
+	}
+	return nil
+}
+
+// retire drops send records for obj once it is wholly reassigned after
+// the send (the name now points at a different object).
+func retire(sent *[]sentMsg, obj types.Object, at token.Pos) {
+	if obj == nil {
+		return
+	}
+	kept := (*sent)[:0]
+	for _, s := range *sent {
+		if s.obj == obj && at > s.end {
+			continue
+		}
+		kept = append(kept, s)
+	}
+	*sent = kept
+}
+
+// reportWriteThrough flags lhs if it dereferences a sent message:
+// m.Field = v, m.Field.Sub = v, *m = v, m.Slice[i] = v.
+func reportWriteThrough(pass *Pass, sent []sentMsg, lhs ast.Expr) {
+	id := rootIdent(lhs)
+	if id == nil {
+		return
+	}
+	report(pass, sent, id, lhs.Pos())
+}
+
+// report emits the diagnostic if id names a sent message and the write
+// position follows the send.
+func report(pass *Pass, sent []sentMsg, id *ast.Ident, at token.Pos) {
+	obj := pass.TypesInfo.ObjectOf(id)
+	if obj == nil {
+		return
+	}
+	for _, s := range sent {
+		if s.obj == obj && at > s.end {
+			pass.Reportf(at,
+				"%s was passed to transport %s and may now be owned by the receiving peer (the in-memory transport shares pointers); mutating it here corrupts the message — build a new value instead",
+				id.Name, s.method)
+			return
+		}
+	}
+}
+
+// rootIdent walks selector/index/star chains to the base identifier of
+// an lvalue, returning nil for plain identifiers (whole-variable
+// assignment is a re-point, not a write-through).
+func rootIdent(lhs ast.Expr) *ast.Ident {
+	wrapped := false
+	for {
+		switch e := lhs.(type) {
+		case *ast.SelectorExpr:
+			lhs, wrapped = e.X, true
+		case *ast.StarExpr:
+			lhs, wrapped = e.X, true
+		case *ast.IndexExpr:
+			lhs, wrapped = e.X, true
+		case *ast.ParenExpr:
+			lhs = e.X
+		case *ast.Ident:
+			if !wrapped {
+				return nil
+			}
+			return e
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// A Finding is one resolved diagnostic: position information is
+// flattened so findings can be deduplicated across test-variant loads
+// of the same file.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: [%s] %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// AllowPrefix is the suppression marker: a comment of the form
+//
+//	//lint:allow <pass> <justification>
+//
+// on the flagged line (or the line immediately above it) suppresses
+// that pass's diagnostics for the line. The justification is mandatory
+// in spirit — review should reject bare allows — but not enforced.
+const AllowPrefix = "lint:allow"
+
+// allowIndex maps file → line → set of allowed pass names. A comment
+// covers its own line and the next one, so both trailing and preceding
+// placements work.
+type allowIndex map[string]map[int]map[string]bool
+
+func buildAllowIndex(fset *token.FileSet, files []*ast.File) allowIndex {
+	idx := allowIndex{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, AllowPrefix) {
+					continue
+				}
+				rest := text[len(AllowPrefix):]
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. lint:allowances — not the marker
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					continue
+				}
+				name := fields[0]
+				pos := fset.Position(c.Pos())
+				m := idx[pos.Filename]
+				if m == nil {
+					m = map[int]map[string]bool{}
+					idx[pos.Filename] = m
+				}
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					if m[line] == nil {
+						m[line] = map[string]bool{}
+					}
+					m[line][name] = true
+				}
+			}
+		}
+	}
+	return idx
+}
+
+func (idx allowIndex) allows(pos token.Position, analyzer string) bool {
+	return idx[pos.Filename][pos.Line][analyzer]
+}
+
+// RunPackage executes the analyzers against one loaded package,
+// applying package filters (when respectFilters) and //lint:allow
+// suppression, and returns the surviving findings sorted by position.
+func RunPackage(fset *token.FileSet, lp *LoadedPackage, analyzers []*Analyzer, respectFilters bool) ([]Finding, error) {
+	allow := buildAllowIndex(fset, lp.Files)
+	var findings []Finding
+	for _, a := range analyzers {
+		if respectFilters && a.AppliesTo != nil && !a.AppliesTo(lp.ImportPath) {
+			continue
+		}
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     lp.Files,
+			Pkg:       lp.Pkg,
+			TypesInfo: lp.Info,
+		}
+		name := a.Name
+		pass.Report = func(d Diagnostic) {
+			pos := fset.Position(d.Pos)
+			if allow.allows(pos, name) {
+				return
+			}
+			findings = append(findings, Finding{Analyzer: name, Pos: pos, Message: d.Message})
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s on %s: %v", a.Name, lp.ImportPath, err)
+		}
+	}
+	SortFindings(findings)
+	return findings, nil
+}
+
+// SortFindings orders findings by file, line, column, analyzer,
+// message — a total order, so output is stable run to run.
+func SortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}
+
+// Dedup removes findings that repeat the same (position, analyzer,
+// message) — a file linted both as part of its package and its test
+// variant reports once. Input must be sorted.
+func Dedup(fs []Finding) []Finding {
+	out := fs[:0]
+	for i, f := range fs {
+		if i > 0 && f == fs[i-1] {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}

@@ -1,0 +1,35 @@
+// Corpus for the detrand pass: the process-global math/rand source is
+// flagged; seeded *rand.Rand values are the approved alternative.
+package detrand
+
+import "math/rand"
+
+func badGlobals() {
+	_ = rand.Intn(10)        // want "rand.Intn draws from the process-global source"
+	_ = rand.Int63()         // want "rand.Int63 draws from the process-global source"
+	_ = rand.Float64()       // want "rand.Float64 draws from the process-global source"
+	_ = rand.Perm(5)         // want "rand.Perm draws from the process-global source"
+	rand.Shuffle(3, func(i, j int) {}) // want "rand.Shuffle draws from the process-global source"
+	rand.Seed(42)            // want "rand.Seed draws from the process-global source"
+}
+
+// Seeding the global source inside a seed expression is still the
+// global source.
+func badSeedLaundering() *rand.Rand {
+	return rand.New(rand.NewSource(rand.Int63())) // want "rand.Int63 draws from the process-global source"
+}
+
+// A *rand.Rand constructed from an explicit seed is the point.
+func goodSeeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+// Threading an existing seeded source is equally fine.
+func goodThreaded(r *rand.Rand) (float64, []int) {
+	return r.Float64(), r.Perm(4)
+}
+
+func allowedGlobal() int {
+	return rand.Intn(2) //lint:allow detrand jitter outside the replayed path, reviewed
+}

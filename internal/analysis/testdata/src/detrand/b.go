@@ -1,0 +1,16 @@
+package detrand
+
+import rv2 "math/rand/v2"
+
+// math/rand/v2's globals are per-process ChaCha8 state: equally
+// unreplayable.
+func badV2() {
+	_ = rv2.IntN(10) // want "rand.IntN draws from the process-global source"
+	_ = rv2.Uint64() // want "rand.Uint64 draws from the process-global source"
+}
+
+// A PCG seeded from the schedule is fine.
+func goodV2(seed1, seed2 uint64) int {
+	r := rv2.New(rv2.NewPCG(seed1, seed2))
+	return r.IntN(10)
+}

@@ -1,0 +1,42 @@
+// Corpus for the detwall pass: wall-clock reads and timer construction
+// are flagged; duration arithmetic, explicit constructors, and shadowed
+// identifiers are not.
+package detwall
+
+import "time"
+
+func badCalls() {
+	_ = time.Now()                      // want "time.Now would read the wall clock"
+	time.Sleep(time.Millisecond)        // want "time.Sleep would block on the wall clock"
+	_ = time.Since(time.Unix(0, 0))     // want "time.Since would read the wall clock"
+	_ = time.Until(time.Unix(0, 0))     // want "time.Until would read the wall clock"
+	t := time.NewTimer(time.Second)     // want "time.NewTimer would construct a wall-clock timer"
+	<-time.After(time.Millisecond)      // want "time.After would start a wall-clock timer"
+	_ = time.Tick(time.Second)          // want "time.Tick would start a wall-clock ticker"
+	_ = time.NewTicker(time.Second)     // want "time.NewTicker would construct a wall-clock ticker"
+	_ = time.AfterFunc(0, func() {})    // want "time.AfterFunc would construct a wall-clock timer"
+	_ = t
+}
+
+// A bare reference (not a call) smuggles the clock just as well.
+func badFuncValue() func() time.Time {
+	return time.Now // want "time.Now would read the wall clock"
+}
+
+// Virtual time is a time.Duration; all of this is fine.
+func goodDurations(virtual time.Duration) time.Duration {
+	deadline := virtual + 500*time.Millisecond
+	_ = time.Unix(42, 0)
+	_ = time.Date(2011, time.September, 1, 0, 0, 0, 0, time.UTC)
+	return deadline.Round(time.Second)
+}
+
+type fakeClock struct{}
+
+func (fakeClock) Now() time.Duration { return 0 }
+
+// A local shadowing the package name is not the wall clock.
+func goodShadowed() time.Duration {
+	var time fakeClock
+	return time.Now()
+}

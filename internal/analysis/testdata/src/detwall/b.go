@@ -1,0 +1,19 @@
+package detwall
+
+import wall "time"
+
+// Renaming the import does not launder the clock.
+func badRenamed() wall.Time {
+	return wall.Now() // want "time.Now would read the wall clock"
+}
+
+// The escape hatch: an explicit, justified allow on the line...
+func allowedTrailing() wall.Time {
+	return wall.Now() //lint:allow detwall live-deployment epoch, reviewed in PR 3
+}
+
+// ...or the line above.
+func allowedPreceding() wall.Time {
+	//lint:allow detwall live-deployment epoch, reviewed in PR 3
+	return wall.Now()
+}

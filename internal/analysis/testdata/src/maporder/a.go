@@ -1,0 +1,125 @@
+// Corpus for the maporder pass: map iteration feeding order-sensitive
+// sinks is flagged unless the collected result is sorted afterwards.
+package maporder
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+func badPrint(m map[string]int) {
+	for k := range m { // want "this loop prints"
+		fmt.Println(k)
+	}
+}
+
+func badAppendUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `appends to "keys" without a later sort`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func badHash(m map[string]int) []byte {
+	h := sha256.New()
+	for k := range m { // want "writes to an encoder/writer/hash"
+		h.Write([]byte(k))
+	}
+	return h.Sum(nil)
+}
+
+func badEncode(m map[string]int) {
+	enc := json.NewEncoder(os.Stdout)
+	for k, v := range m { // want "writes to an encoder/writer/hash"
+		enc.Encode(map[string]int{k: v})
+	}
+}
+
+func badConcat(m map[string]int) string {
+	s := ""
+	for k := range m { // want `concatenates onto string "s"`
+		s += k
+	}
+	return s
+}
+
+// The canonical idiom: collect, sort, then use. Not flagged.
+func goodSortedAfter(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// sort.Slice and wrapped forms count too.
+func goodSortSlice(m map[string]uint64) []string {
+	var addrs []string
+	for a := range m {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	return addrs
+}
+
+// A Sort*-named helper (the chord tests' SortRefs pattern) counts.
+func goodSortHelper(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sortKeys(keys)
+	return keys
+}
+
+func sortKeys(ks []string) { sort.Strings(ks) }
+
+// Pure aggregation is order-insensitive.
+func goodAggregate(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Merging into another map is order-insensitive.
+func goodMapMerge(m map[string]uint64) map[string]uint64 {
+	out := make(map[string]uint64)
+	for k, v := range m {
+		out[k] += v
+	}
+	return out
+}
+
+// Ranging a slice is deterministic; appends are fine.
+func goodSliceRange(xs []string) []string {
+	var out []string
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+// An append target scoped inside the loop dies with each iteration.
+func goodLoopLocal(m map[string][]string) int {
+	n := 0
+	for _, vs := range m {
+		var tmp []string
+		tmp = append(tmp, vs...)
+		n += len(tmp)
+	}
+	return n
+}
+
+func allowedPrint(m map[string]int) {
+	//lint:allow maporder debug dump; ordering immaterial and never compared
+	for k := range m {
+		fmt.Println(k)
+	}
+}

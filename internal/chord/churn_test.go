@@ -3,6 +3,7 @@ package chord
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"testing"
 
 	"peertrack/internal/ids"
@@ -111,12 +112,15 @@ func SortAddrs(addrs []transport.Addr) {
 	}
 }
 
-// settle runs maintenance until the live membership converges.
+// settle runs maintenance until the live membership converges. Nodes
+// are visited in address order: maintenance order affects the
+// stabilization path, and map order would make seeded runs diverge.
 func settle(alive map[transport.Addr]*Node) {
 	nodes := make([]*Node, 0, len(alive))
 	for _, n := range alive {
 		nodes = append(nodes, n)
 	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Addr() < nodes[j].Addr() })
 	for r := 0; r < 4*len(nodes)+8; r++ {
 		for _, n := range nodes {
 			n.CheckPredecessor()

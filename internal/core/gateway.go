@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sort"
 	"sync"
 	"time"
 
@@ -188,7 +189,8 @@ func (g *gatewayStore) totalEntries() int {
 }
 
 // bucketKeys returns all bucket keys currently present (binary prefix
-// strings plus the individual bucket key).
+// strings plus the individual bucket key), sorted so migration and
+// refresh sweeps visit buckets in a seed-independent order.
 func (g *gatewayStore) bucketKeys() []string {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
@@ -196,6 +198,7 @@ func (g *gatewayStore) bucketKeys() []string {
 	for k := range g.buckets {
 		out = append(out, k)
 	}
+	sort.Strings(out)
 	return out
 }
 
@@ -215,10 +218,16 @@ func (g *gatewayStore) drain(p string) []IndexEntry {
 			delete(b.entries, id)
 		}
 	}
-	// Entries that somehow missed the fifo (defensive).
+	// Entries that somehow missed the fifo (defensive). Sorted by
+	// object so the migration message is deterministic even on this
+	// should-not-happen path.
+	rest := len(out)
 	for _, e := range b.entries {
 		out = append(out, *e)
 	}
+	sort.Slice(out[rest:], func(i, j int) bool {
+		return out[rest+i].Object < out[rest+j].Object
+	})
 	delete(g.buckets, p)
 	return out
 }

@@ -120,11 +120,14 @@ type Peer struct {
 // application handler. All peers of a network must share the same
 // PrefixManager semantics (same scheme and L_min); in simulation they
 // share the same instance.
+//
+// The clock is mandatory: core is a deterministic package (detwall), so
+// it never reads the wall clock itself. Simulations pass sim.Kernel.Now;
+// live nodes (peertrack.NewNode) pass a closure over their own epoch.
 func NewPeer(node overlay.Node, net transport.Network, pm *PrefixManager, cfg Config, clock func() time.Duration) *Peer {
 	cfg.fill()
 	if clock == nil {
-		start := time.Now()
-		clock = func() time.Duration { return time.Since(start) }
+		panic("core: NewPeer requires a clock (sim.Kernel.Now in simulation, a wall-clock closure for live nodes)")
 	}
 	p := &Peer{
 		node:    node,

@@ -4,6 +4,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"sort"
 	"time"
 
 	"peertrack/internal/ids"
@@ -100,6 +101,9 @@ func snapshotStore(g *gatewayStore) []bucketSnapshot {
 		}
 		out = append(out, bs)
 	}
+	// Bucket order would otherwise follow map iteration, making two
+	// snapshots of identical state differ byte-for-byte.
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
 	return out
 }
 

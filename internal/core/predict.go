@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"sort"
 	"sync"
 	"time"
 
@@ -70,15 +71,21 @@ func (t *transitionStats) record(dst moods.NodeName, dwell time.Duration) {
 	e.totalDwell += dwell
 }
 
-// snapshot returns the distribution as parallel slices.
+// snapshot returns the distribution as parallel slices, sorted by
+// destination: prediction breaks count ties by scan order, so map
+// iteration order here would make PredictNext nondeterministic.
 func (t *transitionStats) snapshot() ([]moods.NodeName, []int, []time.Duration) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	dsts := make([]moods.NodeName, 0, len(t.byDst))
+	for d := range t.byDst {
+		dsts = append(dsts, d)
+	}
+	sort.Slice(dsts, func(i, j int) bool { return dsts[i] < dsts[j] })
 	counts := make([]int, 0, len(t.byDst))
 	dwells := make([]time.Duration, 0, len(t.byDst))
-	for d, e := range t.byDst {
-		dsts = append(dsts, d)
+	for _, d := range dsts {
+		e := t.byDst[d]
 		counts = append(counts, e.count)
 		dwells = append(dwells, e.totalDwell/time.Duration(e.count))
 	}

@@ -24,8 +24,7 @@ import (
 func (p *Peer) ReconcileStep() int {
 	moved := 0
 	lp := p.pm.Lp()
-	keys := p.gw.bucketKeys()
-	sort.Strings(keys) // deterministic migration order (see FlushWindow)
+	keys := p.gw.bucketKeys() // sorted: deterministic migration order (see FlushWindow)
 	for _, key := range keys {
 		if key == individualBucket {
 			// Per-object records re-home individually (below), never
@@ -117,8 +116,7 @@ func (p *Peer) sendEntries(pfx ids.Prefix, entries []IndexEntry) {
 // reconciliation re-homes them through correct routing — the invariant
 // is that departure never loses index records, wherever they land.
 func (p *Peer) evacuate(to transport.Addr) {
-	keys := p.gw.bucketKeys()
-	sort.Strings(keys)
+	keys := p.gw.bucketKeys() // sorted
 	for _, key := range keys {
 		entries := p.gw.drain(key)
 		if len(entries) == 0 {

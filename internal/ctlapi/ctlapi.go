@@ -123,8 +123,23 @@ type SnapshotResponse struct {
 	Bytes int64 `json:"bytes"`
 }
 
-// Handler builds the control-plane HTTP handler.
+// Clock supplies the server's notion of "now", used to default the
+// observation timestamp and the open end of trace windows. Injecting it
+// keeps the handlers testable with a fixed clock and lets the
+// deterministic harness drive a trackd control plane on virtual time.
+type Clock func() time.Time
+
+// Handler builds the control-plane HTTP handler on the wall clock.
 func Handler(b Backend) http.Handler {
+	return HandlerWithClock(b, nil)
+}
+
+// HandlerWithClock builds the control-plane HTTP handler with an
+// injected clock; nil means time.Now.
+func HandlerWithClock(b Backend, now Clock) http.Handler {
+	if now == nil {
+		now = time.Now
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /observe", func(w http.ResponseWriter, r *http.Request) {
 		var req ObserveRequest
@@ -138,7 +153,7 @@ func Handler(b Backend) http.Handler {
 		}
 		at := req.At
 		if at.IsZero() {
-			at = time.Now()
+			at = now()
 		}
 		if err := b.ObserveAt(req.Object, at); err != nil {
 			httpErr(w, http.StatusInternalServerError, err)
@@ -153,7 +168,7 @@ func Handler(b Backend) http.Handler {
 			httpErr(w, http.StatusBadRequest, errors.New("object required"))
 			return
 		}
-		at := time.Now()
+		at := now()
 		if v := r.URL.Query().Get("at"); v != "" {
 			t, err := time.Parse(time.RFC3339, v)
 			if err != nil {
@@ -188,7 +203,7 @@ func Handler(b Backend) http.Handler {
 				httpErr(w, http.StatusBadRequest, err)
 				return
 			}
-			if to, err = parseTimeParam(q.Get("to"), time.Now()); err != nil {
+			if to, err = parseTimeParam(q.Get("to"), now()); err != nil {
 				httpErr(w, http.StatusBadRequest, err)
 				return
 			}

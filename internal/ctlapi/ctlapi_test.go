@@ -315,6 +315,52 @@ func TestPackUnpackEndpoint(t *testing.T) {
 	}
 }
 
+func TestInjectedClock(t *testing.T) {
+	b := newFake()
+	fixed := time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC)
+	var mu sync.Mutex
+	now := fixed
+	clock := func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return now
+	}
+	srv := httptest.NewServer(HandlerWithClock(b, clock))
+	t.Cleanup(srv.Close)
+	c := &Client{Base: srv.URL}
+
+	// Observe with a zero At must stamp the injected clock, not the wall.
+	if err := c.Observe("clk-obj"); err != nil {
+		t.Fatal(err)
+	}
+	got := b.observed["clk-obj"][0].Arrived
+	if !got.Equal(fixed) {
+		t.Fatalf("stored time %v, want injected %v", got, fixed)
+	}
+
+	// An open-ended window defaults its upper bound to the injected
+	// clock: at now == fixed the stop is inside the window...
+	tr, err := c.TraceBetween("clk-obj", fixed.Add(-time.Hour), time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Stops) != 1 {
+		t.Fatalf("stops at now=fixed: %d, want 1", len(tr.Stops))
+	}
+	// ...and after winding the clock back before the observation, the
+	// same query excludes it — impossible if the wall clock were used.
+	mu.Lock()
+	now = fixed.Add(-2 * time.Hour)
+	mu.Unlock()
+	tr, err = c.TraceBetween("clk-obj", fixed.Add(-3*time.Hour), time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Stops) != 0 {
+		t.Fatalf("stops with rewound clock: %d, want 0", len(tr.Stops))
+	}
+}
+
 func TestMethodRouting(t *testing.T) {
 	_, c := setup(t)
 	// GET on /observe must not match the POST route.

@@ -8,6 +8,7 @@ package dht
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"peertrack/internal/chord"
@@ -132,16 +133,20 @@ func (s *Store) PredecessorChanged(old, new chord.NodeRef) {
 		return
 	}
 	var keys []ids.ID
-	var vals [][]byte
 	s.mu.Lock()
-	for k, v := range s.data {
+	for k := range s.data {
 		// Key stays here iff k ∈ (new, self]; otherwise it belongs to
 		// the chain ending at the new predecessor.
 		if !ids.BetweenRightIncl(k, new.ID, s.node.ID()) {
 			keys = append(keys, k)
-			vals = append(vals, v)
-			delete(s.data, k)
 		}
+	}
+	// Migrate in key order so the push message is identical across runs.
+	sort.Slice(keys, func(i, j int) bool { return keys[i].Less(keys[j]) })
+	vals := make([][]byte, len(keys))
+	for i, k := range keys {
+		vals[i] = s.data[k]
+		delete(s.data, k)
 	}
 	s.mu.Unlock()
 	if len(keys) == 0 {
@@ -244,7 +249,7 @@ func (s *Store) Len() int {
 	return len(s.data)
 }
 
-// LocalKeys returns a copy of the identifiers held locally.
+// LocalKeys returns a sorted copy of the identifiers held locally.
 func (s *Store) LocalKeys() []ids.ID {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -252,6 +257,7 @@ func (s *Store) LocalKeys() []ids.ID {
 	for k := range s.data {
 		out = append(out, k)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
 	return out
 }
 
@@ -260,10 +266,14 @@ func (s *Store) LocalKeys() []ids.ID {
 func (s *Store) TransferAll(to chord.NodeRef) error {
 	s.mu.Lock()
 	keys := make([]ids.ID, 0, len(s.data))
-	vals := make([][]byte, 0, len(s.data))
-	for k, v := range s.data {
+	for k := range s.data {
 		keys = append(keys, k)
-		vals = append(vals, v)
+	}
+	// Deterministic transfer message (see PredecessorChanged).
+	sort.Slice(keys, func(i, j int) bool { return keys[i].Less(keys[j]) })
+	vals := make([][]byte, len(keys))
+	for i, k := range keys {
+		vals[i] = s.data[k]
 	}
 	s.data = make(map[ids.ID][]byte)
 	s.mu.Unlock()

@@ -3,6 +3,7 @@ package transport
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 )
 
@@ -145,7 +146,9 @@ func (m *Memory) Call(from, to Addr, req any) (any, error) {
 }
 
 // Addrs returns the currently registered addresses (including dead
-// ones), in no particular order.
+// ones), sorted: callers index into this slice with seeded randomness
+// (the chaos harness picks victims by position), so map order here
+// would leak into scenario replay.
 func (m *Memory) Addrs() []Addr {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -153,5 +156,6 @@ func (m *Memory) Addrs() []Addr {
 	for a := range m.handlers {
 		out = append(out, a)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
