@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check vet lint race bench figures chaos-short chaos
+.PHONY: build test check vet lint race bench figures chaos-short chaos telemetry-demo
 
 build:
 	$(GO) build ./...
@@ -33,9 +33,12 @@ check: vet lint race chaos-short
 
 # chaos-short sweeps 500 seeded fault scenarios (4:1 safe:lossy) under
 # the race detector. Any failure prints the seed and a minimized
-# schedule; rerun it with `go run ./cmd/peertrack-chaos -seed N`.
+# schedule; rerun it with `go run ./cmd/peertrack-chaos -seed N`. The
+# merged telemetry exposition of all scenarios lands in
+# chaos-telemetry.txt — deterministic, so byte-diffing two runs of the
+# same tree is a meaningful regression check.
 chaos-short:
-	$(GO) run -race ./cmd/peertrack-chaos -seeds 500
+	$(GO) run -race ./cmd/peertrack-chaos -seeds 500 -telemetry chaos-telemetry.txt
 
 # chaos is the long sweep for soak runs.
 chaos:
@@ -55,3 +58,9 @@ micro:
 # figures prints every reproduced figure at laptop scale.
 figures:
 	$(GO) run ./cmd/peertrack-bench -fig all -scale default
+
+# telemetry-demo runs a grouped workload and dumps the whole-stack
+# instrument snapshot plus recent query spans — the quickest way to see
+# what the telemetry registry records.
+telemetry-demo:
+	$(GO) run ./cmd/peertrack-bench -fig telemetry -scale tiny

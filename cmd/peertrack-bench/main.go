@@ -33,7 +33,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: verify, 6a, 6b, 7a, 7b, 8a, 8b, triangle, window, alpha, cache, intermediate, overlay, churn, prediction, or all")
+	fig := flag.String("fig", "all", "figure to regenerate: verify, 6a, 6b, 7a, 7b, 8a, 8b, triangle, window, alpha, cache, intermediate, overlay, churn, prediction, telemetry, or all")
 	scaleName := flag.String("scale", "default", "experiment scale: tiny, default, or full")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	seed := flag.Int64("seed", 1, "workload seed")
@@ -268,6 +268,20 @@ func run(fig string, scale experiments.Scale, csv bool) error {
 		w.row("query mode", "mean hops", "intermediate answer rate")
 		for _, r := range rows {
 			w.row(r.Mode, f1(r.MeanHops), f3(r.IntermediateRate))
+		}
+	case "telemetry":
+		snap, spans, err := experiments.TelemetryReport(scale)
+		if err != nil {
+			return err
+		}
+		w.header("Telemetry — whole-stack instrument snapshot (Nn=%d)", scale.Nodes)
+		w.flush()
+		fmt.Print(snap.Text())
+		if len(spans) > 0 {
+			fmt.Println("\nrecent query spans:")
+			for _, sp := range spans {
+				fmt.Println(sp.Detail())
+			}
 		}
 	default:
 		return fmt.Errorf("unknown figure %q", fig)

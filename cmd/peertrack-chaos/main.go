@@ -7,12 +7,18 @@
 // Usage:
 //
 //	peertrack-chaos [-seeds N] [-seed N] [-profile safe|lossy|both]
-//	                [-nodes N] [-epochs N] [-drop P] [-workers N] [-v]
+//	                [-nodes N] [-epochs N] [-drop P] [-workers N]
+//	                [-telemetry FILE] [-v]
 //
 // Without -seed it sweeps -seeds scenarios starting at seed 1 (split
 // 4:1 between the safe and lossy profiles when -profile both). On any
 // failure it minimizes the first failing schedule by deterministic
 // re-execution and prints the shrunk reproduction before exiting 1.
+//
+// With -telemetry FILE the merged telemetry snapshot of all scenarios
+// (counters, histograms, span totals, in seed order, so independent of
+// -workers) is written to FILE as a text exposition — byte-identical
+// across reruns of the same configuration.
 package main
 
 import (
@@ -22,6 +28,7 @@ import (
 	"runtime"
 
 	"peertrack/internal/chaos"
+	"peertrack/internal/telemetry"
 )
 
 func main() {
@@ -32,10 +39,12 @@ func main() {
 	epochs := flag.Int("epochs", 0, "fault epochs per scenario (0 = harness default)")
 	drop := flag.Float64("drop", 0, "lossy-profile drop rate (0 = harness default)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel scenarios")
+	telemetryOut := flag.String("telemetry", "", "write the merged telemetry exposition to this file")
 	verbose := flag.Bool("v", false, "print every scenario report")
 	flag.Parse()
 
 	base := chaos.Config{Nodes: *nodes, Epochs: *epochs, DropRate: *drop}
+	var merged telemetry.Snapshot
 
 	if *seed != 0 {
 		ok := true
@@ -45,11 +54,13 @@ func main() {
 			cfg.Profile = p
 			rep := chaos.Run(cfg)
 			fmt.Println(rep)
+			merged = merged.Merge(rep.Telemetry)
 			if rep.Failed() {
 				minimize(cfg)
 				ok = false
 			}
 		}
+		writeTelemetry(*telemetryOut, merged)
 		if !ok {
 			os.Exit(1)
 		}
@@ -76,6 +87,7 @@ func main() {
 		cfg.Profile = p
 		sw := chaos.Sweep(cfg, n, *workers)
 		fmt.Println(sw)
+		merged = merged.Merge(sw.Telemetry)
 		if *verbose {
 			for s := int64(0); s < int64(n); s++ {
 				c := cfg
@@ -92,9 +104,30 @@ func main() {
 			minimize(c)
 		}
 	}
+	writeTelemetry(*telemetryOut, merged)
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// writeTelemetry dumps the merged exposition to path ("" disables; "-"
+// prints to stdout) and always logs the one-line totals.
+func writeTelemetry(path string, snap telemetry.Snapshot) {
+	fmt.Printf("telemetry: %d counters, %d histograms, %d spans\n",
+		len(snap.Counters), len(snap.Histograms), snap.Spans)
+	if path == "" {
+		return
+	}
+	text := snap.Text()
+	if path == "-" {
+		fmt.Print(text)
+		return
+	}
+	if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "peertrack-chaos: write telemetry: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("telemetry exposition written to %s\n", path)
 }
 
 // minimize shrinks cfg's failing schedule and prints the reproduction.

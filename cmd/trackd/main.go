@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -89,8 +90,11 @@ func main() {
 	backend := &nodeBackend{node: node, dataPath: *dataPath}
 	// A live node runs on the wall clock; the explicit Clock is the same
 	// seam the deterministic harness uses to drive handlers on virtual
-	// time.
-	httpSrv := &http.Server{Addr: *control, Handler: ctlapi.HandlerWithClock(backend, time.Now)}
+	// time. The node's telemetry registry backs /metrics and /debug/trace.
+	httpSrv := &http.Server{
+		Addr:    *control,
+		Handler: ctlapi.HandlerWithTelemetry(backend, time.Now, node.Telemetry()),
+	}
 	go func() {
 		log.Printf("control API on http://%s", *control)
 		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
@@ -102,7 +106,15 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	log.Print("shutting down")
-	httpSrv.Close()
+	// Drain in-flight control requests (an /observe racing the final
+	// snapshot would otherwise be lost) but bound the wait so a stuck
+	// client cannot wedge shutdown.
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("control api shutdown: %v", err)
+		httpSrv.Close()
+	}
+	cancel()
 	if *dataPath != "" {
 		if n, err := backend.Persist(); err != nil {
 			log.Printf("final snapshot failed: %v", err)

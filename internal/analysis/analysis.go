@@ -89,6 +89,7 @@ var DeterministicPackages = map[string]bool{
 	"peertrack/internal/chord":       true,
 	"peertrack/internal/invariants":  true,
 	"peertrack/internal/experiments": true,
+	"peertrack/internal/telemetry":   true,
 }
 
 // NormalizeImportPath maps a test-variant import path to the package it

@@ -10,6 +10,7 @@ import (
 	"peertrack/internal/core"
 	"peertrack/internal/invariants"
 	"peertrack/internal/moods"
+	"peertrack/internal/telemetry"
 	"peertrack/internal/workload"
 )
 
@@ -30,6 +31,9 @@ type Report struct {
 	// Query accuracy counters, accumulated across all epochs.
 	LocateTotal, LocateOK int
 	TraceTotal, TraceOK   int
+	// Telemetry is the scenario network's full instrument snapshot at
+	// the moment the run ended (zero if the network never built).
+	Telemetry telemetry.Snapshot
 }
 
 // Failed reports whether the scenario violated any invariant or bound.
@@ -103,15 +107,24 @@ type runner struct {
 // at drop rate zero, checks every network invariant, and issues
 // oracle-verified queries. The run stops at the first violating
 // checkpoint.
-func RunSchedule(cfg Config, sched Schedule) Report {
+func RunSchedule(cfg Config, sched Schedule) (rep Report) {
 	cfg.fill()
-	rep := Report{Seed: cfg.Seed, Profile: cfg.Profile, Schedule: sched.String()}
+	rep = Report{Seed: cfg.Seed, Profile: cfg.Profile, Schedule: sched.String()}
 	harnessFail := func(format string, args ...any) Report {
 		rep.Violations = append(rep.Violations, invariants.Violation{
 			Invariant: "harness", Detail: fmt.Sprintf(format, args...),
 		})
 		return rep
 	}
+
+	// Snapshot the scenario's instruments on every return path, so a run
+	// that stops early (first violation) still reports its telemetry.
+	var nw *core.Network
+	defer func() {
+		if nw != nil {
+			rep.Telemetry = nw.Telemetry.Snapshot()
+		}
+	}()
 
 	nw, err := core.BuildNetwork(core.NetworkConfig{Nodes: cfg.Nodes, Seed: cfg.Seed})
 	if err != nil {

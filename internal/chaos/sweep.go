@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"peertrack/internal/telemetry"
 )
 
 // SweepReport aggregates a batch of scenario runs.
@@ -15,6 +17,9 @@ type SweepReport struct {
 	// Aggregate query-accuracy counters across all scenarios.
 	LocateTotal, LocateOK int
 	TraceTotal, TraceOK   int
+	// Telemetry merges every scenario's snapshot in seed order, making
+	// the aggregate independent of the worker count.
+	Telemetry telemetry.Snapshot
 }
 
 // Failed reports whether any scenario in the sweep failed.
@@ -71,6 +76,7 @@ func Sweep(cfg Config, n, workers int) SweepReport {
 		out.LocateOK += r.LocateOK
 		out.TraceTotal += r.TraceTotal
 		out.TraceOK += r.TraceOK
+		out.Telemetry = out.Telemetry.Merge(r.Telemetry)
 		if r.Failed() {
 			out.Failures = append(out.Failures, r)
 		}

@@ -1,0 +1,27 @@
+package chord
+
+import "peertrack/internal/telemetry"
+
+// nodeTelemetry carries the node's prebuilt instrument handles. The
+// zero value (all-nil handles) is a complete no-op, so uninstrumented
+// nodes pay one nil check per event.
+type nodeTelemetry struct {
+	stabilizes  *telemetry.Counter
+	repairs     *telemetry.Counter
+	lookups     *telemetry.Counter
+	lookupFails *telemetry.Counter
+	lookupHops  *telemetry.Histogram
+}
+
+// SetTelemetry attaches a registry. Instruments are shared by name
+// across every node wired to the same registry, giving whole-ring
+// totals. Wire before traffic starts; a nil registry detaches.
+func (n *Node) SetTelemetry(reg *telemetry.Registry) {
+	n.tel = nodeTelemetry{
+		stabilizes:  reg.Counter("chord.stabilize.rounds"),
+		repairs:     reg.Counter("chord.finger.repairs"),
+		lookups:     reg.Counter("chord.lookups"),
+		lookupFails: reg.Counter("chord.lookup.failures"),
+		lookupHops:  reg.Histogram("chord.lookup.hops", telemetry.HopBuckets()),
+	}
+}

@@ -29,6 +29,17 @@ var ErrLookupFailed = errors.New("chord: lookup failed")
 // lookups keep working with stale fingers during churn (the repair
 // itself is stabilization's job).
 func (n *Node) Lookup(key ids.ID) (LookupResult, error) {
+	res, err := n.lookup(key)
+	if err != nil {
+		n.tel.lookupFails.Inc()
+		return res, err
+	}
+	n.tel.lookups.Inc()
+	n.tel.lookupHops.Observe(int64(res.Hops))
+	return res, nil
+}
+
+func (n *Node) lookup(key ids.ID) (LookupResult, error) {
 	n.mu.RLock()
 	left := n.left
 	n.mu.RUnlock()

@@ -61,6 +61,10 @@ type Node struct {
 	observer   Observer
 	appHandler transport.Handler
 	left       bool
+
+	// tel is set once at wiring time (before traffic) and read without
+	// the lock on lookup/stabilize paths.
+	tel nodeTelemetry
 }
 
 // ErrLeft is returned by operations on a node that has departed the

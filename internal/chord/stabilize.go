@@ -125,6 +125,7 @@ func (n *Node) Stabilize() error {
 	if !succ.Equal(n.self) {
 		n.call(succ, notifyReq{Candidate: n.self}) // best effort
 	}
+	n.tel.stabilizes.Inc()
 	return nil
 }
 
@@ -147,8 +148,12 @@ func (n *Node) FixFingers() error {
 		return err
 	}
 	n.mu.Lock()
+	repaired := !n.fingers[i].Equal(res.Node)
 	n.fingers[i] = res.Node
 	n.mu.Unlock()
+	if repaired {
+		n.tel.repairs.Inc()
+	}
 	return nil
 }
 

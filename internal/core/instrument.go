@@ -1,0 +1,56 @@
+package core
+
+import "peertrack/internal/telemetry"
+
+// peerTelemetry carries a peer's prebuilt instrument handles. The zero
+// value (all-nil handles) is a complete no-op; instruments are shared
+// by name across every peer wired to the same registry, so the counters
+// read as whole-network totals and the buffered gauge as the total
+// number of observations sitting in open windows anywhere.
+type peerTelemetry struct {
+	tracer *telemetry.Tracer
+
+	flushes     *telemetry.Counter   // windows closed with at least one event
+	flushGroups *telemetry.Histogram // prefix groups per flush
+	rebuffered  *telemetry.Counter   // events re-buffered after a failed group send
+	buffered    *telemetry.Gauge     // events currently in open windows
+
+	deferredStitches  *telemetry.Counter // late stitches deferred on an unreachable segment
+	abandonedStitches *telemetry.Counter // late stitches given up after lateStitchRetries
+
+	delegations      *telemetry.Counter // triangle delegation pushes (per child message)
+	delegatedRecords *telemetry.Counter // index records moved by delegation
+	ascentFetches    *telemetry.Counter // refresh fetches to shorter-prefix gateways
+	descentFetches   *telemetry.Counter // refresh fetches into triangle children
+
+	locates    *telemetry.Counter
+	locateHops *telemetry.Histogram
+	traces     *telemetry.Counter
+	traceHops  *telemetry.Histogram
+}
+
+// SetTelemetry attaches a registry; wire before traffic starts (the
+// handles are read without a lock). A nil registry detaches.
+func (p *Peer) SetTelemetry(reg *telemetry.Registry) {
+	p.tel = peerTelemetry{
+		tracer: reg.Tracer(),
+
+		flushes:     reg.Counter("core.window.flushes"),
+		flushGroups: reg.Histogram("core.window.groups", telemetry.GroupBuckets()),
+		rebuffered:  reg.Counter("core.window.rebuffered"),
+		buffered:    reg.Gauge("core.window.buffered"),
+
+		deferredStitches:  reg.Counter("core.stitch.deferred"),
+		abandonedStitches: reg.Counter("core.stitch.abandoned"),
+
+		delegations:      reg.Counter("core.triangle.delegations"),
+		delegatedRecords: reg.Counter("core.triangle.delegated_records"),
+		ascentFetches:    reg.Counter("core.triangle.ascent_fetches"),
+		descentFetches:   reg.Counter("core.triangle.descent_fetches"),
+
+		locates:    reg.Counter("core.locates"),
+		locateHops: reg.Histogram("core.locate.hops", telemetry.HopBuckets()),
+		traces:     reg.Counter("core.traces"),
+		traceHops:  reg.Histogram("core.trace.hops", telemetry.HopBuckets()),
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"peertrack/internal/moods"
 	"peertrack/internal/overlay"
 	"peertrack/internal/sim"
+	"peertrack/internal/telemetry"
 	"peertrack/internal/transport"
 )
 
@@ -37,6 +38,10 @@ type Network struct {
 	// ("we added 5ms (typical network latency of T1) as the network
 	// latency for each network query").
 	HopLatency time.Duration
+	// Telemetry is the network-wide instrumentation registry, on the
+	// kernel's virtual clock and wired through transport, overlay, and
+	// every peer. Its snapshots are deterministic for a given seed.
+	Telemetry *telemetry.Registry
 
 	peers  []*Peer
 	byName map[moods.NodeName]*Peer
@@ -111,17 +116,24 @@ func BuildNetwork(cfg NetworkConfig) (*Network, error) {
 	}
 
 	pm := NewPrefixManager(cfg.Scheme, cfg.LMin, float64(cfg.Nodes))
+	tel := telemetry.New(kernel.Now)
+	mem.SetTelemetry(tel)
 	nw := &Network{
 		Kernel:     kernel,
 		Transport:  mem,
 		PM:         pm,
 		Oracle:     moods.NewHistoryStore(),
 		HopLatency: cfg.HopLatency,
+		Telemetry:  tel,
 		byName:     make(map[moods.NodeName]*Peer, cfg.Nodes),
 		cfg:        cfg,
 	}
 	for _, n := range nodes {
 		p := NewPeer(n, mem, pm, cfg.Peer, kernel.Now)
+		p.SetTelemetry(tel)
+		if cn, ok := n.(*chord.Node); ok {
+			cn.SetTelemetry(tel)
+		}
 		nw.peers = append(nw.peers, p)
 		nw.byName[p.Name()] = p
 	}
@@ -264,6 +276,7 @@ func (nw *Network) Grow(k int) (int, int, error) {
 				return 0, 0, err
 			}
 			p := NewPeer(n, nw.Transport, nw.PM, nw.cfg.Peer, nw.Kernel.Now)
+			p.SetTelemetry(nw.Telemetry)
 			nw.peers = append(nw.peers, p)
 			nw.byName[p.Name()] = p
 			kadNodes = append(kadNodes, n)
@@ -280,6 +293,8 @@ func (nw *Network) Grow(k int) (int, int, error) {
 				return 0, 0, err
 			}
 			p := NewPeer(n, nw.Transport, nw.PM, nw.cfg.Peer, nw.Kernel.Now)
+			p.SetTelemetry(nw.Telemetry)
+			n.SetTelemetry(nw.Telemetry)
 			nw.peers = append(nw.peers, p)
 			nw.byName[p.Name()] = p
 			chordNodes = append(chordNodes, n)

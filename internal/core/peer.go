@@ -114,6 +114,10 @@ type Peer struct {
 	// OnFlush, if set, is invoked after each window flush with the
 	// number of groups sent (test/metrics hook).
 	OnFlush func(groups int)
+
+	// tel is set once at wiring time (before traffic) and read without
+	// the lock on indexing and query paths.
+	tel peerTelemetry
 }
 
 // NewPeer wires a peer onto an existing Chord node, installing its
@@ -182,6 +186,7 @@ func (p *Peer) Observe(obs moods.Observation) error {
 	p.window = append(p.window, obs)
 	full := len(p.window) >= p.cfg.NMax
 	p.mu.Unlock()
+	p.tel.buffered.Add(1)
 	if full {
 		return p.FlushWindow()
 	}
@@ -206,6 +211,8 @@ func (p *Peer) FlushWindow() error {
 	if len(batch) == 0 {
 		return nil
 	}
+	p.tel.flushes.Inc()
+	p.tel.buffered.Add(-int64(len(batch)))
 
 	// Group generation: two objects share a group iff their hashed ids
 	// share the first Lp bits.
@@ -272,7 +279,10 @@ func (p *Peer) FlushWindow() error {
 		p.mu.Lock()
 		p.window = append(failed, p.window...)
 		p.mu.Unlock()
+		p.tel.rebuffered.Add(uint64(len(failed)))
+		p.tel.buffered.Add(int64(len(failed)))
 	}
+	p.tel.flushGroups.Observe(int64(len(groups)))
 	if p.OnFlush != nil {
 		p.OnFlush(len(groups))
 	}
@@ -522,6 +532,7 @@ func (p *Peer) lateRetry(obj moods.ObjectID, nd moods.NodeName, at time.Duration
 		return true
 	}
 	delete(p.lateTries, key)
+	p.tel.abandonedStitches.Inc()
 	return false
 }
 
@@ -623,6 +634,7 @@ func (p *Peer) gatewayGroupArrive(r groupArriveReq) []ObjEvent {
 		return nil
 	}
 	now := p.clock()
+	sp := p.tel.tracer.Start("index", r.Prefix)
 
 	// Partition events into locally indexed and unknown (objects').
 	idOf := make(map[moods.ObjectID]ids.ID, len(r.Events))
@@ -640,7 +652,9 @@ func (p *Peer) gatewayGroupArrive(r groupArriveReq) []ObjEvent {
 	// (ascent), Lp has been longer, or this bucket delegated (descent).
 	// The historical-Lp guard is the paper's "while there exists
 	// gateway node for prefix p′" condition.
+	sp.Stepf(string(p.node.Addr()), "gateway: %d events from %s, %d unknown", len(r.Events), r.Node, len(missing))
 	if len(missing) > 0 {
+		unknown := len(missing)
 		lo, hi := p.pm.LpRange()
 		if lo < pfx.Len {
 			missing = p.refreshFromAscent(pfx, missing)
@@ -651,6 +665,7 @@ func (p *Peer) gatewayGroupArrive(r groupArriveReq) []ObjEvent {
 				p.refreshFromDescent(pfx, missing, p.cfg.MaxDescent)
 			}
 		}
+		sp.Stepf(string(p.node.Addr()), "refresh: %d of %d unknown resolved from ascent", unknown-len(missing), unknown)
 	}
 
 	// update_index + IOP stitching, batched by previous node.
@@ -666,6 +681,7 @@ func (p *Peer) gatewayGroupArrive(r groupArriveReq) []ObjEvent {
 			// the IOP list at its chronological position instead of
 			// moving the head.
 			if !p.stitchInsert(ev.Object, r.Node, prev, r.Prefix, pfx, ev.Arrived) {
+				p.tel.deferredStitches.Inc()
 				deferred = append(deferred, ev)
 			}
 			continue
@@ -700,13 +716,23 @@ func (p *Peer) gatewayGroupArrive(r groupArriveReq) []ObjEvent {
 	for _, pn := range prevNodes {
 		prevNode := moods.NodeName(pn)
 		p.callAddr(transport.Addr(prevNode), iopSetToReq{Objects: toBatches[prevNode], To: r.Node, At: r.At})
+		sp.Stepf(pn, "M2: %d objects moved on to %s", len(toBatches[prevNode]), r.Node)
 	}
 	// ...and one message back to the destination (M3 batched).
 	if len(fromLinks) > 0 {
 		p.callAddr(transport.Addr(r.Node), iopSetFromReq{Links: fromLinks})
+		sp.Stepf(string(r.Node), "M3: %d inbound links", len(fromLinks))
 	}
 
 	p.maybeDelegate(pfx)
+	if len(deferred) > 0 {
+		sp.Stepf(string(p.node.Addr()), "deferred %d late stitches", len(deferred))
+	}
+	msgs := len(prevNodes)
+	if len(fromLinks) > 0 {
+		msgs++
+	}
+	sp.Finish(msgs, nil)
 	return deferred
 }
 
@@ -726,6 +752,7 @@ func (p *Peer) refreshFromAscent(pfx ids.Prefix, objs []ids.ID) []ids.ID {
 		if err != nil {
 			break
 		}
+		p.tel.ascentFetches.Inc()
 		resp, err := p.call(gwRef, fetchIndexReq{Prefix: cur.String(), Objects: remaining})
 		if err != nil {
 			continue
@@ -775,6 +802,7 @@ func (p *Peer) refreshFromDescent(pfx ids.Prefix, objs []ids.ID, maxDepth int) {
 		if err != nil {
 			continue
 		}
+		p.tel.descentFetches.Inc()
 		resp, err := p.call(gwRef, fetchIndexReq{Prefix: child.String(), Objects: filtered})
 		if err != nil {
 			continue
@@ -837,6 +865,8 @@ func (p *Peer) maybeDelegate(pfx ids.Prefix) {
 		bit := pfx.NextBit(e.ID)
 		split[bit] = append(split[bit], e)
 	}
+	sp := p.tel.tracer.Start("delegate", key)
+	moved := 0
 	for bit := 0; bit <= 1; bit++ {
 		if len(split[bit]) == 0 {
 			continue
@@ -847,6 +877,7 @@ func (p *Peer) maybeDelegate(pfx ids.Prefix) {
 			continue
 		}
 		if _, err := p.call(gwRef, delegateReq{Prefix: child.String(), Entries: split[bit]}); err != nil {
+			sp.Stepf(string(gwRef.Addr), "delegate %d records to %s failed: %v", len(split[bit]), child.String(), err)
 			continue
 		}
 		victimIDs := make([]ids.ID, len(split[bit]))
@@ -855,5 +886,10 @@ func (p *Peer) maybeDelegate(pfx ids.Prefix) {
 		}
 		p.gw.removeAll(key, victimIDs)
 		p.gw.markDelegated(key)
+		p.tel.delegations.Inc()
+		p.tel.delegatedRecords.Add(uint64(len(split[bit])))
+		moved += len(split[bit])
+		sp.Stepf(string(gwRef.Addr), "delegated %d records to child %s", len(split[bit]), child.String())
 	}
+	sp.Finish(moved, nil)
 }

@@ -7,6 +7,7 @@ import (
 
 	"peertrack/internal/ids"
 	"peertrack/internal/moods"
+	"peertrack/internal/telemetry"
 	"peertrack/internal/transport"
 )
 
@@ -37,6 +38,12 @@ const maxWalk = 10000
 // lookup — a bidirectional linear search over the prefix chain: ascents
 // to L_min and Data Triangle descents along the object's own bit path.
 func (p *Peer) findIndex(obj moods.ObjectID) (IndexEntry, int, error) {
+	return p.findIndexSpan(obj, nil)
+}
+
+// findIndexSpan is findIndex recording each gateway consultation on the
+// caller's span (nil for untraced callers).
+func (p *Peer) findIndexSpan(obj moods.ObjectID, sp *telemetry.Span) (IndexEntry, int, error) {
 	id := obj.Hash()
 	hops := 0
 
@@ -46,6 +53,7 @@ func (p *Peer) findIndex(obj moods.ObjectID) (IndexEntry, int, error) {
 			return IndexEntry{}, hops, fmt.Errorf("core: find gateway: %w", err)
 		}
 		hops += res.Hops
+		sp.Stepf(string(res.Node.Addr), "gateway lookup: %d overlay hops", res.Hops)
 		resp, err := p.call(res.Node, queryIndexReq{Prefix: individualBucket, Objects: []ids.ID{id}})
 		if err != nil {
 			return IndexEntry{}, hops, err
@@ -62,7 +70,7 @@ func (p *Peer) findIndex(obj moods.ObjectID) (IndexEntry, int, error) {
 
 	lp := p.pm.Lp()
 	pfx := ids.PrefixOf(id, lp)
-	entry, h, found, delegated := p.queryGateway(pfx, id)
+	entry, h, found, delegated := p.queryGatewaySpan(pfx, id, sp)
 	hops += h
 	if found {
 		return entry, hops, nil
@@ -79,7 +87,7 @@ func (p *Peer) findIndex(obj moods.ObjectID) (IndexEntry, int, error) {
 	child := pfx
 	for depth := 0; (delegated || hi > child.Len) && depth < p.cfg.MaxDescent && child.Len < ids.Bits; depth++ {
 		child = child.Child(child.NextBit(id))
-		entry, h, found, delegated = p.queryGateway(child, id)
+		entry, h, found, delegated = p.queryGatewaySpan(child, id, sp)
 		hops += h
 		if found {
 			return entry, hops, nil
@@ -94,7 +102,7 @@ func (p *Peer) findIndex(obj moods.ObjectID) (IndexEntry, int, error) {
 	}
 	for cur := pfx; cur.Len > lmin; {
 		cur = cur.Parent()
-		entry, h, found, delegated = p.queryGateway(cur, id)
+		entry, h, found, delegated = p.queryGatewaySpan(cur, id, sp)
 		hops += h
 		if found {
 			return entry, hops, nil
@@ -104,7 +112,7 @@ func (p *Peer) findIndex(obj moods.ObjectID) (IndexEntry, int, error) {
 		if delegated {
 			c := cur.Child(cur.NextBit(id))
 			if c.Len != pfx.Len { // skip re-querying the original prefix
-				entry, h, found, _ = p.queryGateway(c, id)
+				entry, h, found, _ = p.queryGatewaySpan(c, id, sp)
 				hops += h
 				if found {
 					return entry, hops, nil
@@ -117,6 +125,10 @@ func (p *Peer) findIndex(obj moods.ObjectID) (IndexEntry, int, error) {
 
 // queryGateway asks the gateway of one prefix for one object's record.
 func (p *Peer) queryGateway(pfx ids.Prefix, id ids.ID) (IndexEntry, int, bool, bool) {
+	return p.queryGatewaySpan(pfx, id, nil)
+}
+
+func (p *Peer) queryGatewaySpan(pfx ids.Prefix, id ids.ID, sp *telemetry.Span) (IndexEntry, int, bool, bool) {
 	hops := 0
 	gwRef, err := p.resolveGateway(pfx)
 	if err != nil {
@@ -127,12 +139,15 @@ func (p *Peer) queryGateway(pfx ids.Prefix, id ids.ID) (IndexEntry, int, bool, b
 		hops++
 	}
 	if err != nil {
+		sp.Stepf(string(gwRef.Addr), "gateway %s unreachable: %v", pfx.String(), err)
 		return IndexEntry{}, hops, false, false
 	}
 	qr := resp.(queryIndexResp)
 	if len(qr.Entries) == 0 {
+		sp.Stepf(string(gwRef.Addr), "gateway %s: miss (delegated=%v)", pfx.String(), qr.Delegated)
 		return IndexEntry{}, hops, false, qr.Delegated
 	}
+	sp.Stepf(string(gwRef.Addr), "gateway %s: hit, head at %s", pfx.String(), qr.Entries[0].Latest)
 	return qr.Entries[0], hops, true, qr.Delegated
 }
 
@@ -164,7 +179,18 @@ func pickVisit(visits []VisitRecord, bound time.Duration) (VisitRecord, bool) {
 
 // Locate answers L(o, t): the node where the object was at time t.
 func (p *Peer) Locate(obj moods.ObjectID, t time.Duration) (LocateResult, error) {
-	entry, hops, err := p.findIndex(obj)
+	sp := p.tel.tracer.Start("locate", string(obj))
+	res, err := p.locate(obj, t, sp)
+	sp.Finish(res.Hops, err)
+	if err == nil {
+		p.tel.locates.Inc()
+		p.tel.locateHops.Observe(int64(res.Hops))
+	}
+	return res, err
+}
+
+func (p *Peer) locate(obj moods.ObjectID, t time.Duration, sp *telemetry.Span) (LocateResult, error) {
+	entry, hops, err := p.findIndexSpan(obj, sp)
 	if err != nil {
 		return LocateResult{Hops: hops}, err
 	}
@@ -185,6 +211,7 @@ func (p *Peer) Locate(obj moods.ObjectID, t time.Duration) (LocateResult, error)
 		if !ok {
 			return LocateResult{Hops: hops}, fmt.Errorf("core: broken IOP chain for %s at %s", obj, cur)
 		}
+		sp.Stepf(string(cur), "IOP walk: visit arrived %v", v.Arrived)
 		if v.Arrived <= t {
 			return LocateResult{Node: cur, Hops: hops}, nil
 		}
@@ -203,14 +230,25 @@ func (p *Peer) Locate(obj moods.ObjectID, t time.Duration) (LocateResult, error)
 // Trace answers TR(o, t1, t2): the object's path during the window,
 // opened by the node it occupied at t1 (moods semantics).
 func (p *Peer) Trace(obj moods.ObjectID, t1, t2 time.Duration) (TraceResult, error) {
+	sp := p.tel.tracer.Start("trace", string(obj))
+	res, err := p.trace(obj, t1, t2, sp)
+	sp.Finish(res.Hops, err)
+	if err == nil {
+		p.tel.traces.Inc()
+		p.tel.traceHops.Observe(int64(res.Hops))
+	}
+	return res, err
+}
+
+func (p *Peer) trace(obj moods.ObjectID, t1, t2 time.Duration, sp *telemetry.Span) (TraceResult, error) {
 	if t2 < t1 {
 		t1, t2 = t2, t1
 	}
-	entry, hops, err := p.findIndex(obj)
+	entry, hops, err := p.findIndexSpan(obj, sp)
 	if err != nil {
 		return TraceResult{Hops: hops}, err
 	}
-	path, h, err := p.walkBack(entry.Latest, obj, -1, t1, t2)
+	path, h, err := p.walkBack(entry.Latest, obj, -1, t1, t2, sp)
 	hops += h
 	return TraceResult{Path: path, Hops: hops}, err
 }
@@ -224,7 +262,7 @@ func (p *Peer) FullTrace(obj moods.ObjectID) (TraceResult, error) {
 // walkBack traverses the IOP list backwards from node start, collecting
 // visits within [t1, t2] plus the visit occupied at t1, and returns the
 // path in forward (time) order.
-func (p *Peer) walkBack(start moods.NodeName, obj moods.ObjectID, bound time.Duration, t1, t2 time.Duration) (moods.Path, int, error) {
+func (p *Peer) walkBack(start moods.NodeName, obj moods.ObjectID, bound time.Duration, t1, t2 time.Duration, sp *telemetry.Span) (moods.Path, int, error) {
 	var rev []moods.Visit
 	hops := 0
 	cur := start
@@ -241,6 +279,7 @@ func (p *Peer) walkBack(start moods.NodeName, obj moods.ObjectID, bound time.Dur
 		if !ok {
 			return nil, hops, fmt.Errorf("core: broken IOP chain for %s at %s", obj, cur)
 		}
+		sp.Stepf(string(cur), "IOP walk: visit arrived %v", v.Arrived)
 		if v.Arrived <= t2 {
 			rev = append(rev, moods.Visit{Node: cur, Arrived: v.Arrived})
 		}

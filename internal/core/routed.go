@@ -91,7 +91,7 @@ func (p *Peer) handleRoutedTrace(from transport.Addr, r routedTraceReq) (any, er
 		if !found {
 			return routedTraceResp{Hops: hops}, nil
 		}
-		path, h, err := p.walkBack(entry.Latest, r.Object, -1, 0, 1<<62)
+		path, h, err := p.walkBack(entry.Latest, r.Object, -1, 0, 1<<62, nil)
 		hops += h
 		if err != nil {
 			return routedTraceResp{Hops: hops}, nil
@@ -160,7 +160,7 @@ func (p *Peer) serverFullTrace(obj moods.ObjectID) ([]moods.Visit, int, error) {
 	latest := visits[len(visits)-1]
 	// Backward pass includes this node's latest visit and everything
 	// before it (earlier visits here included, via the linked list).
-	back, hops, err := p.walkBack(p.Name(), obj, -1, 0, 1<<62)
+	back, hops, err := p.walkBack(p.Name(), obj, -1, 0, 1<<62, nil)
 	if err != nil {
 		return nil, hops, err
 	}

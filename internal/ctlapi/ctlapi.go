@@ -12,14 +12,20 @@
 //	GET  /inventory                                        → {count, objects}
 //	GET  /status                                           → {addr, visits, indexed}
 //	POST /snapshot                                         → persists state, {bytes}
+//	GET  /metrics                                          → telemetry text exposition
+//	GET  /debug/trace ?object=...&n=...                    → recent query spans
 package ctlapi
 
 import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"strconv"
 	"time"
+
+	"peertrack/internal/telemetry"
 )
 
 // Backend is what the API serves — implemented by peertrack.Node via a
@@ -137,9 +143,87 @@ func Handler(b Backend) http.Handler {
 // HandlerWithClock builds the control-plane HTTP handler with an
 // injected clock; nil means time.Now.
 func HandlerWithClock(b Backend, now Clock) http.Handler {
+	return HandlerWithTelemetry(b, now, nil)
+}
+
+// TraceDebugResponse is the GET /debug/trace reply: the most recent
+// query spans, newest first.
+type TraceDebugResponse struct {
+	Count int              `json:"count"`
+	Spans []telemetry.Span `json:"spans"`
+}
+
+// HandlerWithTelemetry builds the control-plane HTTP handler and
+// additionally exposes the node's telemetry registry:
+//
+//	GET /metrics      — plain-text exposition of every counter, gauge
+//	                    and histogram (telemetry.Snapshot.Text format)
+//	GET /debug/trace  — recent query spans as JSON; ?object= filters to
+//	                    one object's spans, ?n= caps the count (default 20)
+//
+// Control-plane requests are counted into the registry with bounded
+// cardinality (a total, one counter per method, and a latency
+// histogram — never per-path or per-object). A nil registry serves an
+// empty exposition and no spans, and skips request accounting.
+func HandlerWithTelemetry(b Backend, now Clock, reg *telemetry.Registry) http.Handler {
 	if now == nil {
 		now = time.Now
 	}
+	mux := apiMux(b, now)
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, reg.Snapshot().Text())
+	})
+	mux.HandleFunc("GET /debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		n := 20
+		if v := r.URL.Query().Get("n"); v != "" {
+			p, err := strconv.Atoi(v)
+			if err != nil || p <= 0 {
+				httpErr(w, http.StatusBadRequest, fmt.Errorf("bad n %q", v))
+				return
+			}
+			n = p
+		}
+		var spans []telemetry.Span
+		if obj := r.URL.Query().Get("object"); obj != "" {
+			spans = reg.Tracer().ForKey(obj, n)
+		} else {
+			spans = reg.Tracer().Recent(n)
+		}
+		writeJSON(w, TraceDebugResponse{Count: len(spans), Spans: spans})
+	})
+	return countRequests(reg, mux)
+}
+
+// countRequests wraps the control-plane mux with request accounting:
+// http.requests, http.requests.method.*, and an http.request.latency
+// histogram on the registry's clock.
+func countRequests(reg *telemetry.Registry, next http.Handler) http.Handler {
+	if reg == nil {
+		return next
+	}
+	total := reg.Counter("http.requests")
+	latency := reg.Histogram("http.request.latency", telemetry.LatencyBuckets())
+	byMethod := map[string]*telemetry.Counter{
+		http.MethodGet:  reg.Counter("http.requests.method.GET"),
+		http.MethodPost: reg.Counter("http.requests.method.POST"),
+	}
+	other := reg.Counter("http.requests.method.other")
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := reg.Now()
+		total.Inc()
+		if c, ok := byMethod[r.Method]; ok {
+			c.Inc()
+		} else {
+			other.Inc()
+		}
+		next.ServeHTTP(w, r)
+		latency.Observe(int64(reg.Now() - start))
+	})
+}
+
+// apiMux builds the core control-plane routes.
+func apiMux(b Backend, now Clock) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /observe", func(w http.ResponseWriter, r *http.Request) {
 		var req ObserveRequest

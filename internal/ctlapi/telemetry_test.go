@@ -1,0 +1,126 @@
+package ctlapi
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"peertrack/internal/telemetry"
+)
+
+func telemetrySetup(t *testing.T) (*telemetry.Registry, string) {
+	t.Helper()
+	var virtual time.Duration
+	reg := telemetry.New(func() time.Duration {
+		virtual += time.Millisecond
+		return virtual
+	})
+	srv := httptest.NewServer(HandlerWithTelemetry(newFake(), nil, reg))
+	t.Cleanup(srv.Close)
+	return reg, srv.URL
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	reg, base := telemetrySetup(t)
+	reg.Counter("transport.calls").Add(42)
+
+	code, body := get(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", code)
+	}
+	if !strings.Contains(body, "counter transport.calls 42\n") {
+		t.Errorf("exposition missing counter:\n%s", body)
+	}
+	// The request accounting middleware counts the in-flight /metrics
+	// call too, so the second scrape sees both.
+	_, body = get(t, base+"/metrics")
+	if !strings.Contains(body, "counter http.requests.method.GET 2\n") {
+		t.Errorf("request accounting missing:\n%s", body)
+	}
+	if !strings.Contains(body, "histogram http.request.latency count=1") {
+		t.Errorf("latency histogram missing:\n%s", body)
+	}
+}
+
+func TestDebugTraceEndpoint(t *testing.T) {
+	reg, base := telemetrySetup(t)
+	for i := 0; i < 3; i++ {
+		sp := reg.Tracer().Start("locate", "obj-a")
+		sp.Step("n1", "gateway hit")
+		sp.Finish(2, nil)
+	}
+	sp := reg.Tracer().Start("trace", "obj-b")
+	sp.Finish(5, nil)
+
+	code, body := get(t, base+"/debug/trace")
+	if code != http.StatusOK {
+		t.Fatalf("GET /debug/trace = %d", code)
+	}
+	var all TraceDebugResponse
+	if err := json.Unmarshal([]byte(body), &all); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, body)
+	}
+	if all.Count != 4 {
+		t.Fatalf("count = %d, want 4", all.Count)
+	}
+	if all.Spans[0].Op != "trace" || all.Spans[0].Key != "obj-b" {
+		t.Errorf("newest span = %+v, want the trace of obj-b", all.Spans[0])
+	}
+
+	_, body = get(t, base+"/debug/trace?object=obj-a&n=2")
+	var filtered TraceDebugResponse
+	if err := json.Unmarshal([]byte(body), &filtered); err != nil {
+		t.Fatal(err)
+	}
+	if filtered.Count != 2 {
+		t.Fatalf("filtered count = %d, want 2 (n cap)", filtered.Count)
+	}
+	for _, s := range filtered.Spans {
+		if s.Key != "obj-a" {
+			t.Errorf("filter leaked span %+v", s)
+		}
+		if len(s.Steps) != 1 || s.Steps[0].Note != "gateway hit" {
+			t.Errorf("span steps not serialised: %+v", s)
+		}
+	}
+
+	if code, _ := get(t, base+"/debug/trace?n=bogus"); code != http.StatusBadRequest {
+		t.Errorf("bad n accepted: %d", code)
+	}
+}
+
+func TestTelemetryEndpointsNilRegistry(t *testing.T) {
+	srv := httptest.NewServer(HandlerWithClock(newFake(), nil))
+	t.Cleanup(srv.Close)
+
+	code, body := get(t, srv.URL+"/metrics")
+	if code != http.StatusOK || body != "spans 0\n" {
+		t.Errorf("nil-registry /metrics = %d %q", code, body)
+	}
+	code, body = get(t, srv.URL+"/debug/trace")
+	if code != http.StatusOK {
+		t.Errorf("nil-registry /debug/trace = %d", code)
+	}
+	var resp TraceDebugResponse
+	if err := json.Unmarshal([]byte(body), &resp); err != nil || resp.Count != 0 {
+		t.Errorf("nil-registry spans = %q (err %v)", body, err)
+	}
+}

@@ -1,0 +1,178 @@
+package telemetry
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span is the record of one query-shaped operation — a locate, a trace,
+// a group-index arrival, a triangle delegation — with the causal hop
+// chain it took through the network. Timestamps are registry-clock
+// offsets (virtual time in the sim, time-since-startup on a live node).
+type Span struct {
+	ID    uint64        `json:"id"`
+	Op    string        `json:"op"`
+	Key   string        `json:"key"`
+	Start time.Duration `json:"start"`
+	End   time.Duration `json:"end"`
+	Hops  int           `json:"hops"`
+	Err   string        `json:"err,omitempty"`
+	Steps []Step        `json:"steps,omitempty"`
+
+	tracer *Tracer
+}
+
+// Step is one hop in a span's causal chain: which node was consulted
+// and why.
+type Step struct {
+	At   time.Duration `json:"at"`
+	Node string        `json:"node"`
+	Note string        `json:"note"`
+}
+
+// Tracer records finished spans into a fixed-size ring buffer: the last
+// capacity spans are retrievable, older ones are overwritten. Span IDs
+// come from an atomic sequence — strictly ordered in the
+// single-threaded sim, merely unique under live concurrency.
+type Tracer struct {
+	reg *Registry
+	seq atomic.Uint64
+
+	mu    sync.Mutex
+	ring  []Span
+	next  int    // ring slot the next finished span lands in
+	total uint64 // spans recorded over the tracer's lifetime
+}
+
+func newTracer(reg *Registry, capacity int) *Tracer {
+	return &Tracer{reg: reg, ring: make([]Span, 0, capacity)}
+}
+
+// Start opens a span. Nil-safe: on a nil tracer it returns a nil span,
+// and every span method is a no-op on nil, so instrumented paths never
+// branch on whether tracing is wired.
+func (t *Tracer) Start(op, key string) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{
+		ID:     t.seq.Add(1),
+		Op:     op,
+		Key:    key,
+		Start:  t.reg.Now(),
+		tracer: t,
+	}
+}
+
+// Step appends one hop to the span's chain.
+func (s *Span) Step(node, note string) {
+	if s == nil {
+		return
+	}
+	s.Steps = append(s.Steps, Step{At: s.tracer.reg.Now(), Node: node, Note: note})
+}
+
+// Stepf is Step with a formatted note.
+func (s *Span) Stepf(node, format string, args ...any) {
+	if s == nil {
+		return
+	}
+	s.Step(node, fmt.Sprintf(format, args...))
+}
+
+// Finish closes the span and commits it to the tracer's ring. Hops is
+// the operation's reported hop count; err (nil for success) is recorded
+// as text so spans stay JSON-encodable and DeepEqual-comparable.
+func (s *Span) Finish(hops int, err error) {
+	if s == nil {
+		return
+	}
+	s.End = s.tracer.reg.Now()
+	s.Hops = hops
+	if err != nil {
+		s.Err = err.Error()
+	}
+	t := s.tracer
+	done := *s
+	done.tracer = nil
+	t.mu.Lock()
+	if cap(t.ring) > 0 {
+		if len(t.ring) < cap(t.ring) {
+			t.ring = append(t.ring, done)
+		} else {
+			t.ring[t.next] = done
+		}
+		t.next = (t.next + 1) % cap(t.ring)
+	}
+	t.total++
+	t.mu.Unlock()
+}
+
+// Total is the number of spans recorded over the tracer's lifetime
+// (including any that have since been overwritten in the ring).
+func (t *Tracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Recent returns up to n of the most recently finished spans, newest
+// first.
+func (t *Tracer) Recent(n int) []Span {
+	return t.filter(n, func(Span) bool { return true })
+}
+
+// ForKey returns up to n of the most recent spans for the given key
+// (object code or group prefix), newest first.
+func (t *Tracer) ForKey(key string, n int) []Span {
+	return t.filter(n, func(s Span) bool { return s.Key == key })
+}
+
+func (t *Tracer) filter(n int, keep func(Span) bool) []Span {
+	if t == nil || n <= 0 {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []Span
+	for i := len(t.ring) - 1; i >= 0 && len(out) < n; i-- {
+		// The ring fills slots 0..cap-1 and then wraps at next, so the
+		// newest span sits just before next once full.
+		idx := i
+		if len(t.ring) == cap(t.ring) {
+			idx = (t.next + i) % len(t.ring)
+		}
+		if keep(t.ring[idx]) {
+			out = append(out, t.ring[idx])
+		}
+	}
+	return out
+}
+
+// String renders the span as a single line:
+//
+//	locate key=obj-17 t=[1.2s→1.2s] hops=4 steps=3 ok
+func (s Span) String() string {
+	status := "ok"
+	if s.Err != "" {
+		status = "err=" + s.Err
+	}
+	return fmt.Sprintf("%s key=%s t=[%v→%v] hops=%d steps=%d %s",
+		s.Op, s.Key, s.Start, s.End, s.Hops, len(s.Steps), status)
+}
+
+// Detail renders the span with one indented line per step.
+func (s Span) Detail() string {
+	var b strings.Builder
+	b.WriteString(s.String())
+	for _, st := range s.Steps {
+		fmt.Fprintf(&b, "\n  %v %s: %s", st.At, st.Node, st.Note)
+	}
+	return b.String()
+}

@@ -1,0 +1,242 @@
+package telemetry
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// manualClock is a settable test clock.
+type manualClock struct{ now time.Duration }
+
+func (c *manualClock) Now() time.Duration { return c.now }
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := New(nil)
+	c := r.Counter("a.calls")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("a.calls") != c {
+		t.Fatal("second lookup returned a different counter")
+	}
+	g := r.Gauge("a.buffered")
+	g.Add(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+	g.Set(11)
+	if got := g.Value(); got != 11 {
+		t.Fatalf("gauge after Set = %d, want 11", got)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	// Every handle chained off a nil registry must be a usable no-op.
+	r.Counter("x").Inc()
+	r.Gauge("x").Add(1)
+	r.Histogram("x", HopBuckets()).Observe(3)
+	sp := r.Tracer().Start("locate", "obj")
+	sp.Step("n1", "hop")
+	sp.Stepf("n2", "hop %d", 2)
+	sp.Finish(2, nil)
+	if got := r.Tracer().Recent(5); got != nil {
+		t.Fatalf("nil tracer Recent = %v, want nil", got)
+	}
+	if r.Now() != 0 {
+		t.Fatal("nil registry clock should read zero")
+	}
+	snap := r.Snapshot()
+	if len(snap.Counters)+len(snap.Gauges)+len(snap.Histograms) != 0 || snap.Spans != 0 {
+		t.Fatalf("nil registry snapshot not empty: %+v", snap)
+	}
+	if snap.Text() != "spans 0\n" {
+		t.Fatalf("empty exposition = %q", snap.Text())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := New(nil)
+	h := r.Histogram("hops", []int64{1, 2, 4})
+	for _, v := range []int64{0, 1, 2, 3, 4, 5, 100} {
+		h.Observe(v)
+	}
+	snap := r.Snapshot()
+	if len(snap.Histograms) != 1 {
+		t.Fatalf("histograms = %d, want 1", len(snap.Histograms))
+	}
+	pt := snap.Histograms[0]
+	// ≤1: {0,1}  ≤2: {2}  ≤4: {3,4}  overflow: {5,100}
+	want := []uint64{2, 1, 2, 2}
+	if !reflect.DeepEqual(pt.Counts, want) {
+		t.Fatalf("bucket counts = %v, want %v", pt.Counts, want)
+	}
+	if pt.Count != 7 || pt.Sum != 115 {
+		t.Fatalf("count/sum = %d/%d, want 7/115", pt.Count, pt.Sum)
+	}
+}
+
+func TestHistogramBoundsMismatchPanics(t *testing.T) {
+	r := New(nil)
+	r.Histogram("h", []int64{1, 2})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on bounds mismatch")
+		}
+	}()
+	r.Histogram("h", []int64{1, 3})
+}
+
+func TestTracerRingAndForKey(t *testing.T) {
+	clk := &manualClock{}
+	r := New(clk.Now)
+	tr := r.Tracer()
+	for i := 0; i < DefaultSpanCapacity+10; i++ {
+		clk.now = time.Duration(i) * time.Millisecond
+		sp := tr.Start("locate", "obj")
+		sp.Step("n1", "gateway")
+		sp.Finish(i, nil)
+	}
+	if got := tr.Total(); got != DefaultSpanCapacity+10 {
+		t.Fatalf("total = %d, want %d", got, DefaultSpanCapacity+10)
+	}
+	recent := tr.Recent(3)
+	if len(recent) != 3 {
+		t.Fatalf("recent = %d spans, want 3", len(recent))
+	}
+	// Newest first, and the oldest entries were overwritten.
+	if recent[0].Hops != DefaultSpanCapacity+9 || recent[2].Hops != DefaultSpanCapacity+7 {
+		t.Fatalf("recent hops = %d,%d — ring order wrong", recent[0].Hops, recent[2].Hops)
+	}
+	if recent[0].Start != recent[0].End-0 && recent[0].Start == 0 {
+		t.Fatalf("span did not take clock timestamps: %+v", recent[0])
+	}
+
+	failed := tr.Start("trace", "other")
+	failed.Finish(0, errors.New("boom"))
+	byKey := tr.ForKey("other", 10)
+	if len(byKey) != 1 || byKey[0].Err != "boom" {
+		t.Fatalf("ForKey = %+v, want one failed span", byKey)
+	}
+	if s := byKey[0].String(); !strings.Contains(s, "err=boom") {
+		t.Fatalf("String() = %q, want err rendered", s)
+	}
+}
+
+func TestSnapshotTextDeterministic(t *testing.T) {
+	build := func(order []string) string {
+		r := New(nil)
+		for _, name := range order {
+			r.Counter(name).Add(3)
+		}
+		r.Gauge("g.b").Add(-2)
+		r.Gauge("g.a").Add(9)
+		r.Histogram("h.x", HopBuckets()).Observe(2)
+		return r.Snapshot().Text()
+	}
+	a := build([]string{"c.z", "c.a", "c.m"})
+	b := build([]string{"c.m", "c.z", "c.a"})
+	if a != b {
+		t.Fatalf("exposition depends on creation order:\n%s\nvs\n%s", a, b)
+	}
+	if !strings.Contains(a, "counter c.a 3\n") || strings.Index(a, "c.a") > strings.Index(a, "c.z") {
+		t.Fatalf("exposition not sorted:\n%s", a)
+	}
+}
+
+func TestSnapshotMerge(t *testing.T) {
+	mk := func(calls uint64, hop int64) Snapshot {
+		r := New(nil)
+		r.Counter("t.calls").Add(calls)
+		r.Gauge("t.buffered").Add(int64(calls))
+		r.Histogram("t.hops", []int64{1, 2}).Observe(hop)
+		r.Tracer().Start("locate", "o").Finish(0, nil)
+		return r.Snapshot()
+	}
+	m := mk(3, 1).Merge(mk(5, 100))
+	if m.Counters[0].Value != 8 {
+		t.Fatalf("merged counter = %d, want 8", m.Counters[0].Value)
+	}
+	if m.Gauges[0].Value != 8 {
+		t.Fatalf("merged gauge = %d, want 8", m.Gauges[0].Value)
+	}
+	h := m.Histograms[0]
+	if h.Count != 2 || h.Sum != 101 || !reflect.DeepEqual(h.Counts, []uint64{1, 0, 1}) {
+		t.Fatalf("merged histogram wrong: %+v", h)
+	}
+	if m.Spans != 2 {
+		t.Fatalf("merged spans = %d, want 2", m.Spans)
+	}
+	// Merging with a zero snapshot preserves values (sweep accumulator
+	// starts from Snapshot{}).
+	z := Snapshot{}.Merge(m)
+	if !reflect.DeepEqual(z, m) {
+		t.Fatalf("zero-merge changed snapshot:\n%+v\nvs\n%+v", z, m)
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	r := New(nil)
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h", HopBuckets())
+	tr := r.Tracer()
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(int64(i % 10))
+				if i%100 == 0 {
+					sp := tr.Start("op", "k")
+					sp.Step("n", "s")
+					sp.Finish(1, nil)
+				}
+				// Exercise create-on-first-use races too.
+				r.Counter("shared").Inc()
+				_ = r.Snapshot()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*per {
+		t.Fatalf("counter = %d, want %d", got, workers*per)
+	}
+	if got := g.Value(); got != workers*per {
+		t.Fatalf("gauge = %d, want %d", got, workers*per)
+	}
+	if got := h.Count(); got != workers*per {
+		t.Fatalf("histogram count = %d, want %d", got, workers*per)
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	r := New(nil)
+	c := r.Counter("bench")
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	r := New(nil)
+	h := r.Histogram("bench", LatencyBuckets())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i))
+	}
+}

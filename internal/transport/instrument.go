@@ -1,0 +1,112 @@
+package transport
+
+import (
+	"sync"
+	"time"
+
+	"peertrack/internal/telemetry"
+)
+
+// netTelemetry holds the prebuilt telemetry handles shared by both
+// Network implementations. Handles are resolved once at wiring time so
+// the per-call path is a few atomic adds and (for the per-type counter)
+// one read-locked map hit on an interned key. A nil *netTelemetry is a
+// valid no-op, so unwired transports pay only a nil check per call.
+type netTelemetry struct {
+	reg      *telemetry.Registry
+	calls    *telemetry.Counter
+	failures *telemetry.Counter
+	drops    *telemetry.Counter
+	blocked  *telemetry.Counter
+	bytes    *telemetry.Histogram
+	latency  *telemetry.Histogram
+
+	mu     sync.RWMutex
+	byType map[string]*telemetry.Counter
+}
+
+func newNetTelemetry(reg *telemetry.Registry) *netTelemetry {
+	if reg == nil {
+		return nil
+	}
+	return &netTelemetry{
+		reg:      reg,
+		calls:    reg.Counter("transport.calls"),
+		failures: reg.Counter("transport.failures"),
+		drops:    reg.Counter("transport.drops"),
+		blocked:  reg.Counter("transport.blocked"),
+		bytes:    reg.Histogram("transport.call.bytes", telemetry.ByteBuckets()),
+		latency:  reg.Histogram("transport.call.latency_ns", telemetry.LatencyBuckets()),
+	}
+}
+
+// begin reads the registry clock for latency measurement; zero when
+// telemetry is unwired or the clock never advances during a synchronous
+// sim call.
+func (nt *netTelemetry) begin() time.Duration {
+	if nt == nil {
+		return 0
+	}
+	return nt.reg.Now()
+}
+
+// typeCounter resolves the per-message-type counter, caching by the
+// interned type name so the hot path never concatenates.
+func (nt *netTelemetry) typeCounter(name string) *telemetry.Counter {
+	nt.mu.RLock()
+	c := nt.byType[name]
+	nt.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	nt.mu.Lock()
+	defer nt.mu.Unlock()
+	if c = nt.byType[name]; c == nil {
+		if nt.byType == nil {
+			nt.byType = make(map[string]*telemetry.Counter)
+		}
+		c = nt.reg.Counter("transport.call.type." + name)
+		nt.byType[name] = c
+	}
+	return c
+}
+
+// call accounts one completed round trip (success or handler failure).
+func (nt *netTelemetry) call(req any, start time.Duration, failed bool) {
+	if nt == nil {
+		return
+	}
+	nt.calls.Inc()
+	nt.typeCounter(typeName(req)).Inc()
+	nt.bytes.Observe(int64(sizeOf(req)))
+	nt.latency.Observe(int64(nt.reg.Now() - start))
+	if failed {
+		nt.failures.Inc()
+	}
+}
+
+// drop accounts a call lost to random message loss or a timeout.
+func (nt *netTelemetry) drop(req any, start time.Duration) {
+	if nt == nil {
+		return
+	}
+	nt.calls.Inc()
+	nt.typeCounter(typeName(req)).Inc()
+	nt.bytes.Observe(int64(sizeOf(req)))
+	nt.latency.Observe(int64(nt.reg.Now() - start))
+	nt.failures.Inc()
+	nt.drops.Inc()
+}
+
+// block accounts a call to a structurally unreachable destination.
+func (nt *netTelemetry) block(req any, start time.Duration) {
+	if nt == nil {
+		return
+	}
+	nt.calls.Inc()
+	nt.typeCounter(typeName(req)).Inc()
+	nt.bytes.Observe(int64(sizeOf(req)))
+	nt.latency.Observe(int64(nt.reg.Now() - start))
+	nt.failures.Inc()
+	nt.blocked.Inc()
+}

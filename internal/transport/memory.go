@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+
+	"peertrack/internal/telemetry"
 )
 
 // Memory is an instrumented in-process Network. Calls dispatch
@@ -28,6 +30,7 @@ type Memory struct {
 	rng   *rand.Rand
 
 	stats *Stats
+	tel   *netTelemetry
 }
 
 // NewMemory creates an empty in-process network. seed drives fault
@@ -109,8 +112,17 @@ func (m *Memory) HealPartitions() {
 // Stats implements Network.
 func (m *Memory) Stats() *Stats { return m.stats }
 
+// SetTelemetry attaches a registry; per-call counters, message-type
+// breakdowns, and latency/byte histograms are recorded into it
+// alongside Stats. Wire it before traffic starts (the field is read
+// without a lock on the hot path); nil detaches.
+func (m *Memory) SetTelemetry(reg *telemetry.Registry) {
+	m.tel = newNetTelemetry(reg)
+}
+
 // Call implements Network.
 func (m *Memory) Call(from, to Addr, req any) (any, error) {
+	start := m.tel.begin()
 	m.mu.RLock()
 	h, ok := m.handlers[to]
 	blocked := !ok || m.dead[to] || m.dead[from] || m.groupOf[from] != m.groupOf[to]
@@ -123,6 +135,7 @@ func (m *Memory) Call(from, to Addr, req any) (any, error) {
 		// randomness, so partition schedules do not perturb the drop
 		// sequence of the surviving traffic.
 		m.stats.recordBlocked(to, req)
+		m.tel.block(req, start)
 		return nil, ErrUnreachable
 	}
 	if dropRate > 0 {
@@ -133,12 +146,14 @@ func (m *Memory) Call(from, to Addr, req any) (any, error) {
 			// The request was emitted but lost in flight: charge one
 			// message, record the failure.
 			m.stats.recordDrop(to, req)
+			m.tel.drop(req, start)
 			return nil, ErrUnreachable
 		}
 	}
 
 	resp, err := h(from, req)
 	m.stats.recordCall(to, req, resp, err != nil)
+	m.tel.call(req, start, err != nil)
 	if err != nil {
 		return nil, &RemoteError{Msg: err.Error()}
 	}

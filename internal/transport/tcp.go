@@ -7,6 +7,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"peertrack/internal/telemetry"
 )
 
 // rpcRequest is the wire envelope for a call. Payload concrete types
@@ -43,6 +45,7 @@ type TCP struct {
 	Secret []byte
 
 	stats *Stats
+	tel   *netTelemetry
 	wg    sync.WaitGroup
 }
 
@@ -177,12 +180,27 @@ func (t *TCP) Unregister(addr Addr) {
 // Stats implements Network.
 func (t *TCP) Stats() *Stats { return t.stats }
 
-// Call implements Network.
+// SetTelemetry attaches a registry, mirroring Memory.SetTelemetry. Wire
+// it before traffic starts; nil detaches.
+func (t *TCP) SetTelemetry(reg *telemetry.Registry) {
+	t.tel = newNetTelemetry(reg)
+}
+
+// Call implements Network. Failures are accounted exactly like the
+// in-memory transport's fault paths so the two transports agree
+// byte-for-byte in Snapshot semantics: a dial failure means the
+// destination is structurally unreachable (recordBlocked — the request
+// never left this node's pool, but we charge the attempt the same way
+// Memory charges a call into a partition), while a send or receive
+// error after a connection existed is a message lost in flight
+// (recordDrop — one request message on the wire, no response).
 func (t *TCP) Call(from, to Addr, req any) (any, error) {
+	start := t.tel.begin()
 	pool := t.pool(to)
 	c, err := pool.get(t.DialTimeout)
 	if err != nil {
-		t.stats.recordCall(to, req, nil, true)
+		t.stats.recordBlocked(to, req)
+		t.tel.block(req, start)
 		return nil, fmt.Errorf("%w: %s (%v)", ErrUnreachable, to, err)
 	}
 	deadline := time.Now().Add(t.CallTimeout)
@@ -195,7 +213,8 @@ func (t *TCP) Call(from, to Addr, req any) (any, error) {
 	}
 	if sendErr != nil {
 		c.conn.Close()
-		t.stats.recordCall(to, req, nil, true)
+		t.stats.recordDrop(to, req)
+		t.tel.drop(req, start)
 		return nil, fmt.Errorf("%w: %s (%v)", ErrUnreachable, to, sendErr)
 	}
 	var resp rpcResponse
@@ -207,12 +226,14 @@ func (t *TCP) Call(from, to Addr, req any) (any, error) {
 	}
 	if recvErr != nil {
 		c.conn.Close()
-		t.stats.recordCall(to, req, nil, true)
+		t.stats.recordDrop(to, req)
+		t.tel.drop(req, start)
 		return nil, fmt.Errorf("%w: %s (%v)", ErrUnreachable, to, recvErr)
 	}
 	c.conn.SetDeadline(time.Time{})
 	pool.put(c)
 	t.stats.recordCall(to, req, resp.Payload, resp.Err != "")
+	t.tel.call(req, start, resp.Err != "")
 	if resp.Err != "" {
 		return nil, &RemoteError{Msg: resp.Err}
 	}

@@ -11,6 +11,7 @@ import (
 	"peertrack/internal/ids"
 	"peertrack/internal/moods"
 	"peertrack/internal/netsize"
+	"peertrack/internal/telemetry"
 	"peertrack/internal/transport"
 )
 
@@ -23,6 +24,7 @@ type Node struct {
 	chord  *chord.Node
 	peer   *core.Peer
 	pm     *core.PrefixManager
+	tel    *telemetry.Registry
 	pinned bool // operator pinned the network-size estimate
 
 	mu     sync.Mutex
@@ -114,7 +116,12 @@ func StartNode(listen string, opts NodeOptions) (*Node, error) {
 		NMax: opts.WindowMaxObjects,
 	}, clock)
 
-	n := &Node{tr: tr, chord: cn, peer: peer, pm: pm, pinned: opts.NetworkSize > 0, stopCh: make(chan struct{})}
+	tel := telemetry.New(clock)
+	tr.SetTelemetry(tel)
+	cn.SetTelemetry(tel)
+	peer.SetTelemetry(tel)
+
+	n := &Node{tr: tr, chord: cn, peer: peer, pm: pm, tel: tel, pinned: opts.NetworkSize > 0, stopCh: make(chan struct{})}
 	n.wg.Add(1)
 	go n.maintain(opts)
 	return n, nil
@@ -141,6 +148,11 @@ func hostOf(listen string) string {
 // Addr returns the node's dialable address — its identity in the
 // network and the location name on traces.
 func (n *Node) Addr() string { return string(n.chord.Addr()) }
+
+// Telemetry returns the node's telemetry registry — transport, overlay
+// and indexing counters, latency histograms, and recent query spans.
+// Never nil for a started node.
+func (n *Node) Telemetry() *telemetry.Registry { return n.tel }
 
 // Join enters the network that bootstrap belongs to.
 func (n *Node) Join(bootstrap string) error {
