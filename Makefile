@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check vet lint race bench figures chaos-short chaos telemetry-demo
+.PHONY: build test check vet lint race bench figures chaos-short chaos telemetry-demo profile xl ledger-check
 
 build:
 	$(GO) build ./...
@@ -44,16 +44,37 @@ chaos-short:
 chaos:
 	$(GO) run -race ./cmd/peertrack-chaos -seeds 5000
 
-# bench refreshes the hot-path perf ledger. The baseline block of an
-# existing BENCH_CORE.json is preserved, so the file keeps before/after
-# numbers for the current optimisation round.
-bench: build
+# bench refreshes the hot-path perf ledger after running the
+# alloc-pinning microbenchmarks. The baseline block of an existing
+# BENCH_CORE.json is preserved, so the file keeps before/after numbers
+# for the current optimisation round.
+bench: build micro
 	$(GO) run ./cmd/peertrack-bench -benchcore BENCH_CORE.json -scale default
 
-# micro runs just the package-level hot-path microbenchmarks.
+# micro runs just the package-level hot-path microbenchmarks, including
+# the alloc-pinning store benchmarks behind the Scale.XL memory budget.
 micro:
 	$(GO) test -run xxx -bench 'BenchmarkTransportCall|BenchmarkStatsSnapshot' ./internal/transport/
-	$(GO) test -run xxx -bench 'BenchmarkKernel|BenchmarkTimerStop' ./internal/sim/
+	$(GO) test -run xxx -bench 'BenchmarkKernel|BenchmarkTimerStop|BenchmarkBatchFanIn|BenchmarkHeapFanIn' ./internal/sim/
+	$(GO) test -run xxx -bench 'BenchmarkGateway|BenchmarkIOP' ./internal/core/
+
+# profile captures CPU and heap pprof profiles of the XL throughput
+# sweep at a CI-sized network; inspect with `go tool pprof cpu.pprof`.
+profile: build
+	$(GO) run ./cmd/peertrack-bench -fig xl -scale xl -sizes 20000 -queries 10 \
+		-cpuprofile cpu.pprof -memprofile mem.pprof
+
+# xl runs the full Scale.XL sweep: 10k/20k/50k nodes, 2M tracked
+# objects at the top point. Expect several minutes and a few GB of RSS;
+# see EXPERIMENTS.md for reference timings.
+xl: build
+	$(GO) run ./cmd/peertrack-bench -fig xl -scale xl
+
+# ledger-check re-measures the XL build stats and fails if bytes/node
+# or nodes/sec regressed against the committed ledger. Wall-clock
+# varies across machines, so CI passes a generous -speedslack.
+ledger-check: build
+	$(GO) run ./cmd/peertrack-bench -ledgercheck BENCH_CORE.json
 
 # figures prints every reproduced figure at laptop scale.
 figures:

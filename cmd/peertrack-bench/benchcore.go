@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"peertrack/internal/core"
 	"peertrack/internal/experiments"
 	"peertrack/internal/sim"
 	"peertrack/internal/transport"
@@ -26,9 +27,21 @@ type coreStat struct {
 	BytesPerOp  int64   `json:"bytes_per_op"`
 }
 
+// xlStat is the Scale.XL memory/throughput ledger entry: how fast a
+// network builds and how much heap each node costs, measured on a
+// build with the oracle disabled. bytes_per_node is the metric the
+// compact-store work (slab buckets, interned prefix keys, run-length
+// finger tables) is accountable to.
+type xlStat struct {
+	Nodes        int     `json:"nodes"`
+	NodesPerSec  float64 `json:"nodes_per_sec"`
+	BytesPerNode float64 `json:"bytes_per_node"`
+}
+
 type coreSnapshot struct {
 	MemoryCall coreStat           `json:"memory_call"`
 	KernelStep coreStat           `json:"kernel_step"`
+	XL         *xlStat            `json:"xl,omitempty"`
 	FigureMs   map[string]float64 `json:"figure_wall_ms"`
 }
 
@@ -49,6 +62,11 @@ func statOf(r testing.BenchmarkResult) coreStat {
 		BytesPerOp:  r.AllocedBytesPerOp(),
 	}
 }
+
+// xlStatNodes is the network size the ledger's XL stats are measured
+// at. 20k nodes is big enough that per-node cost has converged and
+// small enough for a CI smoke job.
+const xlStatNodes = 20000
 
 type coreBenchReq struct{ N int }
 
@@ -86,6 +104,68 @@ func benchKernelStep() coreStat {
 	}))
 }
 
+func heapAlloc() uint64 {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc
+}
+
+// benchXLStats builds an oracle-free network of n nodes and measures
+// build throughput and per-node heap cost.
+func benchXLStats(n int) (xlStat, error) {
+	before := heapAlloc()
+	start := time.Now()
+	nw, err := core.BuildNetwork(core.NetworkConfig{Nodes: n, Seed: 1, NoOracle: true})
+	if err != nil {
+		return xlStat{}, err
+	}
+	secs := time.Since(start).Seconds()
+	after := heapAlloc()
+	runtime.KeepAlive(nw)
+	return xlStat{
+		Nodes:        n,
+		NodesPerSec:  float64(n) / secs,
+		BytesPerNode: float64(after-before) / float64(n),
+	}, nil
+}
+
+// ledgerCheck re-measures the XL stats and fails if they regressed
+// beyond the given slack against the committed ledger's current block.
+// bytes_per_node is near-deterministic, so its slack is tight;
+// nodes_per_sec depends on the machine, so CI passes a generous slack.
+func ledgerCheck(path string, byteSlack, speedSlack float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var ledger benchCoreFile
+	if err := json.Unmarshal(data, &ledger); err != nil {
+		return fmt.Errorf("parse %s: %w", path, err)
+	}
+	want := ledger.Current.XL
+	if want == nil {
+		return fmt.Errorf("%s has no current.xl block to check against", path)
+	}
+	got, err := benchXLStats(want.Nodes)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("# ledger-check: bytes/node %.0f (committed %.0f, slack %.0f%%), nodes/sec %.0f (committed %.0f, slack %.0f%%)\n",
+		got.BytesPerNode, want.BytesPerNode, byteSlack*100,
+		got.NodesPerSec, want.NodesPerSec, speedSlack*100)
+	if got.BytesPerNode > want.BytesPerNode*(1+byteSlack) {
+		return fmt.Errorf("bytes_per_node regressed: %.0f > %.0f (+%.0f%% slack)",
+			got.BytesPerNode, want.BytesPerNode, byteSlack*100)
+	}
+	if got.NodesPerSec < want.NodesPerSec*(1-speedSlack) {
+		return fmt.Errorf("nodes_per_sec regressed: %.0f < %.0f (-%.0f%% slack)",
+			got.NodesPerSec, want.NodesPerSec, speedSlack*100)
+	}
+	fmt.Println("# ledger-check: ok")
+	return nil
+}
+
 // benchCore measures the hot-path microbenchmarks and every figure's
 // wall clock, then writes path. An existing baseline block in path is
 // carried forward; if the file has none, the measurement becomes the
@@ -109,6 +189,12 @@ func benchCore(path, scaleName string, scale experiments.Scale) error {
 	out.Current.MemoryCall = benchMemoryCall()
 	fmt.Fprintln(os.Stderr, "# bench-core: Kernel.Step")
 	out.Current.KernelStep = benchKernelStep()
+	fmt.Fprintln(os.Stderr, "# bench-core: XL build stats")
+	xl, err := benchXLStats(xlStatNodes)
+	if err != nil {
+		return err
+	}
+	out.Current.XL = &xl
 
 	out.Current.FigureMs = make(map[string]float64)
 	figs := []struct {

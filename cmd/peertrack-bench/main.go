@@ -4,26 +4,35 @@
 //
 // Usage:
 //
-//	peertrack-bench [-fig 6a|6b|7a|7b|8a|8b|triangle|window|alpha|cache|intermediate|all]
-//	                [-scale tiny|default|full] [-csv] [-seed N] [-parallel N]
-//	                [-benchcore FILE]
+//	peertrack-bench [-fig 6a|6b|7a|7b|8a|8b|xl|triangle|window|alpha|cache|intermediate|all]
+//	                [-scale tiny|default|full|xl] [-csv] [-seed N] [-parallel N]
+//	                [-benchcore FILE] [-ledgercheck FILE]
+//	                [-cpuprofile FILE] [-memprofile FILE]
 //
 // The full scale matches the paper (512 nodes, 5000 objects/node) and
 // takes tens of minutes plus several GB of memory; default runs every
-// figure in seconds while preserving the trends.
+// figure in seconds while preserving the trends. The xl scale pushes
+// past the paper — 50k nodes, 2M tracked objects at the top of the
+// sweep — and pairs with -fig xl, the throughput sweep built on the
+// compact stores (see DESIGN.md §10).
 //
 // Figure sweeps fan their independent simulation points across
 // -parallel workers (default GOMAXPROCS); every worker count produces
 // byte-identical rows, so -parallel 1 is only needed to time the
 // sequential runner. -benchcore measures the hot-path microbenchmarks
 // plus per-figure wall clock and writes the BENCH_CORE.json perf
-// snapshot instead of printing tables.
+// snapshot instead of printing tables. -ledgercheck re-measures the XL
+// build stats and exits non-zero if bytes/node or nodes/sec regressed
+// against the committed ledger. -cpuprofile and -memprofile write pprof
+// profiles of whatever run was requested.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"text/tabwriter"
@@ -33,8 +42,8 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: verify, 6a, 6b, 7a, 7b, 8a, 8b, triangle, window, alpha, cache, intermediate, overlay, churn, prediction, telemetry, or all")
-	scaleName := flag.String("scale", "default", "experiment scale: tiny, default, or full")
+	fig := flag.String("fig", "all", "figure to regenerate: verify, 6a, 6b, 7a, 7b, 8a, 8b, xl, triangle, window, alpha, cache, intermediate, overlay, churn, prediction, telemetry, or all")
+	scaleName := flag.String("scale", "default", "experiment scale: tiny, default, full, or xl")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	seed := flag.Int64("seed", 1, "workload seed")
 	nodes := flag.Int("nodes", 0, "override: network size for volume sweeps")
@@ -44,6 +53,11 @@ func main() {
 	queries := flag.Int("queries", 0, "override: queries per measurement")
 	parallel := flag.Int("parallel", 0, "sweep workers: 0 = GOMAXPROCS, 1 = sequential")
 	benchcorePath := flag.String("benchcore", "", "write a BENCH_CORE.json hot-path perf snapshot to this file and exit")
+	ledgerPath := flag.String("ledgercheck", "", "re-measure XL build stats and fail on regression vs this BENCH_CORE.json")
+	byteSlack := flag.Float64("byteslack", 0.10, "ledgercheck: allowed bytes/node regression fraction")
+	speedSlack := flag.Float64("speedslack", 0.10, "ledgercheck: allowed nodes/sec regression fraction (CI uses a generous value: wall-clock varies across machines)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
 
 	var scale experiments.Scale
@@ -54,6 +68,8 @@ func main() {
 		scale = experiments.Default()
 	case "full":
 		scale = experiments.Full()
+	case "xl":
+		scale = experiments.XL()
 	default:
 		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleName)
 		os.Exit(2)
@@ -84,6 +100,44 @@ func main() {
 	}
 
 	scale.Workers = *parallel
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}()
+	}
+
+	if *ledgerPath != "" {
+		if err := ledgerCheck(*ledgerPath, *byteSlack, *speedSlack); err != nil {
+			fmt.Fprintf(os.Stderr, "ledger-check: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *benchcorePath != "" {
 		if err := benchCore(*benchcorePath, *scaleName, scale); err != nil {
@@ -175,6 +229,17 @@ func run(fig string, scale experiments.Scale, csv bool) error {
 		w.row("nodes", "scheme 1", "scheme 2", "scheme 3")
 		for _, r := range rows {
 			w.row(fmt.Sprint(r.Nodes), f1(r.Scheme1Log2), f1(r.Scheme2Log2), f1(r.Scheme3Log2))
+		}
+	case "xl":
+		rows, err := experiments.XLSweep(scale)
+		if err != nil {
+			return err
+		}
+		w.header("Scale.XL — throughput sweep past the paper's axes (%d objects/node)", scale.MaxVolume)
+		w.row("nodes", "objects", "observations", "index k msgs", "indexed", "mean hops")
+		for _, r := range rows {
+			w.row(fmt.Sprint(r.Nodes), fmt.Sprint(r.Objects), fmt.Sprint(r.Observations),
+				f1(r.IndexKMsgs), fmt.Sprint(r.IndexedEntries), f1(r.MeanHops))
 		}
 	case "triangle":
 		rows, err := experiments.AblationTriangle(scale)

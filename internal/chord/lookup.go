@@ -124,12 +124,11 @@ func (n *Node) lookup(key ids.ID) (LookupResult, error) {
 // list and fingers, excluding known-dead nodes.
 func (n *Node) detour(key ids.ID, dead map[transport.Addr]bool) (NodeRef, error) {
 	n.mu.RLock()
-	cands := make([]NodeRef, 0, len(n.successors)+8)
-	for i := ids.Bits - 1; i >= 0; i-- {
-		if f := n.fingers[i]; !f.IsZero() {
-			cands = append(cands, f)
-		}
-	}
+	cands := make([]NodeRef, 0, len(n.successors)+len(n.fingers.ref))
+	n.fingers.descend(func(f NodeRef) bool {
+		cands = append(cands, f)
+		return true
+	})
 	cands = append(cands, n.successors...)
 	n.mu.RUnlock()
 

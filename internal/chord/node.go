@@ -56,7 +56,7 @@ type Node struct {
 	mu         sync.RWMutex
 	pred       NodeRef
 	successors []NodeRef // successors[0] is the immediate successor
-	fingers    [ids.Bits]NodeRef
+	fingers    fingerTable
 	nextFinger int
 	observer   Observer
 	appHandler transport.Handler
@@ -239,14 +239,16 @@ func (n *Node) closestPreceding(key ids.ID) closestPrecedingResp {
 		return closestPrecedingResp{Node: succ, Done: true}
 	}
 	// Scan fingers from the top for the closest node in (self, key).
-	for i := ids.Bits - 1; i >= 0; i-- {
-		f := n.fingers[i]
-		if f.IsZero() {
-			continue
-		}
+	var hit NodeRef
+	n.fingers.descend(func(f NodeRef) bool {
 		if ids.Between(f.ID, n.self.ID, key) {
-			return closestPrecedingResp{Node: f}
+			hit = f
+			return false
 		}
+		return true
+	})
+	if !hit.IsZero() {
+		return closestPrecedingResp{Node: hit}
 	}
 	// Successor list as a fallback routing table.
 	for i := len(n.successors) - 1; i >= 0; i-- {
@@ -306,11 +308,7 @@ func (n *Node) handleLeave(r leaveReq) {
 		}
 		n.successors = succs
 		// Purge the leaver from fingers.
-		for i := range n.fingers {
-			if n.fingers[i].Equal(r.Leaver) {
-				n.fingers[i] = NodeRef{}
-			}
-		}
+		n.fingers.purge(r.Leaver)
 	}
 	n.mu.Unlock()
 	if predChanged && obs != nil {

@@ -81,6 +81,13 @@ func BuildStaticRing(net transport.Network, addrs []transport.Addr, cfg Config) 
 
 // WireStaticRing sets exact routing state on the given nodes and sorts
 // them by identifier in place.
+//
+// Successor lists are sub-sliced out of one shared arena (one
+// allocation for the whole ring instead of one per node), and finger
+// tables are built run-length encoded with a monotone scan: the finger
+// starts self+2^f increase with f and wrap past the ring top at most
+// once, so a single advancing pointer over the sorted refs replaces
+// ids.Bits binary searches per node. Both matter at XL ring sizes.
 func WireStaticRing(nodes []*Node) {
 	SortByID(nodes)
 	m := len(nodes)
@@ -88,6 +95,18 @@ func WireStaticRing(nodes []*Node) {
 	for i, n := range nodes {
 		refs[i] = n.Self()
 	}
+	var arena []NodeRef
+	if m > 1 {
+		sl := nodes[0].cfg.SuccessorListLen
+		if sl > m-1 {
+			sl = m - 1
+		}
+		arena = make([]NodeRef, 0, m*sl)
+	}
+	// Scratch run buffers reused across nodes; each node copies out an
+	// exactly-sized table.
+	scratchLo := make([]uint8, 0, 64)
+	scratchRef := make([]NodeRef, 0, 64)
 	for i, n := range nodes {
 		n.mu.Lock()
 		n.pred = refs[(i-1+m)%m]
@@ -101,15 +120,37 @@ func WireStaticRing(nodes []*Node) {
 		if m == 1 {
 			n.successors = []NodeRef{n.self}
 		} else {
-			n.successors = make([]NodeRef, 0, sl)
+			base := len(arena)
 			for k := 1; k <= sl; k++ {
-				n.successors = append(n.successors, refs[(i+k)%m])
+				arena = append(arena, refs[(i+k)%m])
 			}
+			n.successors = arena[base:len(arena):len(arena)]
 		}
+		scratchLo, scratchRef = scratchLo[:0], scratchRef[:0]
+		prev := n.self.ID.AddPow2(0)
+		// Raw insertion point (may be m, meaning wrap): the monotone
+		// scan below applies the wrap itself.
+		j := sort.Search(m, func(k int) bool { return refs[k].ID.Cmp(prev) >= 0 })
 		for f := 0; f < ids.Bits; f++ {
 			start := n.self.ID.AddPow2(f)
-			n.fingers[f] = refs[successorIndex(refs, start)]
+			if start.Cmp(prev) < 0 {
+				j = 0 // wrapped past the ring top; restart at the smallest id
+			}
+			for j < m && refs[j].ID.Cmp(start) < 0 {
+				j++
+			}
+			idx := j
+			if idx == m {
+				idx = 0
+			}
+			r := refs[idx]
+			if len(scratchRef) == 0 || !scratchRef[len(scratchRef)-1].Equal(r) {
+				scratchLo = append(scratchLo, uint8(f))
+				scratchRef = append(scratchRef, r)
+			}
+			prev = start
 		}
+		n.fingers.replace(scratchLo, scratchRef)
 		n.mu.Unlock()
 	}
 }

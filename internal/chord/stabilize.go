@@ -119,7 +119,7 @@ func (n *Node) Stabilize() error {
 
 	n.mu.Lock()
 	n.successors = newList
-	n.fingers[0] = succ // finger[0] is by definition the successor
+	n.fingers.set(0, succ) // finger[0] is by definition the successor
 	n.mu.Unlock()
 
 	if !succ.Equal(n.self) {
@@ -148,8 +148,8 @@ func (n *Node) FixFingers() error {
 		return err
 	}
 	n.mu.Lock()
-	repaired := !n.fingers[i].Equal(res.Node)
-	n.fingers[i] = res.Node
+	repaired := !n.fingers.get(i).Equal(res.Node)
+	n.fingers.set(i, res.Node)
 	n.mu.Unlock()
 	if repaired {
 		n.tel.repairs.Inc()

@@ -59,8 +59,8 @@ func (p *Peer) Inventory() []moods.ObjectID {
 	p.repo.mu.RLock()
 	defer p.repo.mu.RUnlock()
 	out := make([]moods.ObjectID, 0, len(p.repo.visits))
-	for obj, vs := range p.repo.visits {
-		if len(vs) > 0 && vs[len(vs)-1].To == "" {
+	for obj, slot := range p.repo.visits {
+		if slot.latest().To == "" {
 			out = append(out, obj)
 		}
 	}
@@ -73,8 +73,8 @@ func (p *Peer) InventoryCount() int {
 	p.repo.mu.RLock()
 	defer p.repo.mu.RUnlock()
 	n := 0
-	for _, vs := range p.repo.visits {
-		if len(vs) > 0 && vs[len(vs)-1].To == "" {
+	for _, slot := range p.repo.visits {
+		if slot.latest().To == "" {
 			n++
 		}
 	}

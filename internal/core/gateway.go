@@ -26,76 +26,143 @@ func (e IndexEntry) wireSize() int {
 }
 
 // bucket holds the index records of one prefix group at its gateway
-// node, with FIFO order for α-delegation and a delegation marker that
-// bounds Data Triangle descent.
+// node. Entries live in a single slab slice in insertion (FIFO) order —
+// the order α-delegation evicts in — with a side index from hashed id
+// to slab slot. Removals tombstone the slot (zero Object); the slab is
+// compacted once tombstones outnumber live entries. Compared to a
+// map[ids.ID]*IndexEntry plus a separate fifo slice, the slab stores
+// entries contiguously with no per-entry heap object, which is what
+// makes multi-million-object gateways fit in memory at Scale.XL.
 type bucket struct {
-	prefix  ids.Prefix
-	entries map[ids.ID]*IndexEntry
-	fifo    []ids.ID // insertion order; may contain stale ids, filtered on use
+	prefix ids.Prefix
+	idx    map[ids.ID]int32 // hashed id → slot in slab
+	slab   []IndexEntry     // FIFO order; dead slots have empty Object
+	dead   int
 	// delegated is true once any record was pushed down to a child,
 	// telling lookups and refreshes that descendants may hold records.
 	delegated bool
 }
 
 func newBucket(p ids.Prefix) *bucket {
-	return &bucket{prefix: p, entries: make(map[ids.ID]*IndexEntry)}
+	return &bucket{prefix: p, idx: make(map[ids.ID]int32)}
 }
 
 func (b *bucket) upsert(e IndexEntry) {
-	if _, exists := b.entries[e.ID]; !exists {
-		b.fifo = append(b.fifo, e.ID)
+	if slot, exists := b.idx[e.ID]; exists {
+		b.slab[slot] = e // update in place, keeping FIFO position
+		return
 	}
-	cp := e
-	b.entries[e.ID] = &cp
+	b.idx[e.ID] = int32(len(b.slab))
+	b.slab = append(b.slab, e)
 }
 
-// oldest returns up to n entry values in FIFO (earliest-indexed) order,
-// compacting stale fifo ids as a side effect.
+func (b *bucket) get(id ids.ID) (IndexEntry, bool) {
+	slot, ok := b.idx[id]
+	if !ok {
+		return IndexEntry{}, false
+	}
+	return b.slab[slot], true
+}
+
+func (b *bucket) remove(id ids.ID) {
+	slot, ok := b.idx[id]
+	if !ok {
+		return
+	}
+	b.slab[slot] = IndexEntry{} // release string references
+	delete(b.idx, id)
+	b.dead++
+	if b.dead > len(b.idx) && b.dead >= 32 {
+		b.compact()
+	}
+}
+
+// compact rewrites the slab without tombstones, preserving FIFO order.
+func (b *bucket) compact() {
+	w := 0
+	for r := range b.slab {
+		if b.slab[r].Object == "" {
+			continue
+		}
+		b.slab[w] = b.slab[r]
+		b.idx[b.slab[w].ID] = int32(w)
+		w++
+	}
+	for r := w; r < len(b.slab); r++ {
+		b.slab[r] = IndexEntry{}
+	}
+	b.slab = b.slab[:w]
+	b.dead = 0
+}
+
+// oldest returns up to n entry values in FIFO (earliest-indexed) order.
 func (b *bucket) oldest(n int) []IndexEntry {
 	out := make([]IndexEntry, 0, n)
-	w := 0
-	for _, id := range b.fifo {
-		if _, ok := b.entries[id]; ok {
-			b.fifo[w] = id
-			w++
-		}
-	}
-	b.fifo = b.fifo[:w]
-	for _, id := range b.fifo {
+	for _, e := range b.slab {
 		if len(out) >= n {
 			break
 		}
-		out = append(out, *b.entries[id])
+		if e.Object != "" {
+			out = append(out, e)
+		}
 	}
 	return out
 }
 
-func (b *bucket) remove(id ids.ID) {
-	delete(b.entries, id)
+// individualKey is the packed bucket key for per-object records of
+// individual-indexing mode. ids.NoPrefixKey is not a valid prefix
+// encoding and sorts after every real prefix key — the same relative
+// order the old "@individual" string key had among binary strings.
+const individualKey = ids.NoPrefixKey
+
+// bucketKeyName renders a packed bucket key in the exported string form
+// (binary prefix string, or the individual-bucket name).
+func bucketKeyName(k ids.PrefixKey) string {
+	if k == individualKey {
+		return individualBucket
+	}
+	return k.String()
+}
+
+// parseBucketKey is the inverse of bucketKeyName.
+func parseBucketKey(s string) (ids.PrefixKey, error) {
+	if s == individualBucket {
+		return individualKey, nil
+	}
+	p, err := ids.ParsePrefix(s)
+	if err != nil {
+		return 0, err
+	}
+	return p.Key(), nil
 }
 
 // gatewayStore is the per-node storage for every prefix bucket (and,
-// under individual indexing, per-object records modelled as
-// full-length-prefix buckets) this node is the gateway of.
+// under individual indexing, per-object records in one dedicated
+// bucket) this node is the gateway of. Buckets are keyed by the packed
+// ids.PrefixKey — one word to hash and compare instead of a heap
+// string.
 type gatewayStore struct {
 	mu      sync.RWMutex
-	buckets map[string]*bucket // key: prefix binary string
+	buckets map[ids.PrefixKey]*bucket
 }
 
 func newGatewayStore() *gatewayStore {
-	return &gatewayStore{buckets: make(map[string]*bucket)}
+	return &gatewayStore{}
 }
 
 // bucketFor returns the bucket for prefix p, creating it if needed.
 func (g *gatewayStore) bucketFor(p ids.Prefix) *bucket {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	return g.bucketLocked(p.String(), p)
+	return g.bucketLocked(p.Key(), p)
 }
 
-func (g *gatewayStore) bucketLocked(key string, p ids.Prefix) *bucket {
+func (g *gatewayStore) bucketLocked(key ids.PrefixKey, p ids.Prefix) *bucket {
 	b, ok := g.buckets[key]
 	if !ok {
+		if g.buckets == nil {
+			g.buckets = make(map[ids.PrefixKey]*bucket)
+		}
 		b = newBucket(p)
 		g.buckets[key] = b
 	}
@@ -104,55 +171,51 @@ func (g *gatewayStore) bucketLocked(key string, p ids.Prefix) *bucket {
 
 // upsertKeyed inserts or updates an entry in the bucket with an
 // explicit key (the individual-indexing bucket).
-func (g *gatewayStore) upsertKeyed(key string, e IndexEntry) {
+func (g *gatewayStore) upsertKeyed(key ids.PrefixKey, e IndexEntry) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	g.bucketLocked(key, ids.Prefix{}).upsert(e)
 }
 
-// peek returns the bucket for prefix p or nil, without creating it.
-func (g *gatewayStore) peek(p string) *bucket {
+// peek returns the bucket for key or nil, without creating it.
+func (g *gatewayStore) peek(key ids.PrefixKey) *bucket {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
-	return g.buckets[p]
+	return g.buckets[key]
 }
 
 // upsert inserts or updates an entry in the bucket of prefix p.
 func (g *gatewayStore) upsert(p ids.Prefix, e IndexEntry) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	g.bucketLocked(p.String(), p).upsert(e)
+	g.bucketLocked(p.Key(), p).upsert(e)
 }
 
-// lookup finds an entry for object id in the bucket of prefix p.
-func (g *gatewayStore) lookup(p string, id ids.ID) (IndexEntry, bool) {
+// lookup finds an entry for object id in the bucket keyed key.
+func (g *gatewayStore) lookup(key ids.PrefixKey, id ids.ID) (IndexEntry, bool) {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
-	b := g.buckets[p]
+	b := g.buckets[key]
 	if b == nil {
 		return IndexEntry{}, false
 	}
-	e, ok := b.entries[id]
-	if !ok {
-		return IndexEntry{}, false
-	}
-	return *e, true
+	return b.get(id)
 }
 
 // take removes and returns the entries for the given object ids in the
-// bucket of prefix p (move semantics for refresh), plus the bucket's
+// bucket keyed key (move semantics for refresh), plus the bucket's
 // delegated flag.
-func (g *gatewayStore) take(p string, objs []ids.ID) ([]IndexEntry, bool) {
+func (g *gatewayStore) take(key ids.PrefixKey, objs []ids.ID) ([]IndexEntry, bool) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	b := g.buckets[p]
+	b := g.buckets[key]
 	if b == nil {
 		return nil, false
 	}
 	var out []IndexEntry
 	for _, id := range objs {
-		if e, ok := b.entries[id]; ok {
-			out = append(out, *e)
+		if e, ok := b.get(id); ok {
+			out = append(out, e)
 			b.remove(id)
 		}
 	}
@@ -161,17 +224,17 @@ func (g *gatewayStore) take(p string, objs []ids.ID) ([]IndexEntry, bool) {
 
 // query returns copies of the entries for the given object ids without
 // removing them, plus the delegated flag.
-func (g *gatewayStore) query(p string, objs []ids.ID) ([]IndexEntry, bool) {
+func (g *gatewayStore) query(key ids.PrefixKey, objs []ids.ID) ([]IndexEntry, bool) {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
-	b := g.buckets[p]
+	b := g.buckets[key]
 	if b == nil {
 		return nil, false
 	}
 	var out []IndexEntry
 	for _, id := range objs {
-		if e, ok := b.entries[id]; ok {
-			out = append(out, *e)
+		if e, ok := b.get(id); ok {
+			out = append(out, e)
 		}
 	}
 	return out, b.delegated
@@ -183,81 +246,73 @@ func (g *gatewayStore) totalEntries() int {
 	defer g.mu.RUnlock()
 	n := 0
 	for _, b := range g.buckets {
-		n += len(b.entries)
+		n += len(b.idx)
 	}
 	return n
 }
 
-// bucketKeys returns all bucket keys currently present (binary prefix
-// strings plus the individual bucket key), sorted so migration and
-// refresh sweeps visit buckets in a seed-independent order.
-func (g *gatewayStore) bucketKeys() []string {
+// bucketKeys returns all bucket keys currently present, sorted so
+// migration and refresh sweeps visit buckets in a seed-independent
+// order. Numeric PrefixKey order equals the lexicographic order of the
+// old string keys (with the individual bucket last), so sweep order is
+// unchanged by the packed representation.
+func (g *gatewayStore) bucketKeys() []ids.PrefixKey {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
-	out := make([]string, 0, len(g.buckets))
+	out := make([]ids.PrefixKey, 0, len(g.buckets))
 	for k := range g.buckets {
 		out = append(out, k)
 	}
-	sort.Strings(out)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
-// drain removes and returns all entries of the bucket with prefix p,
-// used by split/merge migration. The emptied bucket is deleted.
-func (g *gatewayStore) drain(p string) []IndexEntry {
+// drain removes and returns all entries of the bucket keyed key, in
+// FIFO order, used by split/merge migration. The emptied bucket is
+// deleted.
+func (g *gatewayStore) drain(key ids.PrefixKey) []IndexEntry {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	b := g.buckets[p]
+	b := g.buckets[key]
 	if b == nil {
 		return nil
 	}
-	out := make([]IndexEntry, 0, len(b.entries))
-	for _, id := range b.fifo {
-		if e, ok := b.entries[id]; ok {
-			out = append(out, *e)
-			delete(b.entries, id)
+	out := make([]IndexEntry, 0, len(b.idx))
+	for _, e := range b.slab {
+		if e.Object != "" {
+			out = append(out, e)
 		}
 	}
-	// Entries that somehow missed the fifo (defensive). Sorted by
-	// object so the migration message is deterministic even on this
-	// should-not-happen path.
-	rest := len(out)
-	for _, e := range b.entries {
-		out = append(out, *e)
-	}
-	sort.Slice(out[rest:], func(i, j int) bool {
-		return out[rest+i].Object < out[rest+j].Object
-	})
-	delete(g.buckets, p)
+	delete(g.buckets, key)
 	return out
 }
 
-// markDelegated flags the bucket of prefix p as having descendants.
-func (g *gatewayStore) markDelegated(p string) {
+// markDelegated flags the bucket keyed key as having descendants.
+func (g *gatewayStore) markDelegated(key ids.PrefixKey) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	if b := g.buckets[p]; b != nil {
+	if b := g.buckets[key]; b != nil {
 		b.delegated = true
 	}
 }
 
-// delegable returns up to n FIFO-earliest entries of bucket p without
+// delegable returns up to n FIFO-earliest entries of the bucket without
 // removing them; the caller removes them after a successful push.
-func (g *gatewayStore) delegable(p string, n int) []IndexEntry {
+func (g *gatewayStore) delegable(key ids.PrefixKey, n int) []IndexEntry {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	b := g.buckets[p]
+	b := g.buckets[key]
 	if b == nil {
 		return nil
 	}
 	return b.oldest(n)
 }
 
-// removeAll deletes the given object ids from bucket p.
-func (g *gatewayStore) removeAll(p string, objs []ids.ID) {
+// removeAll deletes the given object ids from the bucket keyed key.
+func (g *gatewayStore) removeAll(key ids.PrefixKey, objs []ids.ID) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	b := g.buckets[p]
+	b := g.buckets[key]
 	if b == nil {
 		return
 	}

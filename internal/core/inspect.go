@@ -39,13 +39,7 @@ func (p *Peer) DumpReplicas() []BucketSnapshot { return p.replica.dump() }
 // DumpVisits returns a copy of this peer's local repository: every
 // object it has observed with the stitched IOP links.
 func (p *Peer) DumpVisits() map[moods.ObjectID][]VisitRecord {
-	p.repo.mu.RLock()
-	defer p.repo.mu.RUnlock()
-	out := make(map[moods.ObjectID][]VisitRecord, len(p.repo.visits))
-	for obj, vs := range p.repo.visits {
-		out[obj] = append([]VisitRecord(nil), vs...)
-	}
-	return out
+	return p.repo.snapshot()
 }
 
 // MaxDescent returns the configured Data Triangle descent bound.
@@ -63,7 +57,7 @@ func (p *Peer) Replicas() int { return p.cfg.Replicas }
 // the checker catches them; production code must never call it.
 func (p *Peer) InjectIndexEntry(bucketKey string, e IndexEntry) {
 	if bucketKey == individualBucket {
-		p.gw.upsertKeyed(individualBucket, e)
+		p.gw.upsertKeyed(individualKey, e)
 		return
 	}
 	pfx, err := ids.ParsePrefix(bucketKey)
@@ -76,7 +70,11 @@ func (p *Peer) InjectIndexEntry(bucketKey string, e IndexEntry) {
 // RemoveIndexEntry deletes an index record from a bucket, bypassing the
 // protocol (test hook, see InjectIndexEntry).
 func (p *Peer) RemoveIndexEntry(bucketKey string, id ids.ID) {
-	p.gw.removeAll(bucketKey, []ids.ID{id})
+	key, err := parseBucketKey(bucketKey)
+	if err != nil {
+		return
+	}
+	p.gw.removeAll(key, []ids.ID{id})
 }
 
 // OverlayKind reports which DHT the network runs on.
@@ -89,14 +87,16 @@ func (g *gatewayStore) dump() []BucketSnapshot {
 	out := make([]BucketSnapshot, 0, len(g.buckets))
 	for key, b := range g.buckets {
 		snap := BucketSnapshot{
-			Key:        key,
+			Key:        bucketKeyName(key),
 			Prefix:     b.prefix,
-			Individual: key == individualBucket,
+			Individual: key == individualKey,
 			Delegated:  b.delegated,
-			Entries:    make([]IndexEntry, 0, len(b.entries)),
+			Entries:    make([]IndexEntry, 0, len(b.idx)),
 		}
-		for _, e := range b.entries {
-			snap.Entries = append(snap.Entries, *e)
+		for _, e := range b.slab {
+			if e.Object != "" {
+				snap.Entries = append(snap.Entries, e)
+			}
 		}
 		sort.Slice(snap.Entries, func(i, j int) bool {
 			return snap.Entries[i].ID.Less(snap.Entries[j].ID)

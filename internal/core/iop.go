@@ -20,28 +20,66 @@ type VisitRecord struct {
 	To      moods.NodeName // where the object left to; "" = still here / unknown
 }
 
+// visitRec is a VisitRecord without the Object field: inside the store
+// the object id is the map key, so repeating it per visit would waste a
+// string header per record.
+type visitRec struct {
+	Arrived time.Duration
+	From    moods.NodeName
+	To      moods.NodeName
+}
+
+// visitSlot holds one object's visits in time order. The earliest visit
+// is inline: most objects are seen at only one or two nodes, so the
+// common case stores no per-object slice at all.
+type visitSlot struct {
+	first visitRec
+	rest  []visitRec // visits after first, sorted by Arrived; nil if none
+}
+
 // iopStore is a node's local repository: the information-flow segments
 // captured inside its own territory, with their IOP links.
 type iopStore struct {
 	mu     sync.RWMutex
-	visits map[moods.ObjectID][]VisitRecord // sorted by Arrived
+	visits map[moods.ObjectID]visitSlot
 	n      int
 }
 
 func newIOPStore() *iopStore {
-	return &iopStore{visits: make(map[moods.ObjectID][]VisitRecord)}
+	return &iopStore{}
+}
+
+func (s *iopStore) slotFor(obj moods.ObjectID, v visitRec) {
+	if s.visits == nil {
+		s.visits = make(map[moods.ObjectID]visitSlot)
+	}
+	s.visits[obj] = visitSlot{first: v}
+	s.n++
 }
 
 // record adds a local capture (From/To unknown yet).
 func (s *iopStore) record(obj moods.ObjectID, arrived time.Duration) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	vs := s.visits[obj]
-	i := sort.Search(len(vs), func(i int) bool { return vs[i].Arrived > arrived })
-	vs = append(vs, VisitRecord{})
-	copy(vs[i+1:], vs[i:])
-	vs[i] = VisitRecord{Object: obj, Arrived: arrived}
-	s.visits[obj] = vs
+	slot, ok := s.visits[obj]
+	nv := visitRec{Arrived: arrived}
+	if !ok {
+		s.slotFor(obj, nv)
+		return
+	}
+	if arrived < slot.first.Arrived {
+		// New earliest visit: the old first moves to the front of rest.
+		slot.rest = append(slot.rest, visitRec{})
+		copy(slot.rest[1:], slot.rest)
+		slot.rest[0] = slot.first
+		slot.first = nv
+	} else {
+		i := sort.Search(len(slot.rest), func(i int) bool { return slot.rest[i].Arrived > arrived })
+		slot.rest = append(slot.rest, visitRec{})
+		copy(slot.rest[i+1:], slot.rest[i:])
+		slot.rest[i] = nv
+	}
+	s.visits[obj] = slot
 	s.n++
 }
 
@@ -50,51 +88,107 @@ func (s *iopStore) record(obj moods.ObjectID, arrived time.Duration) {
 func (s *iopStore) setFrom(obj moods.ObjectID, from moods.NodeName, at time.Duration) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	vs := s.visits[obj]
-	if len(vs) == 0 {
+	slot, ok := s.visits[obj]
+	if !ok {
 		// The IOP link can arrive before the local capture record in a
 		// real network; create the visit so the link is not lost.
-		s.visits[obj] = []VisitRecord{{Object: obj, Arrived: at, From: from}}
-		s.n++
+		s.slotFor(obj, visitRec{Arrived: at, From: from})
 		return
 	}
-	for i := len(vs) - 1; i >= 0; i-- {
-		if vs[i].Arrived == at {
-			vs[i].From = from
+	for i := len(slot.rest) - 1; i >= 0; i-- {
+		if slot.rest[i].Arrived == at {
+			slot.rest[i].From = from
 			return
 		}
 	}
-	vs[len(vs)-1].From = from
+	if slot.first.Arrived == at {
+		slot.first.From = from
+		s.visits[obj] = slot
+		return
+	}
+	if n := len(slot.rest); n > 0 {
+		slot.rest[n-1].From = from
+	} else {
+		slot.first.From = from
+		s.visits[obj] = slot
+	}
 }
 
-// setTo annotates the latest visit with the destination node the object
-// moved on to.
+// setTo annotates the latest visit that started at or before the
+// departure with the destination node the object moved on to.
 func (s *iopStore) setTo(obj moods.ObjectID, to moods.NodeName, at time.Duration) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	vs := s.visits[obj]
-	if len(vs) == 0 {
+	slot, ok := s.visits[obj]
+	if !ok {
 		return
 	}
-	// Annotate the latest visit that started before the departure.
-	for i := len(vs) - 1; i >= 0; i-- {
-		if vs[i].Arrived <= at {
-			vs[i].To = to
+	for i := len(slot.rest) - 1; i >= 0; i-- {
+		if slot.rest[i].Arrived <= at {
+			slot.rest[i].To = to
 			return
 		}
 	}
-	vs[len(vs)-1].To = to
+	if slot.first.Arrived <= at {
+		slot.first.To = to
+		s.visits[obj] = slot
+		return
+	}
+	if n := len(slot.rest); n > 0 {
+		slot.rest[n-1].To = to
+	} else {
+		slot.first.To = to
+		s.visits[obj] = slot
+	}
 }
 
 // get returns copies of the visits of obj, time-sorted.
 func (s *iopStore) get(obj moods.ObjectID) ([]VisitRecord, bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	vs, ok := s.visits[obj]
+	slot, ok := s.visits[obj]
 	if !ok {
 		return nil, false
 	}
-	return append([]VisitRecord(nil), vs...), true
+	return slot.materialize(obj), true
+}
+
+// latest returns the newest visit of the slot.
+func (v visitSlot) latest() visitRec {
+	if n := len(v.rest); n > 0 {
+		return v.rest[n-1]
+	}
+	return v.first
+}
+
+func (v visitSlot) materialize(obj moods.ObjectID) []VisitRecord {
+	out := make([]VisitRecord, 0, 1+len(v.rest))
+	out = append(out, VisitRecord{Object: obj, Arrived: v.first.Arrived, From: v.first.From, To: v.first.To})
+	for _, r := range v.rest {
+		out = append(out, VisitRecord{Object: obj, Arrived: r.Arrived, From: r.From, To: r.To})
+	}
+	return out
+}
+
+// arrivedAtOrBefore returns the arrival time of the latest visit of obj
+// that started at or before at — the dwell anchor for departure
+// recording — without materializing the visit list.
+func (s *iopStore) arrivedAtOrBefore(obj moods.ObjectID, at time.Duration) (time.Duration, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	slot, ok := s.visits[obj]
+	if !ok {
+		return 0, false
+	}
+	for i := len(slot.rest) - 1; i >= 0; i-- {
+		if slot.rest[i].Arrived <= at {
+			return slot.rest[i].Arrived, true
+		}
+	}
+	if slot.first.Arrived <= at {
+		return slot.first.Arrived, true
+	}
+	return 0, false
 }
 
 // has reports whether this node has observed obj.
@@ -117,4 +211,38 @@ func (s *iopStore) objects() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return len(s.visits)
+}
+
+// snapshot materializes every object's visit list (persistence).
+func (s *iopStore) snapshot() map[moods.ObjectID][]VisitRecord {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[moods.ObjectID][]VisitRecord, len(s.visits))
+	for obj, slot := range s.visits {
+		out[obj] = slot.materialize(obj)
+	}
+	return out
+}
+
+// restore replaces the store contents from a snapshot (visit lists must
+// be time-sorted, as snapshot produces them).
+func (s *iopStore) restore(m map[moods.ObjectID][]VisitRecord) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.visits = make(map[moods.ObjectID]visitSlot, len(m))
+	s.n = 0
+	for obj, vs := range m {
+		if len(vs) == 0 {
+			continue
+		}
+		slot := visitSlot{first: visitRec{Arrived: vs[0].Arrived, From: vs[0].From, To: vs[0].To}}
+		if len(vs) > 1 {
+			slot.rest = make([]visitRec, 0, len(vs)-1)
+			for _, v := range vs[1:] {
+				slot.rest = append(slot.rest, visitRec{Arrived: v.Arrived, From: v.From, To: v.To})
+			}
+		}
+		s.visits[obj] = slot
+		s.n += len(vs)
+	}
 }

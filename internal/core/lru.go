@@ -1,0 +1,155 @@
+package core
+
+import (
+	"peertrack/internal/ids"
+	"peertrack/internal/overlay"
+)
+
+// refCache is a fixed-capacity LRU map from packed prefix-group key to
+// resolved gateway reference. Entries live in a slot arena threaded by
+// an intrusive doubly-linked recency list, so the cache costs one map
+// and one slice regardless of churn — no per-entry heap nodes, and the
+// peer's memory for cached resolutions is bounded no matter how many
+// distinct prefixes it ever contacts.
+type refCache struct {
+	cap   int
+	index map[ids.PrefixKey]int32
+	slots []refSlot
+	head  int32 // most recently used; -1 when empty
+	tail  int32 // least recently used; -1 when empty
+}
+
+type refSlot struct {
+	key        ids.PrefixKey
+	ref        overlay.NodeRef
+	prev, next int32 // recency list neighbours; -1 terminates
+}
+
+func newRefCache(capacity int) *refCache {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &refCache{
+		cap:   capacity,
+		index: make(map[ids.PrefixKey]int32),
+		head:  -1,
+		tail:  -1,
+	}
+}
+
+func (c *refCache) len() int { return len(c.index) }
+
+// get returns the cached reference for key and marks it most recently
+// used.
+func (c *refCache) get(key ids.PrefixKey) (overlay.NodeRef, bool) {
+	i, ok := c.index[key]
+	if !ok {
+		return overlay.NodeRef{}, false
+	}
+	c.touch(i)
+	return c.slots[i].ref, true
+}
+
+// put inserts or refreshes a resolution, evicting the least recently
+// used entry at capacity.
+func (c *refCache) put(key ids.PrefixKey, ref overlay.NodeRef) {
+	if i, ok := c.index[key]; ok {
+		c.slots[i].ref = ref
+		c.touch(i)
+		return
+	}
+	var i int32
+	if len(c.slots) < c.cap {
+		i = int32(len(c.slots))
+		c.slots = append(c.slots, refSlot{})
+	} else {
+		// Reuse the LRU slot.
+		i = c.tail
+		c.unlink(i)
+		delete(c.index, c.slots[i].key)
+	}
+	c.slots[i] = refSlot{key: key, ref: ref, prev: -1, next: -1}
+	c.index[key] = i
+	c.pushFront(i)
+}
+
+// remove drops key from the cache if present (stale resolution).
+func (c *refCache) remove(key ids.PrefixKey) {
+	i, ok := c.index[key]
+	if !ok {
+		return
+	}
+	c.unlink(i)
+	delete(c.index, key)
+	// The slot stays allocated and is reused by a future eviction-free
+	// put only after the arena refills; mark it empty for clarity.
+	c.slots[i] = refSlot{prev: -1, next: -1}
+	// Reclaim the slot immediately: swap the arena's last slot into i so
+	// len(slots) keeps matching the live-entry count.
+	last := int32(len(c.slots) - 1)
+	if i != last {
+		moved := c.slots[last]
+		c.relink(last, i)
+		c.slots[i] = moved
+		c.index[moved.key] = i
+	}
+	c.slots = c.slots[:last]
+}
+
+// relink updates the neighbours (and head/tail) of the slot moving from
+// index from to index to. The slot contents are copied by the caller.
+func (c *refCache) relink(from, to int32) {
+	s := c.slots[from]
+	if s.prev >= 0 {
+		c.slots[s.prev].next = to
+	} else if c.head == from {
+		c.head = to
+	}
+	if s.next >= 0 {
+		c.slots[s.next].prev = to
+	} else if c.tail == from {
+		c.tail = to
+	}
+}
+
+// reset empties the cache, keeping capacity.
+func (c *refCache) reset() {
+	c.index = make(map[ids.PrefixKey]int32)
+	c.slots = c.slots[:0]
+	c.head, c.tail = -1, -1
+}
+
+func (c *refCache) touch(i int32) {
+	if c.head == i {
+		return
+	}
+	c.unlink(i)
+	c.pushFront(i)
+}
+
+func (c *refCache) unlink(i int32) {
+	s := &c.slots[i]
+	if s.prev >= 0 {
+		c.slots[s.prev].next = s.next
+	} else if c.head == i {
+		c.head = s.next
+	}
+	if s.next >= 0 {
+		c.slots[s.next].prev = s.prev
+	} else if c.tail == i {
+		c.tail = s.prev
+	}
+	s.prev, s.next = -1, -1
+}
+
+func (c *refCache) pushFront(i int32) {
+	s := &c.slots[i]
+	s.prev, s.next = -1, c.head
+	if c.head >= 0 {
+		c.slots[c.head].prev = i
+	}
+	c.head = i
+	if c.tail < 0 {
+		c.tail = i
+	}
+}

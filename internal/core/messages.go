@@ -35,18 +35,23 @@ func (r arriveReq) WireSize() int { return len(r.Event.Object) + len(r.Node) + 8
 // arriveResp acknowledges M1.
 type arriveResp struct{}
 
+// keyWireSize is the on-wire cost of a packed prefix-group key: prefix
+// bits and length travel in one 8-byte word (ids.PrefixKey) instead of
+// a binary character string.
+const keyWireSize = 8
+
 // groupArriveReq is the group-indexing message (Section IV-A2), format
 // (group id, (objects), timestamp): all objects of one prefix group that
 // arrived at Node within one capture window.
 type groupArriveReq struct {
-	Prefix string // binary prefix string, the group id
+	Key    ids.PrefixKey // packed group prefix, the group id
 	Events []ObjEvent
 	Node   moods.NodeName
 	At     time.Duration
 }
 
 func (r groupArriveReq) WireSize() int {
-	return len(r.Prefix) + len(r.Node) + 8 + sizeOfEvents(r.Events)
+	return keyWireSize + len(r.Node) + 8 + sizeOfEvents(r.Events)
 }
 
 // groupArriveResp acknowledges a group indexing message. Deferred
@@ -107,11 +112,11 @@ type iopSetFromResp struct{}
 // Used by refresh_from_ascent / refresh_from_descent to pull records to
 // the current gateway after Lp changes.
 type fetchIndexReq struct {
-	Prefix  string
+	Key     ids.PrefixKey
 	Objects []ids.ID
 }
 
-func (r fetchIndexReq) WireSize() int { return len(r.Prefix) + len(r.Objects)*ids.Bytes }
+func (r fetchIndexReq) WireSize() int { return keyWireSize + len(r.Objects)*ids.Bytes }
 
 type fetchIndexResp struct {
 	Entries []IndexEntry
@@ -131,12 +136,12 @@ func (r fetchIndexResp) WireSize() int {
 // delegateReq pushes index records from a Data Triangle parent to one of
 // its children (or, during split/merge, between old and new gateways).
 type delegateReq struct {
-	Prefix  string // the receiving bucket's prefix
+	Key     ids.PrefixKey // the receiving bucket's key
 	Entries []IndexEntry
 }
 
 func (r delegateReq) WireSize() int {
-	n := len(r.Prefix)
+	n := keyWireSize
 	for _, e := range r.Entries {
 		n += e.wireSize()
 	}
@@ -148,11 +153,11 @@ type delegateResp struct{}
 // queryIndexReq asks a gateway for the index records of the given
 // objects under prefix (read-only; the lookup path).
 type queryIndexReq struct {
-	Prefix  string
+	Key     ids.PrefixKey
 	Objects []ids.ID
 }
 
-func (r queryIndexReq) WireSize() int { return len(r.Prefix) + len(r.Objects)*ids.Bytes }
+func (r queryIndexReq) WireSize() int { return keyWireSize + len(r.Objects)*ids.Bytes }
 
 type queryIndexResp struct {
 	Entries   []IndexEntry

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"peertrack/internal/chord"
@@ -69,6 +70,11 @@ type NetworkConfig struct {
 	HopLatency time.Duration
 	// Overlay selects the DHT (default Chord).
 	Overlay OverlayKind
+	// NoOracle disables ground-truth recording. The oracle keeps a copy
+	// of every observation for verification; at Scale.XL (millions of
+	// objects) that copy dominates memory, and throughput measurements
+	// do not verify traces, so they turn it off.
+	NoOracle bool
 }
 
 func (c *NetworkConfig) fill() {
@@ -186,20 +192,46 @@ func (nw *Network) ScheduleObservation(obs moods.Observation) error {
 	if !ok {
 		return fmt.Errorf("core: unknown node %q", obs.Node)
 	}
-	nw.Oracle.Record(obs)
+	if !nw.cfg.NoOracle {
+		nw.Oracle.Record(obs)
+	}
 	nw.Kernel.At(obs.At, func() {
 		p.Observe(obs) // indexing errors surface via stats failures
 	})
 	return nil
 }
 
-// ScheduleAll schedules a batch of observations.
+// ScheduleAll schedules a batch of observations through the kernel's
+// batch lane: one lane instead of one heap push per observation, which
+// is what keeps workload injection linear at XL scale. A stable sort by
+// capture time feeds the lane; ties keep slice order, so execution
+// order is identical to per-observation ScheduleObservation calls.
 func (nw *Network) ScheduleAll(obss []moods.Observation) error {
-	for _, o := range obss {
-		if err := nw.ScheduleObservation(o); err != nil {
-			return err
+	if len(obss) == 0 {
+		return nil
+	}
+	sorted := make([]moods.Observation, len(obss))
+	copy(sorted, obss)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].At < sorted[j].At })
+	peers := make([]*Peer, len(sorted))
+	times := make([]sim.Time, len(sorted))
+	for i, o := range sorted {
+		p, ok := nw.byName[o.Node]
+		if !ok {
+			return fmt.Errorf("core: unknown node %q", o.Node)
+		}
+		peers[i] = p
+		times[i] = o.At
+	}
+	if !nw.cfg.NoOracle {
+		// Record in the caller's order, as per-observation scheduling did.
+		for _, o := range obss {
+			nw.Oracle.Record(o)
 		}
 	}
+	nw.Kernel.Batch(times, func(i int) {
+		peers[i].Observe(sorted[i])
+	})
 	return nil
 }
 

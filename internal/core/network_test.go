@@ -100,8 +100,9 @@ func TestBrokenIOPChainReported(t *testing.T) {
 	// Corrupt: node 4's visit gets a From pointing at an uninvolved node.
 	p4 := nw.Peers()[4]
 	p4.repo.mu.Lock()
-	vs := p4.repo.visits[obj]
-	vs[0].From = nw.Peers()[9].Name()
+	slot := p4.repo.visits[obj]
+	slot.first.From = nw.Peers()[9].Name()
+	p4.repo.visits[obj] = slot
 	p4.repo.mu.Unlock()
 
 	_, err := nw.Peers()[0].FullTrace(obj)

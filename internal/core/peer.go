@@ -58,6 +58,11 @@ type Config struct {
 	// address of the parent and children can be cached to save the cost
 	// of DHT lookup"). Default true; disable for ablations.
 	NoGatewayCache bool
+	// GatewayCacheSize bounds the gateway-resolution cache (LRU): a peer
+	// never holds more than this many cached prefix→address entries, no
+	// matter how many distinct prefixes it contacts over its lifetime.
+	// Default 8192.
+	GatewayCacheSize int
 	// Replicas, when > 0, replicates every gateway index update to that
 	// many ring successors so the index survives gateway crashes (see
 	// replication.go). Default 0 (off), matching the paper's setup.
@@ -76,6 +81,9 @@ func (c *Config) fill() {
 	}
 	if c.MaxDescent <= 0 {
 		c.MaxDescent = 3
+	}
+	if c.GatewayCacheSize <= 0 {
+		c.GatewayCacheSize = 8192
 	}
 }
 
@@ -101,15 +109,18 @@ type Peer struct {
 	mu     sync.Mutex
 	window []moods.Observation
 
-	cacheMu sync.RWMutex
-	gwCache map[string]overlay.NodeRef // prefix string → gateway
+	// cacheMu guards gwCache, a bounded LRU of prefix→gateway
+	// resolutions (lazily created on first use). A plain mutex: LRU
+	// reads promote the entry, so they write too.
+	cacheMu sync.Mutex
+	gwCache *refCache
 
 	// lateMu guards lateTries: consecutive failed attempts to stitch a
 	// late-reported visit, keyed by (object, node, time). Bounded by
 	// lateStitchRetries so records lost with a departed node cannot
-	// defer an event forever.
+	// defer an event forever, and by maxLateTracked entries total.
 	lateMu    sync.Mutex
-	lateTries map[string]int
+	lateTries map[lateKey]int
 
 	// OnFlush, if set, is invoked after each window flush with the
 	// number of groups sent (test/metrics hook).
@@ -133,6 +144,9 @@ func NewPeer(node overlay.Node, net transport.Network, pm *PrefixManager, cfg Co
 	if clock == nil {
 		panic("core: NewPeer requires a clock (sim.Kernel.Now in simulation, a wall-clock closure for live nodes)")
 	}
+	// Store internals (bucket maps, visit maps, caches) are allocated
+	// lazily: at XL network sizes most peers never act as gateway for
+	// most stores, and seven eager map allocations per peer add up.
 	p := &Peer{
 		node:    node,
 		net:     net,
@@ -144,9 +158,6 @@ func NewPeer(node overlay.Node, net transport.Network, pm *PrefixManager, cfg Co
 		replica: newGatewayStore(),
 		trans:   newTransitionStats(),
 		contain: newContainStore(),
-		gwCache: make(map[string]overlay.NodeRef),
-
-		lateTries: make(map[string]int),
 	}
 	node.SetAppHandler(p.handleRPC)
 	return p
@@ -215,30 +226,32 @@ func (p *Peer) FlushWindow() error {
 	p.tel.buffered.Add(-int64(len(batch)))
 
 	// Group generation: two objects share a group iff their hashed ids
-	// share the first Lp bits.
+	// share the first Lp bits. Groups are keyed by the packed prefix
+	// word — no per-observation string allocation on the flush path.
 	lp := p.pm.Lp()
-	groups := make(map[string][]ObjEvent)
+	groups := make(map[ids.PrefixKey][]ObjEvent)
 	for _, obs := range batch {
-		prefix := ids.PrefixOf(obs.Object.Hash(), lp).String()
-		groups[prefix] = append(groups[prefix], ObjEvent{Object: obs.Object, Arrived: obs.At})
+		key := ids.KeyOf(obs.Object.Hash(), lp)
+		groups[key] = append(groups[key], ObjEvent{Object: obs.Object, Arrived: obs.At})
 	}
 
 	// Deterministic group order: fault injection draws randomness per
 	// call, so map-order iteration would make lossy runs unreproducible.
-	prefixes := make([]string, 0, len(groups))
-	for prefix := range groups {
-		prefixes = append(prefixes, prefix)
+	// Numeric key order equals the old lexicographic prefix-string order.
+	keys := make([]ids.PrefixKey, 0, len(groups))
+	for key := range groups {
+		keys = append(keys, key)
 	}
-	sort.Strings(prefixes)
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
 
 	var firstErr error
 	var failed []moods.Observation
-	for _, prefix := range prefixes {
-		events := groups[prefix]
-		pfx := ids.MustParsePrefix(prefix)
+	for _, key := range keys {
+		events := groups[key]
+		pfx := key.Prefix()
 		gwRef, err := p.resolveGateway(pfx)
 		if err == nil {
-			req := groupArriveReq{Prefix: prefix, Events: events, Node: p.Name(), At: p.clock()}
+			req := groupArriveReq{Key: key, Events: events, Node: p.Name(), At: p.clock()}
 			var resp any
 			resp, err = p.call(gwRef, req)
 			if err == nil {
@@ -254,11 +267,13 @@ func (p *Peer) FlushWindow() error {
 				}
 			}
 			if err != nil {
-				err = fmt.Errorf("core: group index %q at %s: %w", prefix, gwRef.Addr, err)
+				err = fmt.Errorf("core: group index %q at %s: %w", pfx.String(), gwRef.Addr, err)
 				// The resolution may be stale (churn); retry fresh next
 				// time.
 				p.cacheMu.Lock()
-				delete(p.gwCache, prefix)
+				if p.gwCache != nil {
+					p.gwCache.remove(key)
+				}
 				p.cacheMu.Unlock()
 			}
 		}
@@ -307,22 +322,27 @@ func (p *Peer) indexIndividually(obs moods.Observation) error {
 // resolveGateway finds the gateway node of a prefix group, using the
 // cache when enabled.
 func (p *Peer) resolveGateway(pfx ids.Prefix) (overlay.NodeRef, error) {
-	key := pfx.String()
+	key := pfx.Key()
 	if !p.cfg.NoGatewayCache {
-		p.cacheMu.RLock()
-		ref, ok := p.gwCache[key]
-		p.cacheMu.RUnlock()
-		if ok {
-			return ref, nil
+		p.cacheMu.Lock()
+		if p.gwCache != nil {
+			if ref, ok := p.gwCache.get(key); ok {
+				p.cacheMu.Unlock()
+				return ref, nil
+			}
 		}
+		p.cacheMu.Unlock()
 	}
 	res, err := p.node.Lookup(pfx.GatewayID())
 	if err != nil {
-		return overlay.NodeRef{}, fmt.Errorf("core: resolve gateway %q: %w", key, err)
+		return overlay.NodeRef{}, fmt.Errorf("core: resolve gateway %q: %w", pfx.String(), err)
 	}
 	if !p.cfg.NoGatewayCache {
 		p.cacheMu.Lock()
-		p.gwCache[key] = res.Node
+		if p.gwCache == nil {
+			p.gwCache = newRefCache(p.cfg.GatewayCacheSize)
+		}
+		p.gwCache.put(key, res.Node)
 		p.cacheMu.Unlock()
 	}
 	return res.Node, nil
@@ -332,8 +352,21 @@ func (p *Peer) resolveGateway(pfx ids.Prefix) (overlay.NodeRef, error) {
 // ring membership changes.
 func (p *Peer) InvalidateGatewayCache() {
 	p.cacheMu.Lock()
-	p.gwCache = make(map[string]overlay.NodeRef)
+	if p.gwCache != nil {
+		p.gwCache.reset()
+	}
 	p.cacheMu.Unlock()
+}
+
+// CachedGateways returns the number of live gateway-resolution cache
+// entries (test/metrics hook for the LRU bound).
+func (p *Peer) CachedGateways() int {
+	p.cacheMu.Lock()
+	defer p.cacheMu.Unlock()
+	if p.gwCache == nil {
+		return 0
+	}
+	return p.gwCache.len()
 }
 
 // call sends an application RPC, short-circuiting self-addressed
@@ -367,13 +400,8 @@ func (p *Peer) handleRPC(from transport.Addr, req any) (any, error) {
 			// Learn the outbound transition for prediction: dwell is
 			// the time between the closed visit's arrival and the
 			// departure now being recorded.
-			if vs, ok := p.repo.get(obj); ok {
-				for i := len(vs) - 1; i >= 0; i-- {
-					if vs[i].Arrived <= r.At {
-						p.trans.record(r.To, r.At-vs[i].Arrived)
-						break
-					}
-				}
+			if arrived, ok := p.repo.arrivedAtOrBefore(obj, r.At); ok {
+				p.trans.record(r.To, r.At-arrived)
 			}
 			p.repo.setTo(obj, r.To, r.At)
 		}
@@ -389,27 +417,27 @@ func (p *Peer) handleRPC(from transport.Addr, req any) (any, error) {
 		}
 		return iopSetFromResp{}, nil
 	case fetchIndexReq:
-		entries, delegated := p.gw.take(r.Prefix, r.Objects)
+		entries, delegated := p.gw.take(r.Key, r.Objects)
 		return fetchIndexResp{Entries: entries, Delegated: delegated}, nil
 	case queryIndexReq:
-		entries, delegated := p.queryWithReplica(r.Prefix, r.Objects)
+		entries, delegated := p.queryWithReplica(r.Key, r.Objects)
 		return queryIndexResp{Entries: entries, Delegated: delegated}, nil
 	case delegateReq:
-		if r.Prefix == individualBucket {
+		if r.Key == individualKey {
 			for _, e := range r.Entries {
-				p.mergeEntry(individualBucket, ids.Prefix{}, e)
+				p.mergeEntry(individualKey, ids.Prefix{}, e)
 			}
-			p.replicate(individualBucket, r.Entries)
+			p.replicate(individualKey, r.Entries)
 			return delegateResp{}, nil
 		}
-		pfx, err := ids.ParsePrefix(r.Prefix)
-		if err != nil {
-			return nil, fmt.Errorf("core: delegate: %w", err)
+		if r.Key.Len() > ids.MaxKeyLen {
+			return nil, fmt.Errorf("core: delegate: invalid prefix key %#x", uint64(r.Key))
 		}
+		pfx := r.Key.Prefix()
 		for _, e := range r.Entries {
-			p.mergeEntry(r.Prefix, pfx, e)
+			p.mergeEntry(r.Key, pfx, e)
 		}
-		p.replicate(r.Prefix, r.Entries)
+		p.replicate(r.Key, r.Entries)
 		return delegateResp{}, nil
 	case iopGetReq:
 		visits, found := p.repo.get(r.Object)
@@ -433,15 +461,15 @@ func (p *Peer) handleRPC(from transport.Addr, req any) (any, error) {
 // gatewayArrive processes M1 for one object (individual indexing).
 func (p *Peer) gatewayArrive(r arriveReq) {
 	id := r.Event.Object.Hash()
-	prev, had := p.lookupWithReplica(individualBucket, id)
+	prev, had := p.lookupWithReplica(individualKey, id)
 	switch {
 	case !had:
 		entry := IndexEntry{
 			Object: r.Event.Object, ID: id, Latest: r.Node,
 			Arrived: r.Event.Arrived, Indexed: p.clock(),
 		}
-		p.gw.upsertKeyed(individualBucket, entry)
-		p.replicate(individualBucket, []IndexEntry{entry})
+		p.gw.upsertKeyed(individualKey, entry)
+		p.replicate(individualKey, []IndexEntry{entry})
 	case r.Event.Arrived >= prev.Arrived:
 		entry := IndexEntry{
 			Object: r.Event.Object, ID: id, Latest: r.Node,
@@ -452,8 +480,8 @@ func (p *Peer) gatewayArrive(r arriveReq) {
 		} else {
 			entry.Prev = prev.Prev
 		}
-		p.gw.upsertKeyed(individualBucket, entry)
-		p.replicate(individualBucket, []IndexEntry{entry})
+		p.gw.upsertKeyed(individualKey, entry)
+		p.replicate(individualKey, []IndexEntry{entry})
 		if prev.Latest != r.Node {
 			// M2: tell the previous node the object moved on.
 			p.callAddr(transport.Addr(prev.Latest), iopSetToReq{
@@ -472,7 +500,7 @@ func (p *Peer) gatewayArrive(r arriveReq) {
 		// its chronological position without moving the index head.
 		// Individual indexing has no window to re-buffer into, so a
 		// deferred stitch is best-effort (retried only if re-reported).
-		p.stitchInsert(r.Event.Object, r.Node, prev, individualBucket, ids.Prefix{}, r.Event.Arrived)
+		p.stitchInsert(r.Event.Object, r.Node, prev, individualKey, ids.Prefix{}, r.Event.Arrived)
 	}
 }
 
@@ -483,15 +511,15 @@ func (p *Peer) gatewayArrive(r arriveReq) {
 // the two heads must be merged — the newer arrival stays the head, the
 // older becomes its predecessor, and the missing IOP links are
 // stitched.
-func (p *Peer) mergeEntry(bucketKey string, pfx ids.Prefix, e IndexEntry) {
+func (p *Peer) mergeEntry(key ids.PrefixKey, pfx ids.Prefix, e IndexEntry) {
 	upsert := func(v IndexEntry) {
-		if bucketKey == individualBucket {
-			p.gw.upsertKeyed(individualBucket, v)
+		if key == individualKey {
+			p.gw.upsertKeyed(individualKey, v)
 		} else {
 			p.gw.upsert(pfx, v)
 		}
 	}
-	cur, had := p.gw.lookup(bucketKey, e.ID)
+	cur, had := p.gw.lookup(key, e.ID)
 	if !had {
 		upsert(e)
 		return
@@ -521,12 +549,34 @@ func (p *Peer) mergeEntry(bucketKey string, pfx ids.Prefix, e IndexEntry) {
 // never be fetched again.
 const lateStitchRetries = 8
 
+// maxLateTracked bounds how many late events can have live retry
+// counters at once. A counter costs ~64 bytes; during a long partition
+// every deferred event would otherwise grow the map without bound. An
+// event arriving with the table full is abandoned immediately — the
+// same terminal outcome a full retry budget reaches, just sooner.
+const maxLateTracked = 4096
+
+// lateKey identifies one late-reported visit: a comparable struct, so
+// tracking costs no formatting allocation.
+type lateKey struct {
+	obj moods.ObjectID
+	nd  moods.NodeName
+	at  time.Duration
+}
+
 // lateRetry accounts one failed stitch attempt for the (obj, nd, at)
 // late event and reports whether the caller should defer and retry.
 func (p *Peer) lateRetry(obj moods.ObjectID, nd moods.NodeName, at time.Duration) bool {
-	key := fmt.Sprintf("%s|%s|%d", obj, nd, at)
+	key := lateKey{obj: obj, nd: nd, at: at}
 	p.lateMu.Lock()
 	defer p.lateMu.Unlock()
+	if _, tracked := p.lateTries[key]; !tracked && len(p.lateTries) >= maxLateTracked {
+		p.tel.abandonedStitches.Inc()
+		return false
+	}
+	if p.lateTries == nil {
+		p.lateTries = make(map[lateKey]int)
+	}
 	p.lateTries[key]++
 	if p.lateTries[key] < lateStitchRetries {
 		return true
@@ -539,10 +589,17 @@ func (p *Peer) lateRetry(obj moods.ObjectID, nd moods.NodeName, at time.Duration
 // lateForget clears the retry counter after an attempt that reached the
 // insertion point.
 func (p *Peer) lateForget(obj moods.ObjectID, nd moods.NodeName, at time.Duration) {
-	key := fmt.Sprintf("%s|%s|%d", obj, nd, at)
 	p.lateMu.Lock()
-	delete(p.lateTries, key)
+	delete(p.lateTries, lateKey{obj: obj, nd: nd, at: at})
 	p.lateMu.Unlock()
+}
+
+// TrackedLateEvents returns the number of live late-stitch retry
+// counters (test hook for the maxLateTracked bound).
+func (p *Peer) TrackedLateEvents() int {
+	p.lateMu.Lock()
+	defer p.lateMu.Unlock()
+	return len(p.lateTries)
 }
 
 // stitchInsert splices a late-reported visit — object seen at node nd
@@ -561,7 +618,7 @@ func (p *Peer) lateForget(obj moods.ObjectID, nd moods.NodeName, at time.Duratio
 // has persisted lateStitchRetries attempts (the segment's records left
 // with a departed node), the event is abandoned: the visit stays
 // recorded at nd, unlinked, exactly as reachable knowledge permits.
-func (p *Peer) stitchInsert(obj moods.ObjectID, nd moods.NodeName, cur IndexEntry, bucketKey string, pfx ids.Prefix, at time.Duration) bool {
+func (p *Peer) stitchInsert(obj moods.ObjectID, nd moods.NodeName, cur IndexEntry, key ids.PrefixKey, pfx ids.Prefix, at time.Duration) bool {
 	if nd == cur.Latest {
 		return true
 	}
@@ -612,8 +669,8 @@ func (p *Peer) stitchInsert(obj moods.ObjectID, nd moods.NodeName, cur IndexEntr
 	// predecessor.
 	if succNode == cur.Latest && succAt == cur.Arrived {
 		cur.Prev = nd
-		if bucketKey == individualBucket {
-			p.gw.upsertKeyed(individualBucket, cur)
+		if key == individualKey {
+			p.gw.upsertKeyed(individualKey, cur)
 		} else {
 			p.gw.upsert(pfx, cur)
 		}
@@ -629,12 +686,12 @@ func (p *Peer) stitchInsert(obj moods.ObjectID, nd moods.NodeName, cur IndexEntr
 // It returns the late events whose IOP stitching had to be deferred on
 // an unreachable chain segment; the reporting node re-buffers them.
 func (p *Peer) gatewayGroupArrive(r groupArriveReq) []ObjEvent {
-	pfx, err := ids.ParsePrefix(r.Prefix)
-	if err != nil {
+	if r.Key == individualKey || r.Key.Len() > ids.MaxKeyLen {
 		return nil
 	}
+	pfx := r.Key.Prefix()
 	now := p.clock()
-	sp := p.tel.tracer.Start("index", r.Prefix)
+	sp := p.tel.tracer.Start("index", pfx.String())
 
 	// Partition events into locally indexed and unknown (objects').
 	idOf := make(map[moods.ObjectID]ids.ID, len(r.Events))
@@ -642,7 +699,7 @@ func (p *Peer) gatewayGroupArrive(r groupArriveReq) []ObjEvent {
 	for _, ev := range r.Events {
 		id := ev.Object.Hash()
 		idOf[ev.Object] = id
-		if _, ok := p.lookupWithReplica(r.Prefix, id); !ok {
+		if _, ok := p.lookupWithReplica(r.Key, id); !ok {
 			missing = append(missing, id)
 		}
 	}
@@ -660,7 +717,7 @@ func (p *Peer) gatewayGroupArrive(r groupArriveReq) []ObjEvent {
 			missing = p.refreshFromAscent(pfx, missing)
 		}
 		if len(missing) > 0 {
-			b := p.gw.peek(r.Prefix)
+			b := p.gw.peek(r.Key)
 			if hi > pfx.Len || (b != nil && b.delegated) {
 				p.refreshFromDescent(pfx, missing, p.cfg.MaxDescent)
 			}
@@ -675,12 +732,12 @@ func (p *Peer) gatewayGroupArrive(r groupArriveReq) []ObjEvent {
 	var deferred []ObjEvent
 	for _, ev := range r.Events {
 		id := idOf[ev.Object]
-		prev, had := p.gw.lookup(r.Prefix, id)
+		prev, had := p.gw.lookup(r.Key, id)
 		if had && ev.Arrived < prev.Arrived {
 			// Late observation (window flush ordering): splice it into
 			// the IOP list at its chronological position instead of
 			// moving the head.
-			if !p.stitchInsert(ev.Object, r.Node, prev, r.Prefix, pfx, ev.Arrived) {
+			if !p.stitchInsert(ev.Object, r.Node, prev, r.Key, pfx, ev.Arrived) {
 				p.tel.deferredStitches.Inc()
 				deferred = append(deferred, ev)
 			}
@@ -705,7 +762,7 @@ func (p *Peer) gatewayGroupArrive(r groupArriveReq) []ObjEvent {
 		p.gw.upsert(pfx, entry)
 		updated = append(updated, entry)
 	}
-	p.replicate(r.Prefix, updated)
+	p.replicate(r.Key, updated)
 	// One message per distinct source node (M2 batched), in
 	// deterministic node order...
 	prevNodes := make([]string, 0, len(toBatches))
@@ -753,7 +810,7 @@ func (p *Peer) refreshFromAscent(pfx ids.Prefix, objs []ids.ID) []ids.ID {
 			break
 		}
 		p.tel.ascentFetches.Inc()
-		resp, err := p.call(gwRef, fetchIndexReq{Prefix: cur.String(), Objects: remaining})
+		resp, err := p.call(gwRef, fetchIndexReq{Key: cur.Key(), Objects: remaining})
 		if err != nil {
 			continue
 		}
@@ -784,7 +841,7 @@ func (p *Peer) refreshFromAscent(pfx ids.Prefix, objs []ids.ID) []ids.ID {
 // continues into grandchildren only while fetched buckets report
 // delegation, bounded by maxDepth.
 func (p *Peer) refreshFromDescent(pfx ids.Prefix, objs []ids.ID, maxDepth int) {
-	if maxDepth <= 0 || len(objs) == 0 || pfx.Len >= ids.Bits {
+	if maxDepth <= 0 || len(objs) == 0 || pfx.Len >= ids.MaxKeyLen {
 		return
 	}
 	for bit := 0; bit <= 1; bit++ {
@@ -803,7 +860,7 @@ func (p *Peer) refreshFromDescent(pfx ids.Prefix, objs []ids.ID, maxDepth int) {
 			continue
 		}
 		p.tel.descentFetches.Inc()
-		resp, err := p.call(gwRef, fetchIndexReq{Prefix: child.String(), Objects: filtered})
+		resp, err := p.call(gwRef, fetchIndexReq{Key: child.Key(), Objects: filtered})
 		if err != nil {
 			continue
 		}
@@ -827,7 +884,7 @@ func (p *Peer) refreshFromDescent(pfx ids.Prefix, objs []ids.ID, maxDepth int) {
 			// up is not needed — they were upserted under the child
 			// prefix by the recursive call, so move them here.
 			if len(unfound) > 0 {
-				deeper, _ := p.gw.take(child.String(), unfound)
+				deeper, _ := p.gw.take(child.Key(), unfound)
 				for _, e := range deeper {
 					p.gw.upsert(pfx, e)
 				}
@@ -839,15 +896,15 @@ func (p *Peer) refreshFromDescent(pfx ids.Prefix, objs []ids.ID, maxDepth int) {
 // maybeDelegate pushes the α-earliest records of an overflowing bucket
 // to its two Data Triangle children, keyed by the next id bit.
 func (p *Peer) maybeDelegate(pfx ids.Prefix) {
-	key := pfx.String()
+	key := pfx.Key()
 	b := p.gw.peek(key)
 	if b == nil {
 		return
 	}
 	p.gw.mu.RLock()
-	size := len(b.entries)
+	size := len(b.idx)
 	p.gw.mu.RUnlock()
-	if size <= p.cfg.DelegationThreshold || pfx.Len >= ids.Bits {
+	if size <= p.cfg.DelegationThreshold || pfx.Len >= ids.MaxKeyLen {
 		return
 	}
 	count := int(p.cfg.DelegationAlpha * float64(size))
@@ -865,7 +922,7 @@ func (p *Peer) maybeDelegate(pfx ids.Prefix) {
 		bit := pfx.NextBit(e.ID)
 		split[bit] = append(split[bit], e)
 	}
-	sp := p.tel.tracer.Start("delegate", key)
+	sp := p.tel.tracer.Start("delegate", pfx.String())
 	moved := 0
 	for bit := 0; bit <= 1; bit++ {
 		if len(split[bit]) == 0 {
@@ -876,7 +933,7 @@ func (p *Peer) maybeDelegate(pfx ids.Prefix) {
 		if err != nil {
 			continue
 		}
-		if _, err := p.call(gwRef, delegateReq{Prefix: child.String(), Entries: split[bit]}); err != nil {
+		if _, err := p.call(gwRef, delegateReq{Key: child.Key(), Entries: split[bit]}); err != nil {
 			sp.Stepf(string(gwRef.Addr), "delegate %d records to %s failed: %v", len(split[bit]), child.String(), err)
 			continue
 		}

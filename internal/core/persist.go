@@ -53,13 +53,8 @@ func (p *Peer) Snapshot(w io.Writer) error {
 		Version: snapshotVersion,
 		Name:    p.Name(),
 		SavedAt: p.clock(),
-		Visits:  make(map[moods.ObjectID][]VisitRecord),
+		Visits:  p.repo.snapshot(),
 	}
-	p.repo.mu.RLock()
-	for obj, vs := range p.repo.visits {
-		snap.Visits[obj] = append([]VisitRecord(nil), vs...)
-	}
-	p.repo.mu.RUnlock()
 
 	snap.Buckets = snapshotStore(p.gw)
 	snap.Replicas = snapshotStore(p.replica)
@@ -86,18 +81,21 @@ func snapshotStore(g *gatewayStore) []bucketSnapshot {
 	out := make([]bucketSnapshot, 0, len(g.buckets))
 	for key, b := range g.buckets {
 		bs := bucketSnapshot{
-			Key:       key,
+			Key:       bucketKeyName(key),
 			PrefixLen: b.prefix.Len,
 			Delegated: b.delegated,
 		}
-		if key == individualBucket {
+		if key == individualKey {
 			bs.PrefixLen = -1
 		}
-		for _, id := range b.fifo {
-			if e, ok := b.entries[id]; ok {
-				bs.Entries = append(bs.Entries, *e)
-				bs.FIFO = append(bs.FIFO, id)
+		// Slab order is FIFO order; the FIFO column is kept for format
+		// compatibility.
+		for _, e := range b.slab {
+			if e.Object == "" {
+				continue
 			}
+			bs.Entries = append(bs.Entries, e)
+			bs.FIFO = append(bs.FIFO, e.ID)
 		}
 		out = append(out, bs)
 	}
@@ -121,14 +119,7 @@ func (p *Peer) Restore(r io.Reader) error {
 		return fmt.Errorf("core: restore: snapshot belongs to %q, this node is %q", snap.Name, p.Name())
 	}
 
-	p.repo.mu.Lock()
-	p.repo.visits = make(map[moods.ObjectID][]VisitRecord, len(snap.Visits))
-	p.repo.n = 0
-	for obj, vs := range snap.Visits {
-		p.repo.visits[obj] = append([]VisitRecord(nil), vs...)
-		p.repo.n += len(vs)
-	}
-	p.repo.mu.Unlock()
+	p.repo.restore(snap.Visits)
 
 	restoreStore(p.gw, snap.Buckets)
 	restoreStore(p.replica, snap.Replicas)
@@ -155,23 +146,25 @@ func (p *Peer) Restore(r io.Reader) error {
 func restoreStore(g *gatewayStore, snaps []bucketSnapshot) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	g.buckets = make(map[string]*bucket, len(snaps))
+	g.buckets = make(map[ids.PrefixKey]*bucket, len(snaps))
 	for _, bs := range snaps {
 		var pfx ids.Prefix
+		key := individualKey
 		if bs.PrefixLen >= 0 {
 			parsed, err := ids.ParsePrefix(bs.Key)
 			if err != nil {
 				continue
 			}
 			pfx = parsed
+			key = parsed.Key()
 		}
 		b := newBucket(pfx)
 		b.delegated = bs.Delegated
-		for i, e := range bs.Entries {
-			cp := e
-			b.entries[e.ID] = &cp
-			b.fifo = append(b.fifo, bs.FIFO[i])
+		// Snapshot entries are in FIFO order; upserting in sequence
+		// rebuilds the slab in the same order.
+		for _, e := range bs.Entries {
+			b.upsert(e)
 		}
-		g.buckets[bs.Key] = b
+		g.buckets[key] = b
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"peertrack/internal/ids"
 	"peertrack/internal/moods"
 )
 
@@ -31,14 +32,14 @@ func TestSnapshotRestoreRoundTrip(t *testing.T) {
 	beforeReplica := p.ReplicaEntries()
 	beforeInv := p.InventoryCount()
 	p.repo.mu.Lock()
-	p.repo.visits = map[moods.ObjectID][]VisitRecord{}
+	p.repo.visits = map[moods.ObjectID]visitSlot{}
 	p.repo.n = 0
 	p.repo.mu.Unlock()
 	p.gw.mu.Lock()
-	p.gw.buckets = map[string]*bucket{}
+	p.gw.buckets = map[ids.PrefixKey]*bucket{}
 	p.gw.mu.Unlock()
 	p.replica.mu.Lock()
-	p.replica.buckets = map[string]*bucket{}
+	p.replica.buckets = map[ids.PrefixKey]*bucket{}
 	p.replica.mu.Unlock()
 
 	if err := p.Restore(bytes.NewReader(buf.Bytes())); err != nil {
@@ -83,12 +84,12 @@ func TestSnapshotPreservesFIFOOrder(t *testing.T) {
 		t.Fatal(err)
 	}
 	p.gw.mu.Lock()
-	p.gw.buckets = map[string]*bucket{}
+	p.gw.buckets = map[ids.PrefixKey]*bucket{}
 	p.gw.mu.Unlock()
 	if err := p.Restore(bytes.NewReader(buf.Bytes())); err != nil {
 		t.Fatal(err)
 	}
-	oldest := p.gw.delegable(pfx.String(), 3)
+	oldest := p.gw.delegable(pfx.Key(), 3)
 	if len(oldest) != 3 {
 		t.Fatalf("delegable = %d", len(oldest))
 	}

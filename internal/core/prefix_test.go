@@ -172,7 +172,7 @@ func TestGatewayStoreFIFOAndDelegable(t *testing.T) {
 		obj := moodsObjectID(i)
 		g.upsert(pfx, IndexEntry{Object: obj, ID: ids.HashString(string(obj)), Indexed: simTime(i)})
 	}
-	oldest := g.delegable(pfx.String(), 3)
+	oldest := g.delegable(pfx.Key(), 3)
 	if len(oldest) != 3 {
 		t.Fatalf("delegable returned %d", len(oldest))
 	}
@@ -183,7 +183,7 @@ func TestGatewayStoreFIFOAndDelegable(t *testing.T) {
 	}
 	// Re-upserting an existing entry must not duplicate its FIFO slot.
 	g.upsert(pfx, IndexEntry{Object: moodsObjectID(0), ID: ids.HashString(string(moodsObjectID(0)))})
-	if got := g.delegable(pfx.String(), 100); len(got) != 10 {
+	if got := g.delegable(pfx.Key(), 100); len(got) != 10 {
 		t.Fatalf("after re-upsert: %d entries", len(got))
 	}
 }
@@ -198,28 +198,28 @@ func TestGatewayStoreTakeAndDrain(t *testing.T) {
 		keys = append(keys, id)
 		g.upsert(pfx, IndexEntry{Object: obj, ID: id})
 	}
-	taken, delegated := g.take(pfx.String(), keys[:2])
+	taken, delegated := g.take(pfx.Key(), keys[:2])
 	if len(taken) != 2 || delegated {
 		t.Fatalf("take = %d entries, delegated=%v", len(taken), delegated)
 	}
 	if g.totalEntries() != 3 {
 		t.Fatalf("entries after take = %d", g.totalEntries())
 	}
-	drained := g.drain(pfx.String())
+	drained := g.drain(pfx.Key())
 	if len(drained) != 3 {
 		t.Fatalf("drain = %d", len(drained))
 	}
 	if g.totalEntries() != 0 {
 		t.Fatal("store not empty after drain")
 	}
-	if g.peek(pfx.String()) != nil {
+	if g.peek(pfx.Key()) != nil {
 		t.Fatal("bucket survived drain")
 	}
 	// take/query/drain on absent buckets are safe no-ops.
-	if e, _ := g.take("000", keys); e != nil {
+	if e, _ := g.take(ids.MustParsePrefix("000").Key(), keys); e != nil {
 		t.Fatal("take on absent bucket returned entries")
 	}
-	if g.drain("000") != nil {
+	if g.drain(ids.MustParsePrefix("000").Key()) != nil {
 		t.Fatal("drain on absent bucket returned entries")
 	}
 }

@@ -54,7 +54,7 @@ func (p *Peer) findIndexSpan(obj moods.ObjectID, sp *telemetry.Span) (IndexEntry
 		}
 		hops += res.Hops
 		sp.Stepf(string(res.Node.Addr), "gateway lookup: %d overlay hops", res.Hops)
-		resp, err := p.call(res.Node, queryIndexReq{Prefix: individualBucket, Objects: []ids.ID{id}})
+		resp, err := p.call(res.Node, queryIndexReq{Key: individualKey, Objects: []ids.ID{id}})
 		if err != nil {
 			return IndexEntry{}, hops, err
 		}
@@ -85,7 +85,7 @@ func (p *Peer) findIndexSpan(obj moods.ObjectID, sp *telemetry.Span) (IndexEntry
 	// next bit selects which child can hold it), while buckets report
 	// delegation or history allows deeper records.
 	child := pfx
-	for depth := 0; (delegated || hi > child.Len) && depth < p.cfg.MaxDescent && child.Len < ids.Bits; depth++ {
+	for depth := 0; (delegated || hi > child.Len) && depth < p.cfg.MaxDescent && child.Len < ids.MaxKeyLen; depth++ {
 		child = child.Child(child.NextBit(id))
 		entry, h, found, delegated = p.queryGatewaySpan(child, id, sp)
 		hops += h
@@ -134,7 +134,7 @@ func (p *Peer) queryGatewaySpan(pfx ids.Prefix, id ids.ID, sp *telemetry.Span) (
 	if err != nil {
 		return IndexEntry{}, hops, false, false
 	}
-	resp, err := p.call(gwRef, queryIndexReq{Prefix: pfx.String(), Objects: []ids.ID{id}})
+	resp, err := p.call(gwRef, queryIndexReq{Key: pfx.Key(), Objects: []ids.ID{id}})
 	if gwRef.Addr != p.node.Addr() {
 		hops++
 	}

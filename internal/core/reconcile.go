@@ -26,15 +26,12 @@ func (p *Peer) ReconcileStep() int {
 	lp := p.pm.Lp()
 	keys := p.gw.bucketKeys() // sorted: deterministic migration order (see FlushWindow)
 	for _, key := range keys {
-		if key == individualBucket {
+		if key == individualKey {
 			// Per-object records re-home individually (below), never
 			// split/merge by prefix level.
 			continue
 		}
-		pfx, err := ids.ParsePrefix(key)
-		if err != nil {
-			continue
-		}
+		pfx := key.Prefix()
 		switch {
 		case pfx.Len < lp:
 			// Split one level: old parent delegates everything into the
@@ -75,7 +72,7 @@ func (p *Peer) ReconcileStep() int {
 			if len(entries) == 0 {
 				continue
 			}
-			if _, err := p.call(gwRef, delegateReq{Prefix: key, Entries: entries}); err != nil {
+			if _, err := p.call(gwRef, delegateReq{Key: key, Entries: entries}); err != nil {
 				// Index records must never be lost to a failed migration:
 				// re-insert and report the bucket as still moving so the
 				// caller retries on a later pass.
@@ -101,7 +98,7 @@ func (p *Peer) sendEntries(pfx ids.Prefix, entries []IndexEntry) {
 		}
 		return
 	}
-	if _, err := p.call(gwRef, delegateReq{Prefix: pfx.String(), Entries: entries}); err != nil {
+	if _, err := p.call(gwRef, delegateReq{Key: pfx.Key(), Entries: entries}); err != nil {
 		for _, e := range entries {
 			p.gw.upsert(pfx, e)
 		}
@@ -122,14 +119,14 @@ func (p *Peer) evacuate(to transport.Addr) {
 		if len(entries) == 0 {
 			continue
 		}
-		if _, err := p.callAddr(to, delegateReq{Prefix: key, Entries: entries}); err != nil {
+		if _, err := p.callAddr(to, delegateReq{Key: key, Entries: entries}); err != nil {
 			// Receiver unreachable: keep the records local rather than
 			// lose them.
 			for _, e := range entries {
-				if key == individualBucket {
+				if key == individualKey {
 					p.gw.upsertKeyed(key, e)
-				} else if pfx, perr := ids.ParsePrefix(key); perr == nil {
-					p.gw.upsert(pfx, e)
+				} else {
+					p.gw.upsert(key.Prefix(), e)
 				}
 			}
 		}
@@ -139,14 +136,16 @@ func (p *Peer) evacuate(to transport.Addr) {
 // rehomeIndividual re-homes per-object index records whose successor
 // moved (individual-indexing mode under churn).
 func (p *Peer) rehomeIndividual() int {
-	b := p.gw.peek(individualBucket)
+	b := p.gw.peek(individualKey)
 	if b == nil {
 		return 0
 	}
 	p.gw.mu.RLock()
-	entries := make([]IndexEntry, 0, len(b.entries))
-	for _, e := range b.entries {
-		entries = append(entries, *e)
+	entries := make([]IndexEntry, 0, len(b.idx))
+	for _, e := range b.slab {
+		if e.Object != "" {
+			entries = append(entries, e)
+		}
 	}
 	p.gw.mu.RUnlock()
 	sort.Slice(entries, func(i, j int) bool { return entries[i].ID.Less(entries[j].ID) })
@@ -167,14 +166,14 @@ func (p *Peer) rehomeIndividual() int {
 	sort.Strings(dests)
 	for _, dest := range dests {
 		es := byDest[dest]
-		if _, err := p.callAddr(transport.Addr(dest), delegateReq{Prefix: individualBucket, Entries: es}); err != nil {
+		if _, err := p.callAddr(transport.Addr(dest), delegateReq{Key: individualKey, Entries: es}); err != nil {
 			continue
 		}
 		victims := make([]ids.ID, len(es))
 		for i, e := range es {
 			victims[i] = e.ID
 		}
-		p.gw.removeAll(individualBucket, victims)
+		p.gw.removeAll(individualKey, victims)
 		moved++
 	}
 	return moved

@@ -18,12 +18,12 @@ import (
 
 // replicatePutReq pushes fresh index records to a replica holder.
 type replicatePutReq struct {
-	Prefix  string
+	Key     ids.PrefixKey
 	Entries []IndexEntry
 }
 
 func (r replicatePutReq) WireSize() int {
-	n := len(r.Prefix)
+	n := keyWireSize
 	for _, e := range r.Entries {
 		n += e.wireSize()
 	}
@@ -40,7 +40,7 @@ func init() {
 // replicate pushes the given entries of one bucket to the peer's first
 // Replicas live successors. Failures are ignored: a dead replica will
 // be replaced by stabilization and repaired on the next update.
-func (p *Peer) replicate(bucketKey string, entries []IndexEntry) {
+func (p *Peer) replicate(key ids.PrefixKey, entries []IndexEntry) {
 	if p.cfg.Replicas <= 0 || len(entries) == 0 {
 		return
 	}
@@ -52,7 +52,7 @@ func (p *Peer) replicate(bucketKey string, entries []IndexEntry) {
 		if succ.Addr == p.node.Addr() {
 			continue
 		}
-		if _, err := p.callAddr(succ.Addr, replicatePutReq{Prefix: bucketKey, Entries: entries}); err == nil {
+		if _, err := p.callAddr(succ.Addr, replicatePutReq{Key: key, Entries: entries}); err == nil {
 			sent++
 		}
 	}
@@ -60,16 +60,16 @@ func (p *Peer) replicate(bucketKey string, entries []IndexEntry) {
 
 // handleReplicatePut stores replica records.
 func (p *Peer) handleReplicatePut(r replicatePutReq) {
-	if r.Prefix == individualBucket {
+	if r.Key == individualKey {
 		for _, e := range r.Entries {
-			p.replica.upsertKeyed(individualBucket, e)
+			p.replica.upsertKeyed(individualKey, e)
 		}
 		return
 	}
-	pfx, err := ids.ParsePrefix(r.Prefix)
-	if err != nil {
+	if r.Key.Len() > ids.MaxKeyLen {
 		return
 	}
+	pfx := r.Key.Prefix()
 	for _, e := range r.Entries {
 		p.replica.upsert(pfx, e)
 	}
@@ -77,24 +77,24 @@ func (p *Peer) handleReplicatePut(r replicatePutReq) {
 
 // lookupWithReplica consults the primary store, falling back to the
 // replica store and promoting hits so that subsequent updates see them.
-func (p *Peer) lookupWithReplica(bucketKey string, id ids.ID) (IndexEntry, bool) {
-	if e, ok := p.gw.lookup(bucketKey, id); ok {
+func (p *Peer) lookupWithReplica(key ids.PrefixKey, id ids.ID) (IndexEntry, bool) {
+	if e, ok := p.gw.lookup(key, id); ok {
 		return e, true
 	}
 	if p.cfg.Replicas <= 0 {
 		return IndexEntry{}, false
 	}
-	e, ok := p.replica.lookup(bucketKey, id)
+	e, ok := p.replica.lookup(key, id)
 	if !ok {
 		return IndexEntry{}, false
 	}
-	p.promote(bucketKey, []IndexEntry{e})
+	p.promote(key, []IndexEntry{e})
 	return e, true
 }
 
 // queryWithReplica is the bulk form used by the queryIndexReq handler.
-func (p *Peer) queryWithReplica(bucketKey string, objs []ids.ID) ([]IndexEntry, bool) {
-	entries, delegated := p.gw.query(bucketKey, objs)
+func (p *Peer) queryWithReplica(key ids.PrefixKey, objs []ids.ID) ([]IndexEntry, bool) {
+	entries, delegated := p.gw.query(key, objs)
 	if p.cfg.Replicas <= 0 || len(entries) == len(objs) {
 		return entries, delegated
 	}
@@ -108,26 +108,26 @@ func (p *Peer) queryWithReplica(bucketKey string, objs []ids.ID) ([]IndexEntry, 
 			missing = append(missing, id)
 		}
 	}
-	extra, _ := p.replica.query(bucketKey, missing)
+	extra, _ := p.replica.query(key, missing)
 	if len(extra) > 0 {
-		p.promote(bucketKey, extra)
+		p.promote(key, extra)
 		entries = append(entries, extra...)
 	}
 	return entries, delegated
 }
 
 // promote copies replica records into the primary store of this node.
-func (p *Peer) promote(bucketKey string, entries []IndexEntry) {
-	if bucketKey == individualBucket {
+func (p *Peer) promote(key ids.PrefixKey, entries []IndexEntry) {
+	if key == individualKey {
 		for _, e := range entries {
-			p.gw.upsertKeyed(individualBucket, e)
+			p.gw.upsertKeyed(individualKey, e)
 		}
 		return
 	}
-	pfx, err := ids.ParsePrefix(bucketKey)
-	if err != nil {
+	if key.Len() > ids.MaxKeyLen {
 		return
 	}
+	pfx := key.Prefix()
 	for _, e := range entries {
 		p.gw.upsert(pfx, e)
 	}

@@ -20,12 +20,12 @@ import (
 // letting every hop short-circuit if it has local IOP data.
 type routedTraceReq struct {
 	Object moods.ObjectID
-	Key    ids.ID // routing target: the gateway key
-	Prefix string // gateway bucket to consult on arrival
+	Key    ids.ID        // routing target: the gateway key
+	Bucket ids.PrefixKey // gateway bucket to consult on arrival
 	TTL    int
 }
 
-func (r routedTraceReq) WireSize() int { return len(r.Object) + ids.Bytes + len(r.Prefix) + 2 }
+func (r routedTraceReq) WireSize() int { return len(r.Object) + ids.Bytes + keyWireSize + 2 }
 
 type routedTraceResp struct {
 	Found bool
@@ -51,17 +51,17 @@ func init() {
 // FullTrace, which always consults the gateway via iterative lookup.
 func (p *Peer) TraceRouted(obj moods.ObjectID) (TraceResult, error) {
 	var key ids.ID
-	var prefix string
+	var bucket ids.PrefixKey
 	if p.cfg.Mode == IndividualIndexing {
 		key = obj.Hash()
-		prefix = individualBucket
+		bucket = individualKey
 	} else {
 		pfx := ids.PrefixOf(obj.Hash(), p.pm.Lp())
 		key = pfx.GatewayID()
-		prefix = pfx.String()
+		bucket = pfx.Key()
 	}
 	resp, err := p.handleRoutedTrace(p.node.Addr(), routedTraceReq{
-		Object: obj, Key: key, Prefix: prefix, TTL: 64,
+		Object: obj, Key: key, Bucket: bucket, TTL: 64,
 	})
 	if err != nil {
 		return TraceResult{}, err
@@ -87,7 +87,7 @@ func (p *Peer) handleRoutedTrace(from transport.Addr, r routedTraceReq) (any, er
 	// Gateway: answer from the index (probing triangle children if the
 	// record was delegated), then walk the IOP list.
 	if p.node.Owns(r.Key) {
-		entry, hops, found := p.gatewayLocalFind(r.Prefix, r.Object)
+		entry, hops, found := p.gatewayLocalFind(r.Bucket, r.Object)
 		if !found {
 			return routedTraceResp{Hops: hops}, nil
 		}
@@ -120,24 +120,21 @@ func (p *Peer) handleRoutedTrace(from transport.Addr, r routedTraceReq) (any, er
 // gatewayLocalFind resolves an object's index entry at its gateway:
 // local bucket first, then — if the bucket delegated — the Data
 // Triangle child chain along the object's bits.
-func (p *Peer) gatewayLocalFind(prefix string, obj moods.ObjectID) (IndexEntry, int, bool) {
+func (p *Peer) gatewayLocalFind(bucket ids.PrefixKey, obj moods.ObjectID) (IndexEntry, int, bool) {
 	id := obj.Hash()
 	hops := 0
-	if e, ok := p.gw.lookup(prefix, id); ok {
+	if e, ok := p.gw.lookup(bucket, id); ok {
 		return e, hops, true
 	}
-	if prefix == individualBucket {
+	if bucket == individualKey || bucket.Len() > ids.MaxKeyLen {
 		return IndexEntry{}, hops, false
 	}
-	pfx, err := ids.ParsePrefix(prefix)
-	if err != nil {
-		return IndexEntry{}, hops, false
-	}
-	b := p.gw.peek(prefix)
+	pfx := bucket.Prefix()
+	b := p.gw.peek(bucket)
 	delegated := b != nil && b.delegated
 	_, hi := p.pm.LpRange()
 	child := pfx
-	for depth := 0; (delegated || hi > child.Len) && depth < p.cfg.MaxDescent && child.Len < ids.Bits; depth++ {
+	for depth := 0; (delegated || hi > child.Len) && depth < p.cfg.MaxDescent && child.Len < ids.MaxKeyLen; depth++ {
 		child = child.Child(child.NextBit(id))
 		e, h, found, del := p.queryGateway(child, id)
 		hops += h

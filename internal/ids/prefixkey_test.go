@@ -1,0 +1,79 @@
+package ids
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestPrefixKeyRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		id := HashString(string(rune('a' + i%26)))
+		id[0] = byte(rng.Intn(256))
+		n := rng.Intn(MaxKeyLen + 1)
+		p := PrefixOf(id, n)
+		k := p.Key()
+		if got := k.Prefix(); !got.Equal(p) {
+			t.Fatalf("round trip %v/%d: got %v", p.Bits, p.Len, got)
+		}
+		if k.Len() != n {
+			t.Fatalf("Len: got %d want %d", k.Len(), n)
+		}
+		if k.String() != p.String() {
+			t.Fatalf("String: got %q want %q", k.String(), p.String())
+		}
+		if k2 := KeyOf(id, n); k2 != k {
+			t.Fatalf("KeyOf(%v, %d) = %x, Key() = %x", id, n, k2, k)
+		}
+	}
+}
+
+func TestPrefixKeyZeroAndSentinel(t *testing.T) {
+	var empty Prefix
+	if empty.Key() != 0 {
+		t.Fatalf("empty prefix key = %x, want 0", empty.Key())
+	}
+	if NoPrefixKey.Len() <= MaxKeyLen {
+		t.Fatalf("sentinel length %d must be invalid (> %d)", NoPrefixKey.Len(), MaxKeyLen)
+	}
+	// The sentinel must sort after every valid key.
+	deepest := PrefixOf(ID{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF}, MaxKeyLen)
+	if !(deepest.Key() < NoPrefixKey) {
+		t.Fatalf("sentinel %x does not sort last (deepest valid key %x)", NoPrefixKey, deepest.Key())
+	}
+}
+
+// TestPrefixKeyOrderMatchesString is the determinism contract: sorted
+// sweeps over packed keys must visit buckets in the same order as the
+// old binary-string keys, or reconciliation and dump output would
+// change between layouts.
+func TestPrefixKeyOrderMatchesString(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	keys := make([]PrefixKey, 0, 500)
+	for i := 0; i < 500; i++ {
+		var id ID
+		for b := 0; b < 7; b++ {
+			id[b] = byte(rng.Intn(256))
+		}
+		keys = append(keys, KeyOf(id, rng.Intn(MaxKeyLen+1)))
+	}
+	numeric := append([]PrefixKey(nil), keys...)
+	sort.Slice(numeric, func(i, j int) bool { return numeric[i] < numeric[j] })
+	lexical := append([]PrefixKey(nil), keys...)
+	sort.Slice(lexical, func(i, j int) bool { return lexical[i].String() < lexical[j].String() })
+	for i := range numeric {
+		if numeric[i] != lexical[i] {
+			t.Fatalf("order diverges at %d: numeric %q lexical %q", i, numeric[i], lexical[i])
+		}
+	}
+}
+
+func TestPrefixKeyTooLongPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Key() beyond MaxKeyLen did not panic")
+		}
+	}()
+	_ = PrefixOf(HashString("x"), MaxKeyLen+1).Key()
+}

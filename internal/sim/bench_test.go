@@ -36,6 +36,40 @@ func BenchmarkKernelScheduleDepth(b *testing.B) {
 	}
 }
 
+// BenchmarkBatchFanIn measures mass timer fan-in at XL scale — every
+// node arming a timer at once — via the batch lane, against the heap
+// push path below. One op = scheduling and draining 100k entries.
+func BenchmarkBatchFanIn(b *testing.B) {
+	const n = 100_000
+	times := make([]Time, n)
+	for i := range times {
+		times[i] = Time(i) * time.Microsecond
+	}
+	fn := func(int) {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := New(1)
+		k.Batch(times, fn)
+		k.Run()
+	}
+}
+
+// BenchmarkHeapFanIn is the per-entry At baseline for BenchmarkBatchFanIn.
+func BenchmarkHeapFanIn(b *testing.B) {
+	const n = 100_000
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := New(1)
+		for j := 0; j < n; j++ {
+			k.At(Time(j)*time.Microsecond, fn)
+		}
+		k.Run()
+	}
+}
+
 // BenchmarkTimerStop measures the schedule/cancel cycle that
 // retry timers and capture windows generate; with eager heap removal a
 // stop-heavy workload must not let the queue grow.
