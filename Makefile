@@ -32,13 +32,17 @@ FORCE:
 check: vet lint race chaos-short
 
 # chaos-short sweeps 500 seeded fault scenarios (4:1 safe:lossy) under
-# the race detector. Any failure prints the seed and a minimized
-# schedule; rerun it with `go run ./cmd/peertrack-chaos -seed N`. The
+# the race detector, then runs the paired churn10x regression: 10
+# permanent-crash schedules where Chord-only stabilization must fail
+# the ring-reconverge invariant and the gossip membership layer must
+# pass it within the budget. Any failure prints the seed; rerun it with
+# `go run ./cmd/peertrack-chaos -seed N [-profile churn10x]`. The
 # merged telemetry exposition of all scenarios lands in
 # chaos-telemetry.txt — deterministic, so byte-diffing two runs of the
 # same tree is a meaningful regression check.
 chaos-short:
 	$(GO) run -race ./cmd/peertrack-chaos -seeds 500 -telemetry chaos-telemetry.txt
+	$(GO) run -race ./cmd/peertrack-chaos -profile churn10x -seeds 10
 
 # chaos is the long sweep for soak runs.
 chaos:

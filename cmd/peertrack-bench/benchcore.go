@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"peertrack/internal/chaos"
 	"peertrack/internal/core"
 	"peertrack/internal/experiments"
 	"peertrack/internal/sim"
@@ -39,10 +40,16 @@ type xlStat struct {
 }
 
 type coreSnapshot struct {
-	MemoryCall coreStat           `json:"memory_call"`
-	KernelStep coreStat           `json:"kernel_step"`
-	XL         *xlStat            `json:"xl,omitempty"`
-	FigureMs   map[string]float64 `json:"figure_wall_ms"`
+	MemoryCall coreStat `json:"memory_call"`
+	KernelStep coreStat `json:"kernel_step"`
+	XL         *xlStat  `json:"xl,omitempty"`
+	// ConvergenceRounds is the worst gossip-assisted reconvergence
+	// latency over the churn10x ledger sweep — maintenance rounds from
+	// the last fault to a clean CheckRing. Fully deterministic (seeded
+	// sim), so the ledger gate allows no slack: any increase is a real
+	// protocol regression.
+	ConvergenceRounds int                `json:"convergence_rounds,omitempty"`
+	FigureMs          map[string]float64 `json:"figure_wall_ms"`
 }
 
 type benchCoreFile struct {
@@ -130,10 +137,29 @@ func benchXLStats(n int) (xlStat, error) {
 	}, nil
 }
 
+// churnLedgerSeeds is the number of paired churn10x scenarios the
+// convergence_rounds ledger entry sweeps (seeds 1…N).
+const churnLedgerSeeds = 5
+
+// benchConvergenceRounds runs the churn10x ledger sweep and returns the
+// worst gossip-assisted reconvergence latency. Errors if any pair
+// misses the paired expectation (chord-only fails, gossip passes) —
+// the ledger must never record a latency from a broken sweep.
+func benchConvergenceRounds() (int, error) {
+	sw := chaos.ChurnSweep(chaos.Churn10x(1, false), churnLedgerSeeds, runtime.GOMAXPROCS(0))
+	if sw.Failed() {
+		first := sw.Failures[0]
+		return 0, fmt.Errorf("churn sweep: %d pairs failed, first (seed %d): %v",
+			len(sw.Failures), first.ChordOnly.Seed, first.Violations)
+	}
+	return sw.MaxConverge, nil
+}
+
 // ledgerCheck re-measures the XL stats and fails if they regressed
 // beyond the given slack against the committed ledger's current block.
 // bytes_per_node is near-deterministic, so its slack is tight;
 // nodes_per_sec depends on the machine, so CI passes a generous slack.
+// convergence_rounds is exactly deterministic and gated with no slack.
 func ledgerCheck(path string, byteSlack, speedSlack float64) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -161,6 +187,18 @@ func ledgerCheck(path string, byteSlack, speedSlack float64) error {
 	if got.NodesPerSec < want.NodesPerSec*(1-speedSlack) {
 		return fmt.Errorf("nodes_per_sec regressed: %.0f < %.0f (-%.0f%% slack)",
 			got.NodesPerSec, want.NodesPerSec, speedSlack*100)
+	}
+	if ledger.Current.ConvergenceRounds > 0 {
+		rounds, err := benchConvergenceRounds()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("# ledger-check: convergence_rounds %d (committed %d, no slack)\n",
+			rounds, ledger.Current.ConvergenceRounds)
+		if rounds > ledger.Current.ConvergenceRounds {
+			return fmt.Errorf("convergence_rounds regressed: %d > %d (deterministic metric, no slack)",
+				rounds, ledger.Current.ConvergenceRounds)
+		}
 	}
 	fmt.Println("# ledger-check: ok")
 	return nil
@@ -195,6 +233,12 @@ func benchCore(path, scaleName string, scale experiments.Scale) error {
 		return err
 	}
 	out.Current.XL = &xl
+	fmt.Fprintln(os.Stderr, "# bench-core: churn10x convergence rounds")
+	rounds, err := benchConvergenceRounds()
+	if err != nil {
+		return err
+	}
+	out.Current.ConvergenceRounds = rounds
 
 	out.Current.FigureMs = make(map[string]float64)
 	figs := []struct {

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	peertrack-chaos [-seeds N] [-seed N] [-profile safe|lossy|both]
+//	peertrack-chaos [-seeds N] [-seed N] [-profile safe|lossy|both|churn10x]
 //	                [-nodes N] [-epochs N] [-drop P] [-workers N]
 //	                [-telemetry FILE] [-v]
 //
@@ -14,6 +14,11 @@
 // 4:1 between the safe and lossy profiles when -profile both). On any
 // failure it minimizes the first failing schedule by deterministic
 // re-execution and prints the shrunk reproduction before exiting 1.
+//
+// -profile churn10x selects the paired 10×-churn regression instead:
+// each seed runs the same permanent-crash schedule twice and requires
+// the Chord-only run to fail reconvergence and the gossip-assisted run
+// to pass it (see internal/chaos.RunChurnPair).
 //
 // With -telemetry FILE the merged telemetry snapshot of all scenarios
 // (counters, histograms, span totals, in seed order, so independent of
@@ -42,6 +47,11 @@ func main() {
 	telemetryOut := flag.String("telemetry", "", "write the merged telemetry exposition to this file")
 	verbose := flag.Bool("v", false, "print every scenario report")
 	flag.Parse()
+
+	if *profile == "churn10x" {
+		runChurn10x(*seed, *seeds, *workers, *telemetryOut, *verbose)
+		return
+	}
 
 	base := chaos.Config{Nodes: *nodes, Epochs: *epochs, DropRate: *drop}
 	var merged telemetry.Snapshot
@@ -110,6 +120,46 @@ func main() {
 	}
 }
 
+// runChurn10x runs the checked-in 10×-churn profile: every seed is a
+// paired scenario where the Chord-only run must fail the
+// ring-reconverge invariant and the gossip-assisted run must pass it
+// within the budget. A single -seed runs one pair verbosely; otherwise
+// -seeds pairs sweep from seed 1. Exits 1 when any pair misses the
+// expectation.
+func runChurn10x(seed int64, seeds, workers int, telemetryOut string, verbose bool) {
+	if seed != 0 {
+		pair := chaos.RunChurnPair(chaos.Churn10x(seed, false))
+		fmt.Println(pair.ChordOnly)
+		fmt.Println(pair.Gossip)
+		writeTelemetry(telemetryOut, pair.Gossip.Telemetry)
+		if pair.Failed() {
+			for _, v := range pair.Violations {
+				fmt.Println(" ", v)
+			}
+			os.Exit(1)
+		}
+		return
+	}
+	sw := chaos.ChurnSweep(chaos.Churn10x(1, false), seeds, workers)
+	fmt.Println(sw)
+	if verbose {
+		for s := int64(0); s < int64(seeds); s++ {
+			pair := chaos.RunChurnPair(chaos.Churn10x(1+s, false))
+			fmt.Println(" ", pair.ChordOnly)
+			fmt.Println(" ", pair.Gossip)
+		}
+	}
+	writeTelemetry(telemetryOut, sw.Telemetry)
+	if sw.Failed() {
+		first := sw.Failures[0]
+		fmt.Printf("\nfirst failing pair (seed %d):\n", first.ChordOnly.Seed)
+		for _, v := range first.Violations {
+			fmt.Println(" ", v)
+		}
+		os.Exit(1)
+	}
+}
+
 // writeTelemetry dumps the merged exposition to path ("" disables; "-"
 // prints to stdout) and always logs the one-line totals.
 func writeTelemetry(path string, snap telemetry.Snapshot) {
@@ -147,7 +197,7 @@ func profilesFor(name string) []chaos.Profile {
 	case "both":
 		return []chaos.Profile{chaos.ProfileSafe, chaos.ProfileLossy}
 	default:
-		fmt.Fprintf(os.Stderr, "peertrack-chaos: unknown profile %q (want safe, lossy, or both)\n", name)
+		fmt.Fprintf(os.Stderr, "peertrack-chaos: unknown profile %q (want safe, lossy, both, or churn10x)\n", name)
 		os.Exit(2)
 		return nil
 	}

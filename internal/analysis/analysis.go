@@ -87,6 +87,7 @@ var DeterministicPackages = map[string]bool{
 	"peertrack/internal/chaos":       true,
 	"peertrack/internal/core":        true,
 	"peertrack/internal/chord":       true,
+	"peertrack/internal/gossip":      true,
 	"peertrack/internal/invariants":  true,
 	"peertrack/internal/experiments": true,
 	"peertrack/internal/telemetry":   true,

@@ -1,0 +1,534 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"peertrack/internal/chord"
+	"peertrack/internal/core"
+	"peertrack/internal/gossip"
+	"peertrack/internal/invariants"
+	"peertrack/internal/sim"
+	"peertrack/internal/telemetry"
+	"peertrack/internal/transport"
+)
+
+// This file is the churn-convergence harness: a chord-level scenario
+// runner an order of magnitude more violent than the default chaos
+// generator. The default schedule crashes 1–3 of ~12 nodes per epoch
+// and revives them; here every fault round permanently crashes a
+// contiguous ring segment at least as long as the successor list, plus
+// random extras, while fresh nodes join — protocol-level churn with no
+// static rewiring and no revival, repaired only by the maintenance
+// protocol itself.
+//
+// The segment crash is the scenario from Marinković et al. (PAPERS.md)
+// where naive stabilization provably cannot reconverge: the live node
+// preceding the dead segment holds a successor list consisting
+// entirely of crashed nodes, so Stabilize has no live peer to learn
+// from and the node is stranded forever — Chord-only runs fail the
+// ring-reconverge invariant deterministically. With the gossip
+// membership layer enabled, the stranded node's failure detector
+// condemns the dead successors and RepairFromSamples refills the list
+// from live gossip samples, so the same schedule reconverges within
+// the budget. That paired outcome is the tentpole acceptance check,
+// asserted by RunChurnPair.
+
+// ChurnConfig parameterizes one churn-convergence scenario. The zero
+// value is usable; defaults give the checked-in churn10x profile shape.
+type ChurnConfig struct {
+	// Seed drives everything: victim selection, join placement, and
+	// (via derived seeds) every gossip agent's RNG.
+	Seed int64
+	// Nodes is the initial ring size (default 32).
+	Nodes int
+	// SuccessorListLen is Chord's r for every node (default 3 — small
+	// enough that a segment crash can swallow a whole list).
+	SuccessorListLen int
+	// Rounds is the number of fault rounds (default 5).
+	Rounds int
+	// SegmentCrash crashes this many ring-contiguous nodes per round
+	// (default SuccessorListLen+1, guaranteeing a stranded survivor).
+	SegmentCrash int
+	// RandomCrash crashes this many additional uniform victims per
+	// round (default 2).
+	RandomCrash int
+	// Joins adds this many fresh nodes per round, joining through the
+	// live membership with the real protocol (default 1).
+	Joins int
+	// Budget is the reconvergence invariant's N: maintenance rounds
+	// allowed after the round's faults before the run fails
+	// (default 30).
+	Budget int
+	// WarmupRounds mixes gossip views before the first fault
+	// (default 8; ignored without Gossip).
+	WarmupRounds int
+	// RoundInterval is the virtual time between maintenance rounds —
+	// rounds execute as sim-kernel events (default 500ms).
+	RoundInterval time.Duration
+	// MinLive floors the live population so kills cannot consume the
+	// ring (default 2*SuccessorListLen+2).
+	MinLive int
+	// Gossip enables the membership layer: agents exchange views each
+	// maintenance round and feed RepairFromSamples ahead of Stabilize.
+	Gossip bool
+	// GossipCfg tunes the agents (per-node Seed is derived from Seed).
+	GossipCfg gossip.Config
+}
+
+func (c *ChurnConfig) fill() {
+	if c.Nodes <= 0 {
+		c.Nodes = 32
+	}
+	if c.SuccessorListLen <= 0 {
+		c.SuccessorListLen = 3
+	}
+	if c.Rounds <= 0 {
+		c.Rounds = 5
+	}
+	if c.SegmentCrash <= 0 {
+		c.SegmentCrash = c.SuccessorListLen + 1
+	}
+	if c.RandomCrash < 0 {
+		c.RandomCrash = 0
+	}
+	if c.Joins < 0 {
+		c.Joins = 0
+	}
+	if c.Budget <= 0 {
+		c.Budget = 30
+	}
+	if c.WarmupRounds <= 0 {
+		c.WarmupRounds = 8
+	}
+	if c.RoundInterval <= 0 {
+		c.RoundInterval = 500 * time.Millisecond
+	}
+	if c.MinLive <= 0 {
+		c.MinLive = 2*c.SuccessorListLen + 2
+	}
+}
+
+// Churn10x is the checked-in 10×-churn profile: per fault round it
+// crashes a ring segment of r+1 plus 2 random nodes and joins 1 — about
+// 20% of the membership per round, an order of magnitude beyond the
+// default generator's per-epoch fault rate, with no revival. Chord-only
+// runs of this profile must fail and gossip-assisted runs must pass;
+// see RunChurnPair.
+func Churn10x(seed int64, gossipOn bool) ChurnConfig {
+	cfg := ChurnConfig{Seed: seed, Gossip: gossipOn}
+	cfg.fill()
+	return cfg
+}
+
+// ChurnReport is the outcome of one churn scenario. Determinism
+// contract as for Report: identical config → identical report.
+type ChurnReport struct {
+	Seed   int64
+	Gossip bool
+	// RoundsRun counts fault rounds executed (stops early on failure).
+	RoundsRun int
+	// Converge holds, per completed fault round, the maintenance rounds
+	// the ring needed to reconverge.
+	Converge []int
+	// JoinsFailed counts joins abandoned because no live bootstrap
+	// could route them (possible mid-churn; not a failure).
+	JoinsFailed int
+	// Violations is empty on success; on failure it holds the
+	// ring-reconverge violation plus the residual ring state.
+	Violations []invariants.Violation
+	// Telemetry is the scenario's full instrument snapshot.
+	Telemetry telemetry.Snapshot
+}
+
+// Failed reports whether the scenario missed the reconvergence budget.
+func (r ChurnReport) Failed() bool { return len(r.Violations) > 0 }
+
+// MaxConverge returns the worst per-round convergence latency (0 when
+// no round completed).
+func (r ChurnReport) MaxConverge() int {
+	max := 0
+	for _, c := range r.Converge {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+func (r ChurnReport) String() string {
+	var b strings.Builder
+	mode := "chord-only"
+	if r.Gossip {
+		mode = "gossip"
+	}
+	fmt.Fprintf(&b, "churn seed %d [%s] rounds=%d converge=%v joinsFailed=%d",
+		r.Seed, mode, r.RoundsRun, r.Converge, r.JoinsFailed)
+	if r.Failed() {
+		fmt.Fprintf(&b, " FAIL (%d violations)", len(r.Violations))
+		for i, v := range r.Violations {
+			if i == 4 {
+				fmt.Fprintf(&b, "\n  ... %d more", len(r.Violations)-i)
+				break
+			}
+			fmt.Fprintf(&b, "\n  %s", v)
+		}
+	}
+	return b.String()
+}
+
+// churnMember pairs a chord node with its (optional) gossip agent.
+type churnMember struct {
+	node  *chord.Node
+	agent *gossip.Agent
+}
+
+// churnRunner holds one scenario's mutable state.
+type churnRunner struct {
+	cfg     ChurnConfig
+	kernel  *sim.Kernel
+	mem     *transport.Memory
+	tel     *telemetry.Registry
+	rng     *rand.Rand
+	members []*churnMember // live membership, sorted by address
+	nextIdx int            // next join's name index
+}
+
+// RunChurn executes one churn scenario deterministically.
+func RunChurn(cfg ChurnConfig) (rep ChurnReport) {
+	cfg.fill()
+	rep = ChurnReport{Seed: cfg.Seed, Gossip: cfg.Gossip}
+	r := &churnRunner{
+		cfg:     cfg,
+		kernel:  sim.New(cfg.Seed),
+		mem:     transport.NewMemory(cfg.Seed + 1),
+		rng:     rand.New(rand.NewSource(cfg.Seed ^ 0x0c84a71a9)),
+		nextIdx: cfg.Nodes,
+	}
+	r.tel = telemetry.New(r.kernel.Now)
+	r.mem.SetTelemetry(r.tel)
+	defer func() { rep.Telemetry = r.tel.Snapshot() }()
+
+	addrs := make([]transport.Addr, cfg.Nodes)
+	for i := range addrs {
+		addrs[i] = transport.Addr(core.NodeNameFor(i))
+	}
+	nodes, err := chord.BuildStaticRing(r.mem, addrs, chord.Config{SuccessorListLen: cfg.SuccessorListLen})
+	if err != nil {
+		rep.Violations = append(rep.Violations, invariants.Violation{
+			Invariant: "harness", Detail: fmt.Sprintf("build ring: %v", err),
+		})
+		return rep
+	}
+	for _, n := range nodes {
+		n.SetTelemetry(r.tel)
+		r.members = append(r.members, r.wire(n))
+	}
+	r.sortMembers()
+
+	if cfg.Gossip {
+		// Mix views and samplers before the first fault: each warmup
+		// round is one kernel-driven gossip round per node.
+		for w := 0; w < cfg.WarmupRounds; w++ {
+			r.step(func(m *churnMember) { m.agent.Round() })
+		}
+	}
+
+	for round := 0; round < cfg.Rounds; round++ {
+		rep.RoundsRun = round + 1
+		rep.JoinsFailed += r.join()
+		r.crashSegment()
+		r.crashRandom()
+
+		rounds, vs := invariants.CheckReconvergence(r.liveNodes(), r.maintain, cfg.Budget)
+		rep.Converge = append(rep.Converge, rounds)
+		if len(vs) > 0 {
+			rep.Violations = vs
+			return rep
+		}
+	}
+	return rep
+}
+
+// wire attaches telemetry and (in gossip mode) a membership agent to a
+// node, chaining the agent's RPCs through the node's app handler.
+func (r *churnRunner) wire(n *chord.Node) *churnMember {
+	m := &churnMember{node: n}
+	if !r.cfg.Gossip {
+		return m
+	}
+	gcfg := r.cfg.GossipCfg
+	gcfg.Seed = gossip.SeedFor(r.cfg.Seed, n.Addr())
+	a := gossip.New(r.mem, n.Self(), gcfg)
+	a.SetTelemetry(r.tel)
+	n.SetAppHandler(func(from transport.Addr, req any) (any, error) {
+		if resp, handled, err := a.HandleRPC(from, req); handled {
+			return resp, err
+		}
+		return nil, fmt.Errorf("chaos: unknown request %T", req)
+	})
+	a.SeedView(n.Successors())
+	m.agent = a
+	return m
+}
+
+// sortMembers keeps the maintenance order deterministic: by address.
+func (r *churnRunner) sortMembers() {
+	sort.Slice(r.members, func(i, j int) bool {
+		return r.members[i].node.Addr() < r.members[j].node.Addr()
+	})
+}
+
+// liveNodes projects the live membership for the invariant checker.
+func (r *churnRunner) liveNodes() []*chord.Node {
+	out := make([]*chord.Node, len(r.members))
+	for i, m := range r.members {
+		out[i] = m.node
+	}
+	return out
+}
+
+// step runs fn over the live membership in address order, inside one
+// sim-kernel event one RoundInterval ahead — maintenance is scheduled
+// wall-clock-free on virtual time like every other periodic process.
+func (r *churnRunner) step(fn func(*churnMember)) {
+	r.kernel.Schedule(r.cfg.RoundInterval, func() {
+		for _, m := range r.members {
+			fn(m)
+		}
+	})
+	r.kernel.Run()
+}
+
+// maintain is one protocol maintenance round, the unit the
+// reconvergence budget counts: per live node (address order), a gossip
+// round and sample-driven successor repair (gossip mode), then the
+// Chord trio — predecessor check, stabilize, one finger fix. A
+// stabilize that finds its whole successor list dead reports every
+// entry to the failure detector, which is what lets the next round's
+// repair drop the condemned entries and escape the stranded state.
+func (r *churnRunner) maintain() {
+	r.step(func(m *churnMember) {
+		if m.agent != nil {
+			m.agent.Round()
+			m.node.RepairFromSamples(m.agent.Samples(), m.agent.IsDead)
+		}
+		m.node.CheckPredecessor()
+		if err := m.node.Stabilize(); err != nil && m.agent != nil {
+			for _, s := range m.node.Successors() {
+				if !s.Equal(m.node.Self()) {
+					m.agent.Suspect(s)
+				}
+			}
+		}
+		m.node.FixFingers()
+	})
+}
+
+// join adds cfg.Joins fresh nodes through the live membership using the
+// real join protocol, trying each live bootstrap in address order.
+// Returns the number of joins abandoned (no bootstrap could route).
+func (r *churnRunner) join() int {
+	failed := 0
+	for j := 0; j < r.cfg.Joins; j++ {
+		addr := transport.Addr(core.NodeNameFor(r.nextIdx))
+		r.nextIdx++
+		n, err := chord.New(r.mem, addr, chord.Config{SuccessorListLen: r.cfg.SuccessorListLen})
+		if err != nil {
+			failed++
+			continue
+		}
+		n.SetTelemetry(r.tel)
+		m := r.wire(n)
+		joined := false
+		for _, b := range r.members {
+			if err := n.Join(b.node.Self()); err == nil {
+				joined = true
+				break
+			}
+		}
+		if !joined {
+			r.mem.Unregister(addr)
+			failed++
+			continue
+		}
+		if m.agent != nil {
+			m.agent.SeedView(n.Successors())
+		}
+		r.members = append(r.members, m)
+		r.sortMembers()
+	}
+	return failed
+}
+
+// crashSegment permanently crashes a contiguous run of SegmentCrash
+// nodes in ring order, chosen by the scenario RNG — the stabilization
+// killer: the survivor immediately before the segment is left with a
+// successor list whose live entries all died.
+func (r *churnRunner) crashSegment() {
+	k := r.crashBudget(r.cfg.SegmentCrash)
+	if k <= 0 {
+		return
+	}
+	ring := append([]*churnMember(nil), r.members...)
+	sort.Slice(ring, func(i, j int) bool {
+		return ring[i].node.ID().Less(ring[j].node.ID())
+	})
+	start := r.rng.Intn(len(ring))
+	for i := 0; i < k; i++ {
+		r.kill(ring[(start+1+i)%len(ring)])
+	}
+}
+
+// crashRandom crashes RandomCrash additional uniform victims.
+func (r *churnRunner) crashRandom() {
+	k := r.crashBudget(r.cfg.RandomCrash)
+	if k <= 0 {
+		return
+	}
+	perm := r.rng.Perm(len(r.members))[:k]
+	sort.Ints(perm)
+	victims := make([]*churnMember, k)
+	for i, idx := range perm {
+		victims[i] = r.members[idx]
+	}
+	for _, v := range victims {
+		r.kill(v)
+	}
+}
+
+// crashBudget clamps a kill count so the live population never drops
+// below MinLive.
+func (r *churnRunner) crashBudget(want int) int {
+	return clamp(want, len(r.members)-r.cfg.MinLive)
+}
+
+// kill crashes one member: its transport endpoint dies mid-protocol (no
+// leave, no rewiring, no revival) and it drops out of the maintenance
+// schedule and the invariant projection.
+func (r *churnRunner) kill(victim *churnMember) {
+	r.mem.Kill(victim.node.Addr())
+	if victim.agent != nil {
+		victim.agent.Stop()
+	}
+	for i, m := range r.members {
+		if m == victim {
+			r.members = append(r.members[:i], r.members[i+1:]...)
+			break
+		}
+	}
+}
+
+// ChurnPairReport is the paired chord-only/gossip verdict for one seed.
+type ChurnPairReport struct {
+	ChordOnly ChurnReport
+	Gossip    ChurnReport
+	// Violations is empty when the pair matches the expectation:
+	// chord-only FAILS reconvergence and gossip PASSES it.
+	Violations []invariants.Violation
+}
+
+// Failed reports whether the paired expectation was violated.
+func (p ChurnPairReport) Failed() bool { return len(p.Violations) > 0 }
+
+// RunChurnPair runs the same churn schedule twice — Chord-only and
+// gossip-assisted — and asserts the discriminating outcome the 10×
+// profile is checked in for: stabilization alone must miss the
+// reconvergence budget, and the gossip membership layer must meet it.
+func RunChurnPair(cfg ChurnConfig) ChurnPairReport {
+	cfg.fill()
+	chordCfg, gossipCfg := cfg, cfg
+	chordCfg.Gossip = false
+	gossipCfg.Gossip = true
+	pair := ChurnPairReport{
+		ChordOnly: RunChurn(chordCfg),
+		Gossip:    RunChurn(gossipCfg),
+	}
+	if !pair.ChordOnly.Failed() {
+		pair.Violations = append(pair.Violations, invariants.Violation{
+			Invariant: "churn-pair",
+			Detail: fmt.Sprintf("seed %d: chord-only run unexpectedly reconverged (converge=%v) — churn too weak to discriminate",
+				cfg.Seed, pair.ChordOnly.Converge),
+		})
+	}
+	if pair.Gossip.Failed() {
+		pair.Violations = append(pair.Violations, invariants.Violation{
+			Invariant: "churn-pair",
+			Detail:    fmt.Sprintf("seed %d: gossip-assisted run failed reconvergence", cfg.Seed),
+		})
+		pair.Violations = append(pair.Violations, pair.Gossip.Violations...)
+	}
+	return pair
+}
+
+// ChurnSweepReport aggregates paired churn runs across seeds.
+type ChurnSweepReport struct {
+	Scenarios int
+	// Failures holds the failing pairs, ascending by seed.
+	Failures []ChurnPairReport
+	// MaxConverge is the worst gossip-assisted convergence latency seen
+	// across all seeds — the value the perf ledger pins.
+	MaxConverge int
+	// Telemetry merges the gossip-assisted runs' snapshots in seed
+	// order (worker-count independent).
+	Telemetry telemetry.Snapshot
+}
+
+// Failed reports whether any pair in the sweep failed.
+func (s ChurnSweepReport) Failed() bool { return len(s.Failures) > 0 }
+
+func (s ChurnSweepReport) String() string {
+	return fmt.Sprintf("%d churn pairs: %d failed, max gossip convergence %d rounds",
+		s.Scenarios, len(s.Failures), s.MaxConverge)
+}
+
+// ChurnSweep runs n paired scenarios with seeds cfg.Seed…cfg.Seed+n−1
+// across workers. Each scenario owns its whole world, so the aggregate
+// is byte-identical at any worker count (assembled in seed order).
+func ChurnSweep(cfg ChurnConfig, n, workers int) ChurnSweepReport {
+	cfg.fill()
+	if workers <= 0 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	pairs := make([]ChurnPairReport, n)
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				c := cfg
+				c.Seed = cfg.Seed + int64(i)
+				pairs[i] = RunChurnPair(c)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	out := ChurnSweepReport{Scenarios: n}
+	for _, p := range pairs {
+		if mc := p.Gossip.MaxConverge(); mc > out.MaxConverge {
+			out.MaxConverge = mc
+		}
+		out.Telemetry = out.Telemetry.Merge(p.Gossip.Telemetry)
+		if p.Failed() {
+			out.Failures = append(out.Failures, p)
+		}
+	}
+	sort.Slice(out.Failures, func(i, j int) bool {
+		return out.Failures[i].ChordOnly.Seed < out.Failures[j].ChordOnly.Seed
+	})
+	return out
+}

@@ -6,11 +6,12 @@ import "peertrack/internal/telemetry"
 // zero value (all-nil handles) is a complete no-op, so uninstrumented
 // nodes pay one nil check per event.
 type nodeTelemetry struct {
-	stabilizes  *telemetry.Counter
-	repairs     *telemetry.Counter
-	lookups     *telemetry.Counter
-	lookupFails *telemetry.Counter
-	lookupHops  *telemetry.Histogram
+	stabilizes    *telemetry.Counter
+	repairs       *telemetry.Counter
+	sampleRepairs *telemetry.Counter
+	lookups       *telemetry.Counter
+	lookupFails   *telemetry.Counter
+	lookupHops    *telemetry.Histogram
 }
 
 // SetTelemetry attaches a registry. Instruments are shared by name
@@ -18,10 +19,11 @@ type nodeTelemetry struct {
 // totals. Wire before traffic starts; a nil registry detaches.
 func (n *Node) SetTelemetry(reg *telemetry.Registry) {
 	n.tel = nodeTelemetry{
-		stabilizes:  reg.Counter("chord.stabilize.rounds"),
-		repairs:     reg.Counter("chord.finger.repairs"),
-		lookups:     reg.Counter("chord.lookups"),
-		lookupFails: reg.Counter("chord.lookup.failures"),
-		lookupHops:  reg.Histogram("chord.lookup.hops", telemetry.HopBuckets()),
+		stabilizes:    reg.Counter("chord.stabilize.rounds"),
+		repairs:       reg.Counter("chord.finger.repairs"),
+		sampleRepairs: reg.Counter("chord.sample.repairs"),
+		lookups:       reg.Counter("chord.lookups"),
+		lookupFails:   reg.Counter("chord.lookup.failures"),
+		lookupHops:    reg.Histogram("chord.lookup.hops", telemetry.HopBuckets()),
 	}
 }

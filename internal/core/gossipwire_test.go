@@ -1,0 +1,106 @@
+package core
+
+import (
+	"testing"
+
+	"peertrack/internal/gossip"
+	"peertrack/internal/ids"
+)
+
+// TestDeadGatewayEviction pins the core wiring of gossip dead verdicts:
+// when a peer's failure detector condemns an address, every cached
+// gateway resolution pointing at it is evicted (so the next flush
+// re-resolves through the repaired ring, re-delegating the group) and
+// unrelated entries survive.
+func TestDeadGatewayEviction(t *testing.T) {
+	nw, err := BuildNetwork(NetworkConfig{Nodes: 8, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw.EnableGossip(gossip.Config{})
+	for i := 0; i < 6; i++ {
+		nw.GossipRound()
+	}
+
+	p := nw.Peers()[0]
+	victim := nw.Peers()[3].Node().Self()
+	other := nw.Peers()[5].Node().Self()
+	keyDead1 := ids.MustParsePrefix("0101").Key()
+	keyDead2 := ids.MustParsePrefix("0110").Key()
+	keyLive := ids.MustParsePrefix("1001").Key()
+	p.cacheMu.Lock()
+	p.gwCache = newRefCache(8)
+	p.gwCache.put(keyDead1, victim)
+	p.gwCache.put(keyDead2, victim)
+	p.gwCache.put(keyLive, other)
+	p.cacheMu.Unlock()
+
+	// Two failed-contact reports cross the default suspicion threshold;
+	// the dead verdict must fire the eviction callback synchronously.
+	g := p.Gossip()
+	if g.Suspect(victim) {
+		t.Fatal("first suspicion already crossed the threshold")
+	}
+	if !g.Suspect(victim) {
+		t.Fatal("second suspicion did not cross the threshold")
+	}
+
+	p.cacheMu.Lock()
+	defer p.cacheMu.Unlock()
+	if _, ok := p.gwCache.get(keyDead1); ok {
+		t.Error("cached resolution to dead gateway survived (key 0101)")
+	}
+	if _, ok := p.gwCache.get(keyDead2); ok {
+		t.Error("cached resolution to dead gateway survived (key 0110)")
+	}
+	if ref, ok := p.gwCache.get(keyLive); !ok || !ref.Equal(other) {
+		t.Error("unrelated cached resolution was evicted")
+	}
+
+	evictions := uint64(0)
+	for _, c := range nw.Telemetry.Snapshot().Counters {
+		if c.Name == "core.gwcache.dead_evictions" {
+			evictions = c.Value
+		}
+	}
+	if evictions != 2 {
+		t.Errorf("core.gwcache.dead_evictions = %d, want 2", evictions)
+	}
+}
+
+// TestGrowAttachesGossip pins the lifecycle wiring: peers added after
+// EnableGossip get agents automatically, leavers' agents stop, and the
+// network-level size estimate tracks the membership.
+func TestGrowAttachesGossip(t *testing.T) {
+	nw, err := BuildNetwork(NetworkConfig{Nodes: 8, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw.EnableGossip(gossip.Config{SampleSlots: 16})
+	if _, _, err := nw.Grow(8); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range nw.Peers() {
+		if p.Gossip() == nil {
+			t.Fatalf("peer %s has no gossip agent after Grow", p.Addr())
+		}
+	}
+	for i := 0; i < 20; i++ {
+		nw.GossipRound()
+	}
+	est := nw.GossipSizeEstimate()
+	if est < 8 || est > 32 {
+		t.Errorf("size estimate %.1f implausible for a 16-node network", est)
+	}
+
+	leaver := nw.Peers()[len(nw.Peers())-1]
+	if _, _, err := nw.Shrink(1); err != nil {
+		t.Fatal(err)
+	}
+	// A stopped agent refuses rounds; its view must stay frozen.
+	before := leaver.Gossip().View()
+	leaver.Gossip().Round()
+	if len(before) != len(leaver.Gossip().View()) {
+		t.Error("leaver's agent still gossiping after Shrink")
+	}
+}

@@ -27,6 +27,8 @@ type peerTelemetry struct {
 	locateHops *telemetry.Histogram
 	traces     *telemetry.Counter
 	traceHops  *telemetry.Histogram
+
+	gwDeadEvictions *telemetry.Counter // cached resolutions evicted on gossip dead verdicts
 }
 
 // SetTelemetry attaches a registry; wire before traffic starts (the
@@ -52,5 +54,7 @@ func (p *Peer) SetTelemetry(reg *telemetry.Registry) {
 		locateHops: reg.Histogram("core.locate.hops", telemetry.HopBuckets()),
 		traces:     reg.Counter("core.traces"),
 		traceHops:  reg.Histogram("core.trace.hops", telemetry.HopBuckets()),
+
+		gwDeadEvictions: reg.Counter("core.gwcache.dead_evictions"),
 	}
 }

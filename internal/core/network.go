@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"peertrack/internal/chord"
+	"peertrack/internal/gossip"
 	"peertrack/internal/kademlia"
 	"peertrack/internal/moods"
 	"peertrack/internal/overlay"
@@ -47,6 +48,12 @@ type Network struct {
 	peers  []*Peer
 	byName map[moods.NodeName]*Peer
 	cfg    NetworkConfig
+
+	// gossipOn records that EnableGossip ran, so peers added by Grow
+	// get agents too; gossipCfg is the template their configs derive
+	// from (per-peer seeds are re-derived from the network seed).
+	gossipOn  bool
+	gossipCfg gossip.Config
 }
 
 // NetworkConfig configures BuildNetwork.
@@ -333,6 +340,13 @@ func (nw *Network) Grow(k int) (int, int, error) {
 		}
 		chord.WireStaticRing(chordNodes)
 	}
+	if nw.gossipOn {
+		// Attach after wiring so the fresh peers' views seed from real
+		// ring neighbours; existing views learn the newcomers by mixing.
+		for _, p := range nw.peers[start:] {
+			nw.attachGossipPeer(p)
+		}
+	}
 	oldLp, newLp := nw.PM.SetNetworkSize(float64(len(nw.peers)))
 	nw.Reconcile()
 	return oldLp, newLp, nil
@@ -374,6 +388,9 @@ func (nw *Network) Shrink(k int) (int, int, error) {
 	// still points into the old ring, but their lookups route through
 	// survivors, so reconciliation lands the records on the new owners.
 	for _, l := range leavers {
+		if g := l.Gossip(); g != nil {
+			g.Stop()
+		}
 		l.InvalidateGatewayCache()
 		for pass := 0; pass < 8 && l.ReconcileStep() > 0; pass++ {
 		}

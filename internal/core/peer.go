@@ -19,6 +19,7 @@ import (
 	"sync"
 	"time"
 
+	"peertrack/internal/gossip"
 	"peertrack/internal/ids"
 	"peertrack/internal/moods"
 	"peertrack/internal/overlay"
@@ -129,6 +130,12 @@ type Peer struct {
 	// tel is set once at wiring time (before traffic) and read without
 	// the lock on indexing and query paths.
 	tel peerTelemetry
+
+	// gossip, when attached, serves membership exchanges ahead of the
+	// traceability protocol and feeds dead-gateway verdicts into the
+	// resolution cache. Set once at wiring time (before traffic), like
+	// tel; see gossipwire.go.
+	gossip *gossip.Agent
 }
 
 // NewPeer wires a peer onto an existing Chord node, installing its
@@ -448,6 +455,11 @@ func (p *Peer) handleRPC(from transport.Addr, req any) (any, error) {
 	case routedTraceReq:
 		return p.handleRoutedTrace(from, r)
 	default:
+		if g := p.gossip; g != nil {
+			if resp, handled, err := g.HandleRPC(from, req); handled {
+				return resp, err
+			}
+		}
 		if resp, handled := p.handleAggregate(req); handled {
 			return resp, nil
 		}

@@ -1,0 +1,33 @@
+package gossip
+
+import "peertrack/internal/telemetry"
+
+// agentTelemetry carries the agent's prebuilt instrument handles. The
+// zero value (all-nil handles) is a complete no-op, matching the
+// instrumentation pattern of chord and core.
+type agentTelemetry struct {
+	rounds          *telemetry.Counter
+	exchanges       *telemetry.Counter
+	exchangesServed *telemetry.Counter
+	exchangeFails   *telemetry.Counter
+	probes          *telemetry.Counter
+	probeFails      *telemetry.Counter
+	deaths          *telemetry.Counter
+	resurrections   *telemetry.Counter
+}
+
+// SetTelemetry attaches a registry. Instruments are shared by name
+// across every agent wired to the same registry, giving network-wide
+// totals. Wire before traffic starts; a nil registry detaches.
+func (a *Agent) SetTelemetry(reg *telemetry.Registry) {
+	a.tel = agentTelemetry{
+		rounds:          reg.Counter("gossip.rounds"),
+		exchanges:       reg.Counter("gossip.exchanges"),
+		exchangesServed: reg.Counter("gossip.exchanges.served"),
+		exchangeFails:   reg.Counter("gossip.exchange.failures"),
+		probes:          reg.Counter("gossip.probes"),
+		probeFails:      reg.Counter("gossip.probe.failures"),
+		deaths:          reg.Counter("gossip.deaths"),
+		resurrections:   reg.Counter("gossip.resurrections"),
+	}
+}

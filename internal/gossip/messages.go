@@ -1,0 +1,72 @@
+package gossip
+
+import (
+	"peertrack/internal/overlay"
+	"peertrack/internal/transport"
+)
+
+// Entry is one membership-view slot: a node reference plus its age in
+// gossip rounds. Age 0 means "the node itself vouched for this entry
+// this round"; every round of silence ages it by one, and merges keep
+// the youngest report per address, so fresh liveness information always
+// displaces stale hearsay.
+type Entry struct {
+	Ref overlay.NodeRef
+	Age uint32
+}
+
+// exchangeReq is the push half of a push/pull view exchange: the
+// sender's self-entry (age 0) plus a copy of its current view.
+type exchangeReq struct {
+	From    overlay.NodeRef
+	Entries []Entry
+}
+
+// exchangeResp is the pull half: the receiver's pre-merge view plus its
+// self-entry, so both sides learn the union.
+type exchangeResp struct {
+	Entries []Entry
+}
+
+// probeReq validates a sampler element or view entry: any answer at all
+// proves liveness.
+type probeReq struct{}
+
+// probeResp carries the prober target's self reference.
+type probeResp struct {
+	Self overlay.NodeRef
+}
+
+// entryWireSize approximates one Entry on the wire: a 20-byte
+// identifier, the address, and the age word.
+func entryWireSize(e Entry) int {
+	return 20 + len(e.Ref.Addr) + 4
+}
+
+// WireSize implements transport.WireSizer for byte accounting.
+func (r exchangeReq) WireSize() int {
+	n := 20 + len(r.From.Addr)
+	for _, e := range r.Entries {
+		n += entryWireSize(e)
+	}
+	return n
+}
+
+// WireSize implements transport.WireSizer.
+func (r exchangeResp) WireSize() int {
+	n := 0
+	for _, e := range r.Entries {
+		n += entryWireSize(e)
+	}
+	return n
+}
+
+// WireSize implements transport.WireSizer.
+func (r probeResp) WireSize() int { return 20 + len(r.Self.Addr) }
+
+func init() {
+	transport.Register(exchangeReq{})
+	transport.Register(exchangeResp{})
+	transport.Register(probeReq{})
+	transport.Register(probeResp{})
+}

@@ -1,0 +1,116 @@
+package gossip
+
+import (
+	"math"
+
+	"peertrack/internal/overlay"
+	"peertrack/internal/transport"
+)
+
+// sampler is a min-wise sampler: k slots, each with an independent
+// seeded 64-bit hash; a slot retains the observed address minimizing
+// its hash. Because the minimizer of a uniform hash over any observed
+// multiset is a uniform sample of the distinct elements, the slots are
+// k near-independent uniform node samples — regardless of how skewed
+// the observation stream is (view entries arrive in proportion to
+// gossip mixing, not uniformly).
+//
+// The same minima drive size estimation: with N distinct addresses, the
+// normalized minimum x = (h+1)/2^64 of each slot is ≈ the minimum of N
+// uniform (0,1] draws, so Σx over k slots is Gamma(k, 1/N)-distributed
+// and N̂ = (k−1)/Σx is the standard unbiased order-statistics estimator
+// (as in min-wise/KMV distinct-value sketches).
+//
+// Minima only ever decrease, so a crashed node would pin its slots
+// forever; invalidate clears every slot held by a dead address and the
+// slot refills from subsequent observations, which is how shrink
+// schedules become visible to the estimator.
+type sampler struct {
+	slots []slot
+	seeds []uint64
+}
+
+type slot struct {
+	ref  overlay.NodeRef
+	hash uint64
+	full bool
+}
+
+// init sizes the sampler with k slots whose hash seeds are derived from
+// base via splitmix64, the standard way to fan one seed into many
+// independent streams.
+func (s *sampler) init(k int, base uint64) {
+	s.slots = make([]slot, k)
+	s.seeds = make([]uint64, k)
+	x := base
+	for i := range s.seeds {
+		x += 0x9e3779b97f4a7c15
+		s.seeds[i] = mix64(x)
+	}
+}
+
+// feed offers one observed address to every slot.
+func (s *sampler) feed(r overlay.NodeRef) {
+	if r.IsZero() {
+		return
+	}
+	base := addrHash(r.Addr)
+	for i := range s.slots {
+		h := mix64(base ^ s.seeds[i])
+		if !s.slots[i].full || h < s.slots[i].hash {
+			s.slots[i] = slot{ref: r, hash: h, full: true}
+		}
+	}
+}
+
+// invalidate clears every slot retaining addr.
+func (s *sampler) invalidate(addr transport.Addr) {
+	for i := range s.slots {
+		if s.slots[i].full && s.slots[i].ref.Addr == addr {
+			s.slots[i] = slot{}
+		}
+	}
+}
+
+// estimate returns N̂ = (k−1)/Σx over the filled slots, or 0 while
+// fewer than two slots are filled (the estimator is undefined at k<2).
+func (s *sampler) estimate() float64 {
+	filled := 0
+	sum := 0.0
+	for i := range s.slots {
+		if s.slots[i].full {
+			filled++
+			sum += (float64(s.slots[i].hash) + 1) / math.Exp2(64)
+		}
+	}
+	if filled < 2 || sum <= 0 {
+		return 0
+	}
+	est := float64(filled-1) / sum
+	if est < 1 {
+		est = 1
+	}
+	return est
+}
+
+// addrHash is FNV-1a over the address bytes, allocation-free.
+func addrHash(addr transport.Addr) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(addr); i++ {
+		h ^= uint64(addr[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// mix64 is the splitmix64 finalizer: a full-avalanche bijection that
+// spreads the FNV output uniformly over 64 bits, which the normalized-
+// minimum estimator depends on.
+func mix64(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}

@@ -1,0 +1,38 @@
+package invariants
+
+import (
+	"fmt"
+
+	"peertrack/internal/chord"
+)
+
+// CheckReconvergence asserts the churn-recovery invariant: after the
+// last fault, the ring reconverges within maxRounds maintenance rounds.
+// It drives the caller's maintain closure (one protocol maintenance
+// round — stabilize, predecessor checks, optional gossip repair — over
+// every live node) until CheckRing reports a clean ring or the budget
+// is exhausted, and returns the number of rounds consumed.
+//
+// On success the violation slice is empty and the round count is the
+// scenario's convergence latency — the metric the churn ledger pins.
+// On exhaustion a "ring-reconverge" violation heads the residual
+// CheckRing violations, so a failing report names both the invariant
+// and the stuck state behind it.
+func CheckReconvergence(nodes []*chord.Node, maintain func(), maxRounds int) (int, []Violation) {
+	for round := 0; ; round++ {
+		vs := CheckRing(nodes)
+		if len(vs) == 0 {
+			return round, nil
+		}
+		if round >= maxRounds {
+			out := make([]Violation, 0, len(vs)+1)
+			out = append(out, Violation{
+				Invariant: "ring-reconverge",
+				Detail: fmt.Sprintf("ring failed to reconverge within %d maintenance rounds (%d residual violations)",
+					maxRounds, len(vs)),
+			})
+			return round, append(out, vs...)
+		}
+		maintain()
+	}
+}

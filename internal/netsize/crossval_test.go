@@ -1,0 +1,170 @@
+package netsize_test
+
+// Cross-validation of the three network-size estimators feeding
+// adaptive Lp: the successor-list density inversion and push-pull
+// epidemic averaging (this package) against the gossip membership
+// layer's min-wise estimator (internal/gossip). The estimators share
+// nothing — different inputs, different math — so agreement within the
+// tolerance is evidence each is measuring the network, not itself, and
+// divergence on a grow/shrink schedule fails the build.
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"peertrack/internal/core"
+	"peertrack/internal/gossip"
+	"peertrack/internal/ids"
+	"peertrack/internal/netsize"
+	"peertrack/internal/overlay"
+	"peertrack/internal/transport"
+)
+
+// tolerance is the allowed multiplicative divergence between an
+// estimate and the reference. Min-wise with 32 slots carries ~18%
+// relative error and density inversion a small constant factor; 1.6×
+// holds both with margin while still failing on any systematic drift
+// (an estimator stuck at the pre-grow size diverges by 2×).
+const tolerance = 1.6
+
+func within(t *testing.T, label string, got, want float64) {
+	t.Helper()
+	if got <= 0 {
+		t.Errorf("%s: estimate %v not positive (want ≈ %v)", label, got, want)
+		return
+	}
+	if got > want*tolerance || got < want/tolerance {
+		t.Errorf("%s: estimate %.1f diverges from %.1f beyond %.1f×", label, got, want, tolerance)
+	}
+}
+
+// TestGossipEstimateCrossValidation drives a core network through a
+// grow/shrink schedule and, at every plateau, checks the membership
+// layer's size estimate against the true size and the density
+// estimator reading the same ring.
+func TestGossipEstimateCrossValidation(t *testing.T) {
+	nw, err := core.BuildNetwork(core.NetworkConfig{Nodes: 16, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw.EnableGossip(gossip.Config{SampleSlots: 32})
+
+	// Mixing budget per plateau: the sampler probes one slot per round,
+	// so washing crashed/left minima out of all 32 slots needs up to two
+	// probe cycles (suspicion threshold 2) — 80 rounds covers it.
+	settle := func(rounds int) {
+		for i := 0; i < rounds; i++ {
+			nw.GossipRound()
+		}
+	}
+
+	density := func() float64 {
+		ests := make([]float64, 0, len(nw.Peers()))
+		for _, p := range nw.Peers() {
+			ests = append(ests, netsize.DensityEstimate(p.Node().Self(), p.Node().Neighbors()))
+		}
+		sort.Float64s(ests)
+		return ests[len(ests)/2]
+	}
+
+	schedule := []struct {
+		name   string
+		apply  func() error
+		want   float64
+		rounds int
+	}{
+		{"initial 16", func() error { return nil }, 16, 20},
+		{"grow to 32", func() error { _, _, err := nw.Grow(16); return err }, 32, 20},
+		{"grow to 48", func() error { _, _, err := nw.Grow(16); return err }, 48, 20},
+		{"shrink to 24", func() error { _, _, err := nw.Shrink(24); return err }, 24, 80},
+		{"shrink to 12", func() error { _, _, err := nw.Shrink(12); return err }, 12, 80},
+	}
+	for _, step := range schedule {
+		if err := step.apply(); err != nil {
+			t.Fatalf("%s: %v", step.name, err)
+		}
+		settle(step.rounds)
+		got := nw.GossipSizeEstimate()
+		within(t, step.name+" gossip vs truth", got, step.want)
+		within(t, step.name+" gossip vs density", got, density())
+	}
+}
+
+// TestMinwiseVsEpidemicAveraging cross-validates the two gossip-based
+// estimators head to head on one raw transport, no overlay involved:
+// push-pull epidemic averaging (this package) and the membership
+// layer's min-wise sampler, both driven for the same number of rounds
+// over the same membership.
+func TestMinwiseVsEpidemicAveraging(t *testing.T) {
+	for _, n := range []int{8, 24, 64} {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			mem := transport.NewMemory(int64(n))
+			addrs := make([]transport.Addr, n)
+			refs := make([]overlay.NodeRef, n)
+			for i := range addrs {
+				addrs[i] = transport.Addr(fmt.Sprintf("xval-%04d", i))
+				refs[i] = overlay.NodeRef{ID: ids.HashString(string(addrs[i])), Addr: addrs[i]}
+			}
+			agents := make([]*gossip.Agent, n)
+			avgs := make([]*netsize.Gossip, n)
+			for i := range addrs {
+				agents[i] = gossip.New(mem, refs[i], gossip.Config{
+					SampleSlots: 32,
+					Seed:        gossip.SeedFor(int64(n), addrs[i]),
+				})
+				avgs[i] = netsize.NewGossip(mem, addrs[i], i == 0)
+				a, g := agents[i], avgs[i]
+				if err := mem.Register(addrs[i], func(from transport.Addr, req any) (any, error) {
+					if resp, handled, err := a.HandleRPC(from, req); handled {
+						return resp, err
+					}
+					if resp, handled, err := g.HandleRPC(from, req); handled {
+						return resp, err
+					}
+					return nil, fmt.Errorf("unhandled %T", req)
+				}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for i := range agents {
+				agents[i].SeedView([]overlay.NodeRef{refs[(i+1)%n], refs[(i+n-1)%n]})
+				peers := make([]transport.Addr, 0, n-1)
+				for j, addr := range addrs {
+					if j != i {
+						peers = append(peers, addr)
+					}
+				}
+				avgs[i].SetPeers(peers)
+			}
+			rng := rand.New(rand.NewSource(int64(n) ^ 0xa7e))
+			rounds := 30
+			for r := 0; r < rounds; r++ {
+				for i := range agents {
+					agents[i].Round()
+					avgs[i].Round(rng.Intn)
+				}
+			}
+			minwise := make([]float64, 0, n)
+			epidemic := make([]float64, 0, n)
+			for i := range agents {
+				if e := agents[i].Estimate(); e > 0 {
+					minwise = append(minwise, e)
+				}
+				if e := avgs[i].Estimate(); e > 0 {
+					epidemic = append(epidemic, e)
+				}
+			}
+			if len(minwise) < n/2 || len(epidemic) < n/2 {
+				t.Fatalf("estimators unconverged: %d/%d min-wise, %d/%d epidemic", len(minwise), n, len(epidemic), n)
+			}
+			sort.Float64s(minwise)
+			sort.Float64s(epidemic)
+			mw, ep := minwise[len(minwise)/2], epidemic[len(epidemic)/2]
+			within(t, "min-wise vs truth", mw, float64(n))
+			within(t, "epidemic vs truth", ep, float64(n))
+			within(t, "min-wise vs epidemic", mw, ep)
+		})
+	}
+}
