@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check vet lint race bench figures chaos-short chaos telemetry-demo profile xl ledger-check
+.PHONY: build test check vet lint lint-selftest race bench figures chaos-short chaos telemetry-demo profile xl ledger-check
 
 build:
 	$(GO) build ./...
@@ -11,14 +11,24 @@ test:
 vet:
 	$(GO) vet ./...
 
-# lint builds the in-tree determinism checker and runs it over the whole
-# module (test files included). It exits non-zero on any unsuppressed
-# diagnostic; suppress a deliberate exception with
-# `//lint:allow <pass> <reason>` on or above the flagged line. The same
-# binary speaks the vettool protocol:
+# lint builds the in-tree checker and runs all eight passes (the v1
+# syntax passes and the v2 interprocedural ones) over the whole module,
+# test files included. Findings present in lint-baseline.json are
+# tolerated (and reported as stale once they disappear); anything new
+# exits non-zero. Suppress a deliberate exception with
+# `//lint:allow <pass> <reason>` on or above the flagged line — the
+# reason is mandatory, and stale allows are findings themselves. The
+# run also emits lint.sarif for CI artifact upload. The same binary
+# speaks the vettool protocol:
 #   go vet -vettool=bin/peertrack-lint ./...
 lint: bin/peertrack-lint
-	./bin/peertrack-lint ./...
+	./bin/peertrack-lint -baseline lint-baseline.json -sarif lint.sarif ./...
+
+# lint-selftest runs the analyzer suite's own tests: the want-comment
+# corpora for all eight passes, the diamond call-graph fixture, the
+# allow-hygiene fixture, and the live-tree cleanliness pin.
+lint-selftest:
+	$(GO) test ./internal/analysis/...
 
 bin/peertrack-lint: FORCE
 	$(GO) build -o bin/peertrack-lint ./cmd/peertrack-lint

@@ -1,13 +1,17 @@
 // Command peertrack-lint runs the repo's custom static-analysis suite
-// (internal/analysis): detwall, detrand, maporder, msgfreeze.
+// (internal/analysis): the v1 syntax passes (detwall, detrand,
+// maporder, msgfreeze) and the v2 interprocedural passes (hotalloc,
+// lockheld, sendalias, sortedsource).
 //
 // Standalone (the make lint path):
 //
 //	peertrack-lint ./...
-//	peertrack-lint -tests=false -passes=detwall,maporder ./internal/...
+//	peertrack-lint -pass hotalloc,lockheld ./internal/...
+//	peertrack-lint -baseline lint-baseline.json -sarif lint.sarif ./...
 //
 // As a go vet tool (the unitchecker protocol — go vet hands the tool a
-// JSON .cfg per package with pre-built export data):
+// JSON .cfg per package with pre-built export data; interprocedural
+// facts ride the .vetx files between units, bottom-up):
 //
 //	go vet -vettool=$(pwd)/bin/peertrack-lint ./...
 //
@@ -43,18 +47,26 @@ func main() {
 	}
 
 	tests := flag.Bool("tests", true, "also lint _test.go files (test variants), as go vet does")
-	passes := flag.String("passes", "", "comma-separated subset of passes to run (default all: detwall,detrand,maporder,msgfreeze)")
+	passSpec := flag.String("pass", "", "comma-separated subset of passes to run (default: all eight)")
+	passesCompat := flag.String("passes", "", "alias for -pass (kept for compatibility)")
+	sarifPath := flag.String("sarif", "", "write findings as SARIF 2.1.0 to this file ('-' for stdout)")
+	baselinePath := flag.String("baseline", "", "baseline JSON file; only findings absent from it fail the run")
+	writeBaseline := flag.Bool("write-baseline", false, "regenerate the -baseline file from the current findings and exit 0")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: peertrack-lint [flags] [packages]\n       (as vet tool) peertrack-lint <unit>.cfg\n\nPasses:\n")
 		for _, a := range analysis.All() {
-			fmt.Fprintf(os.Stderr, "  %-10s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
 		}
-		fmt.Fprintf(os.Stderr, "\nSuppress a finding with `//lint:allow <pass> <why>` on or above the line.\n\nFlags:\n")
+		fmt.Fprintf(os.Stderr, "\nSuppress a finding with `//lint:allow <pass> <why>` on or above the line.\nBare allows, allows for unknown passes, and stale allows are findings themselves.\n\nFlags:\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 
-	selected, err := selectPasses(*passes)
+	spec := *passSpec
+	if spec == "" {
+		spec = *passesCompat
+	}
+	selected, err := selectPasses(spec)
 	if err != nil {
 		fatal(err)
 	}
@@ -64,7 +76,7 @@ func main() {
 		runUnitchecker(args[0], selected)
 		return
 	}
-	runStandalone(args, *tests, selected)
+	runStandalone(args, *tests, selected, *sarifPath, *baselinePath, *writeBaseline)
 }
 
 func selectPasses(spec string) ([]*analysis.Analyzer, error) {
@@ -87,7 +99,7 @@ func selectPasses(spec string) ([]*analysis.Analyzer, error) {
 	return out, nil
 }
 
-func runStandalone(patterns []string, tests bool, passes []*analysis.Analyzer) {
+func runStandalone(patterns []string, tests bool, passes []*analysis.Analyzer, sarifPath, baselinePath string, writeBaseline bool) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -99,9 +111,25 @@ func runStandalone(patterns []string, tests bool, passes []*analysis.Analyzer) {
 	if err != nil {
 		fatal(err)
 	}
+
+	// Facts first, for every loaded package, before any pass runs: the
+	// interprocedural queries need the whole module's summaries, and
+	// fact extraction consumes //lint:allow comments the stale-allow
+	// check accounts for later.
+	facts := analysis.NewFactStore()
+	for _, lp := range pkgs {
+		analysis.ComputeFacts(fset, lp, facts)
+	}
+
+	fullSuite := len(passes) == len(analysis.All())
 	var findings []analysis.Finding
 	for _, lp := range pkgs {
-		fs, err := analysis.RunPackage(fset, lp, passes, true)
+		fs, err := analysis.RunPackageOpts(fset, lp, passes, analysis.RunOptions{
+			RespectFilters: true,
+			Facts:          facts,
+			CheckAllows:    true,
+			FullSuite:      fullSuite,
+		})
 		if err != nil {
 			fatal(err)
 		}
@@ -109,11 +137,55 @@ func runStandalone(patterns []string, tests bool, passes []*analysis.Analyzer) {
 	}
 	analysis.SortFindings(findings)
 	findings = analysis.Dedup(findings)
-	for _, f := range findings {
+
+	if writeBaseline {
+		if baselinePath == "" {
+			fatal(fmt.Errorf("-write-baseline requires -baseline <path>"))
+		}
+		if err := analysis.WriteBaseline(baselinePath, findings, cwd); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "peertrack-lint: wrote %d finding(s) to %s\n", len(findings), baselinePath)
+		return
+	}
+
+	gating := findings
+	if baselinePath != "" {
+		base, err := analysis.LoadBaseline(baselinePath)
+		if err != nil {
+			fatal(err)
+		}
+		var stale []analysis.BaselineEntry
+		gating, stale = base.Apply(findings, cwd)
+		for _, e := range stale {
+			fmt.Fprintf(os.Stderr, "peertrack-lint: stale baseline entry (no longer reported): [%s] %s: %s\n", e.Pass, e.File, e.Message)
+		}
+	}
+
+	if sarifPath != "" {
+		out := os.Stdout
+		if sarifPath != "-" {
+			f, err := os.Create(sarifPath)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := analysis.EmitSARIF(out, findings, passes, cwd); err != nil {
+			fatal(err)
+		}
+	}
+
+	for _, f := range gating {
 		fmt.Fprintln(os.Stderr, f)
 	}
-	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "peertrack-lint: %d finding(s)\n", len(findings))
+	if len(gating) > 0 {
+		fmt.Fprintf(os.Stderr, "peertrack-lint: %d finding(s)", len(gating))
+		if baselinePath != "" {
+			fmt.Fprintf(os.Stderr, " not in baseline %s", baselinePath)
+		}
+		fmt.Fprintln(os.Stderr)
 		os.Exit(2)
 	}
 }
@@ -147,37 +219,69 @@ func runUnitchecker(cfgPath string, passes []*analysis.Analyzer) {
 	if err := json.Unmarshal(data, &cfg); err != nil {
 		fatal(fmt.Errorf("parsing %s: %v", cfgPath, err))
 	}
-	// The vetx file carries analyzer facts between packages; this suite
-	// is fact-free, but go vet requires the output to exist.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, []byte("peertrack-lint: no facts\n"), 0o666); err != nil {
+
+	// Merge the fact stores of every dependency unit: each .vetx holds
+	// that package's transitive closure of facts, so the union covers
+	// everything this unit's call chains can reach.
+	facts := analysis.NewFactStore()
+	for _, vetx := range cfg.PackageVetx {
+		if data, err := os.ReadFile(vetx); err == nil {
+			facts.Merge(analysis.DecodeFactStore(data))
+		}
+	}
+
+	// writeVetx must run on every exit path go vet expects output from.
+	wroteVetx := false
+	writeVetx := func() {
+		if cfg.VetxOutput == "" || wroteVetx {
+			return
+		}
+		wroteVetx = true
+		data, err := facts.EncodeJSON()
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(cfg.VetxOutput, data, 0o666); err != nil {
 			fatal(err)
 		}
 	}
-	if cfg.VetxOnly {
+
+	// Only module packages contribute facts; stdlib effects are tabled
+	// at call sites during summarization.
+	isModule := strings.HasPrefix(analysis.NormalizeImportPath(cfg.ImportPath), analysis.ModulePath)
+
+	var lp *analysis.LoadedPackage
+	fset := token.NewFileSet()
+	if isModule && len(cfg.GoFiles) > 0 {
+		files, err := analysis.ParseFiles(fset, cfg.Dir, cfg.GoFiles)
+		if err == nil {
+			imp := analysis.NewExportImporter(fset, cfg.PackageFile, cfg.ImportMap)
+			pkg, info, cerr := analysis.TypeCheck(fset, cfg.ImportPath, files, imp)
+			if cerr == nil {
+				lp = &analysis.LoadedPackage{
+					ImportPath: cfg.ImportPath, Dir: cfg.Dir, Files: files, Pkg: pkg, Info: info,
+				}
+				analysis.ComputeFacts(fset, lp, facts)
+			} else if !cfg.SucceedOnTypecheckFailure {
+				writeVetx()
+				fatal(fmt.Errorf("type-checking %s: %v", cfg.ImportPath, cerr))
+			}
+		} else if !cfg.SucceedOnTypecheckFailure {
+			writeVetx()
+			fatal(err)
+		}
+	}
+	writeVetx()
+	if cfg.VetxOnly || lp == nil {
 		return
 	}
 
-	fset := token.NewFileSet()
-	files, err := analysis.ParseFiles(fset, cfg.Dir, cfg.GoFiles)
-	if err != nil {
-		if cfg.SucceedOnTypecheckFailure {
-			return
-		}
-		fatal(err)
-	}
-	imp := analysis.NewExportImporter(fset, cfg.PackageFile, cfg.ImportMap)
-	pkg, info, err := analysis.TypeCheck(fset, cfg.ImportPath, files, imp)
-	if err != nil {
-		if cfg.SucceedOnTypecheckFailure {
-			return
-		}
-		fatal(fmt.Errorf("type-checking %s: %v", cfg.ImportPath, err))
-	}
-	lp := &analysis.LoadedPackage{
-		ImportPath: cfg.ImportPath, Dir: cfg.Dir, Files: files, Pkg: pkg, Info: info,
-	}
-	findings, err := analysis.RunPackage(fset, lp, passes, true)
+	findings, err := analysis.RunPackageOpts(fset, lp, passes, analysis.RunOptions{
+		RespectFilters: true,
+		Facts:          facts,
+		CheckAllows:    true,
+		FullSuite:      len(passes) == len(analysis.All()),
+	})
 	if err != nil {
 		fatal(err)
 	}

@@ -63,8 +63,23 @@ type Pass struct {
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+	// ImportPath is the package's import path as loaded (test variants
+	// keep their qualifier; NormalizeImportPath strips it).
+	ImportPath string
+	// Facts is the interprocedural fact store, filled for every module
+	// package before any v2 pass runs. Nil for the v1 syntax passes'
+	// tests; the v2 passes treat a nil store as empty.
+	Facts *FactStore
 	// Report is called for each finding.
 	Report func(Diagnostic)
+}
+
+// facts returns the pass's fact store, never nil.
+func (p *Pass) facts() *FactStore {
+	if p.Facts == nil {
+		return NewFactStore()
+	}
+	return p.Facts
 }
 
 // Reportf reports a formatted diagnostic at pos.
@@ -112,9 +127,10 @@ func deterministicOnly(importPath string) bool {
 	return DeterministicPackages[NormalizeImportPath(importPath)]
 }
 
-// All returns the full pass suite in stable order.
+// All returns the full pass suite in stable order: the v1 syntax
+// passes, then the v2 interprocedural passes.
 func All() []*Analyzer {
-	return []*Analyzer{DetWall, DetRand, MapOrder, MsgFreeze}
+	return []*Analyzer{DetWall, DetRand, MapOrder, MsgFreeze, HotAlloc, LockHeld, SendAlias, SortedSource}
 }
 
 // pkgNameOf resolves an identifier to the package it names, or nil if

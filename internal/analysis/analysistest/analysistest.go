@@ -53,24 +53,78 @@ func TestData() string {
 
 // Run loads each named testdata package, applies the analyzer (package
 // filters ignored, //lint:allow honored), and reports mismatches
-// against the want comments through t.
+// against the want comments through t. Interprocedural facts are
+// computed for the package and every testdata package it imports, so
+// the v2 passes see the same call-graph summaries the real driver
+// builds.
 func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
 	t.Helper()
 	for _, pkg := range pkgs {
-		runOne(t, testdata, a, pkg)
+		runOne(t, testdata, []*analysis.Analyzer{a}, false, pkg)
 	}
 }
 
-func runOne(t *testing.T, testdata string, a *analysis.Analyzer, pkg string) {
+// Analyze loads pkg (plus its testdata imports), computes facts, and
+// returns the raw findings of the full eight-pass suite with allow
+// hygiene enabled — for tests asserting on findings programmatically,
+// where want comments cannot express the expectation (a want on a bare
+// //lint:allow line would become its "reason").
+func Analyze(t *testing.T, testdata, pkg string) []analysis.Finding {
 	t.Helper()
 	ld := newLoader(filepath.Join(testdata, "src"))
 	lp, err := ld.load(pkg)
 	if err != nil {
 		t.Fatalf("loading testdata package %s: %v", pkg, err)
 	}
-	findings, err := analysis.RunPackage(ld.fset, lp, []*analysis.Analyzer{a}, false)
+	facts := analysis.NewFactStore()
+	for _, dep := range ld.order {
+		analysis.ComputeFacts(ld.fset, ld.local[dep], facts)
+	}
+	findings, err := analysis.RunPackageOpts(ld.fset, lp, analysis.All(), analysis.RunOptions{
+		Facts:       facts,
+		CheckAllows: true,
+		FullSuite:   true,
+	})
 	if err != nil {
-		t.Fatalf("running %s on %s: %v", a.Name, pkg, err)
+		t.Fatalf("running suite on %s: %v", pkg, err)
+	}
+	return findings
+}
+
+// LoadFacts loads pkg (plus its testdata imports) and returns the
+// computed fact store — for tests asserting on the call-graph and
+// chain machinery directly.
+func LoadFacts(t *testing.T, testdata, pkg string) *analysis.FactStore {
+	t.Helper()
+	ld := newLoader(filepath.Join(testdata, "src"))
+	if _, err := ld.load(pkg); err != nil {
+		t.Fatalf("loading testdata package %s: %v", pkg, err)
+	}
+	facts := analysis.NewFactStore()
+	for _, dep := range ld.order {
+		analysis.ComputeFacts(ld.fset, ld.local[dep], facts)
+	}
+	return facts
+}
+
+func runOne(t *testing.T, testdata string, analyzers []*analysis.Analyzer, checkAllows bool, pkg string) {
+	t.Helper()
+	ld := newLoader(filepath.Join(testdata, "src"))
+	lp, err := ld.load(pkg)
+	if err != nil {
+		t.Fatalf("loading testdata package %s: %v", pkg, err)
+	}
+	facts := analysis.NewFactStore()
+	for _, dep := range ld.order {
+		analysis.ComputeFacts(ld.fset, ld.local[dep], facts)
+	}
+	findings, err := analysis.RunPackageOpts(ld.fset, lp, analyzers, analysis.RunOptions{
+		Facts:       facts,
+		CheckAllows: checkAllows,
+		FullSuite:   checkAllows,
+	})
+	if err != nil {
+		t.Fatalf("running on %s: %v", pkg, err)
 	}
 
 	wants := collectWants(t, ld.fset, lp.Files)
@@ -171,6 +225,7 @@ type loader struct {
 	fset    *token.FileSet
 	srcRoot string
 	local   map[string]*analysis.LoadedPackage
+	order   []string // load-completion order: dependencies first
 	std     types.ImporterFrom
 }
 
@@ -181,6 +236,16 @@ func newLoader(srcRoot string) *loader {
 		local:   map[string]*analysis.LoadedPackage{},
 	}
 	ld.std = importer.ForCompiler(ld.fset, "gc", stdExportLookup).(types.ImporterFrom)
+	// Every testdata directory counts as a module-local package for the
+	// interprocedural machinery, so cross-corpus calls build call-graph
+	// edges instead of being tabled as external effects.
+	if entries, err := os.ReadDir(srcRoot); err == nil {
+		for _, e := range entries {
+			if e.IsDir() {
+				analysis.RegisterTestdataPackage(e.Name())
+			}
+		}
+	}
 	return ld
 }
 
@@ -218,6 +283,7 @@ func (ld *loader) load(path string) (*analysis.LoadedPackage, error) {
 	}
 	lp := &analysis.LoadedPackage{ImportPath: path, Dir: dir, Files: files, Pkg: pkg, Info: info}
 	ld.local[path] = lp
+	ld.order = append(ld.order, path)
 	return lp, nil
 }
 

@@ -1,0 +1,110 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// The baseline is the triage ledger: a committed JSON file of known
+// findings that CI tolerates, so the gate fires on *new* findings only.
+// Entries match on (pass, repo-relative file, message) — line numbers
+// are deliberately excluded so unrelated edits above a finding do not
+// churn the file.
+
+// BaselineEntry identifies one tolerated finding.
+type BaselineEntry struct {
+	Pass    string `json:"pass"`
+	File    string `json:"file"`
+	Message string `json:"message"`
+}
+
+// Baseline is the committed set of tolerated findings.
+type Baseline struct {
+	// Comment documents why the baseline exists; ignored by matching.
+	Comment  string          `json:"comment,omitempty"`
+	Findings []BaselineEntry `json:"findings"`
+}
+
+func baselineKey(pass, file, message string) string {
+	return pass + "\x00" + file + "\x00" + message
+}
+
+// LoadBaseline reads a baseline file. A missing file is an empty
+// baseline — the zero state a fresh checkout gates against.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Baseline{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("parsing baseline %s: %v", path, err)
+	}
+	return &b, nil
+}
+
+// Apply splits findings into new ones (not in the baseline) and returns
+// the stale baseline entries that matched nothing — suppressions that
+// outlived their finding and should be removed.
+func (b *Baseline) Apply(findings []Finding, baseDir string) (fresh []Finding, stale []BaselineEntry) {
+	known := map[string]bool{}
+	matched := map[string]bool{}
+	for _, e := range b.Findings {
+		known[baselineKey(e.Pass, e.File, e.Message)] = true
+	}
+	for _, f := range findings {
+		key := baselineKey(f.Analyzer, RelPath(baseDir, f.Pos.Filename), f.Message)
+		if known[key] {
+			matched[key] = true
+			continue
+		}
+		fresh = append(fresh, f)
+	}
+	for _, e := range b.Findings {
+		if !matched[baselineKey(e.Pass, e.File, e.Message)] {
+			stale = append(stale, e)
+		}
+	}
+	return fresh, stale
+}
+
+// WriteBaseline regenerates the baseline file from the current finding
+// set, sorted and deduplicated so the file diffs cleanly.
+func WriteBaseline(path string, findings []Finding, baseDir string) error {
+	b := Baseline{
+		Comment: "Findings tolerated by CI; regenerate with peertrack-lint -write-baseline. Every entry must be justified in the PR that adds it.",
+	}
+	seen := map[string]bool{}
+	for _, f := range findings {
+		e := BaselineEntry{Pass: f.Analyzer, File: RelPath(baseDir, f.Pos.Filename), Message: f.Message}
+		key := baselineKey(e.Pass, e.File, e.Message)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		b.Findings = append(b.Findings, e)
+	}
+	sort.Slice(b.Findings, func(i, j int) bool {
+		a, c := b.Findings[i], b.Findings[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Pass != c.Pass {
+			return a.Pass < c.Pass
+		}
+		return a.Message < c.Message
+	})
+	if b.Findings == nil {
+		b.Findings = []BaselineEntry{}
+	}
+	data, err := json.MarshalIndent(&b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o666)
+}

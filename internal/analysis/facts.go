@@ -1,0 +1,465 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file holds the interprocedural layer: per-function facts
+// computed bottom-up over the CHA call graph (see summary.go for the
+// extraction) and the transitive queries the v2 passes ask of them.
+//
+// Facts are deliberately flat and serializable: in standalone mode the
+// store is filled for every package of the module before any pass
+// runs; in go vet -vettool mode each unit writes its merged store to
+// the .vetx file go vet hands back to dependent units, so facts flow
+// bottom-up across separate tool invocations exactly like x/tools
+// analysis facts.
+
+// A Site is one position-annotated effect inside a function body: an
+// allocation, a potentially-blocking operation, or a transport send.
+type Site struct {
+	Pos  string `json:"pos"`  // "file:line:col", fset-independent
+	What string `json:"what"` // human-readable effect, e.g. "append may grow its backing array"
+}
+
+// A CallEdge is one call-graph edge out of a function. Static edges
+// name the callee function ID directly; dynamic edges carry an
+// interface-method key ("iface:<pkg>.<Iface>.<Method>") resolved
+// against the CHA implementation index at query time.
+type CallEdge struct {
+	Pos     string `json:"pos"`
+	Callee  string `json:"callee"`
+	Dynamic bool   `json:"dynamic,omitempty"`
+	// Cold marks edges inside miss/init-shaped branches (see the cold
+	// rules in summary.go): the callee's allocations are amortized
+	// growth, not steady-state cost, so AllocChain skips cold edges.
+	// Blocking is never excused by coldness.
+	Cold bool `json:"cold,omitempty"`
+	// ParamArgs maps callee parameter index -> caller parameter index
+	// for arguments that are bare identifiers of the caller's own
+	// parameters. It is what lets SendsParams taint flow through
+	// forwarding helpers.
+	ParamArgs map[int]int `json:"paramArgs,omitempty"`
+}
+
+// Return-value alias lattice. Each return site of a function is
+// summarized as one of these strings (the "escape/alias lattice" of
+// DESIGN.md §12): what the returned reference value may alias.
+const (
+	RetFresh   = "fresh"   // freshly allocated in this function
+	RetRecv    = "recv"    // aliases the receiver or its fields
+	RetParam   = "param"   // aliases a parameter
+	RetGlobal  = "global"  // aliases package-level state
+	RetUnknown = "unknown" // anything else
+	// "call:<id>" defers to the named function's own return summary.
+	retCallPrefix = "call:"
+)
+
+// FuncFact is the bottom-up summary of one function.
+type FuncFact struct {
+	ID      string     `json:"id"`
+	Pos     string     `json:"pos"`
+	Hotpath bool       `json:"hotpath,omitempty"` // annotated //lint:hotpath
+	Allocs  []Site     `json:"allocs,omitempty"`  // local allocation sites (post //lint:allow)
+	Blocks  []Site     `json:"blocks,omitempty"`  // local potentially-blocking sites
+	Sends   []Site     `json:"sends,omitempty"`   // transport Call/Send sites
+	Calls   []CallEdge `json:"calls,omitempty"`
+	// Returns holds one lattice value per reference-typed return site.
+	Returns []string `json:"returns,omitempty"`
+	// MapReturn marks a function returning a slice built by ranging a
+	// map without a sort before the return — a tainted source for
+	// sortedsource.
+	MapReturn bool `json:"mapReturn,omitempty"`
+	// SendsParams lists parameter indices whose referents flow into a
+	// wire message sent by this function (directly; transitive flow is
+	// resolved through CallEdge.ParamArgs at query time).
+	SendsParams []int `json:"sendsParams,omitempty"`
+}
+
+// FactStore holds every known function fact plus the CHA
+// implementation index. Not safe for concurrent mutation; the drivers
+// fill it fully before passes query it.
+type FactStore struct {
+	Funcs map[string]*FuncFact `json:"funcs"`
+	// Impls maps "iface:<pkg>.<Iface>.<Method>" to the sorted IDs of
+	// module-internal concrete methods implementing it.
+	Impls map[string][]string `json:"impls,omitempty"`
+
+	allocMemo map[string][]string // nil entry = proven alloc-free
+	blockMemo map[string][]string
+	freshMemo map[string]int8 // 0 unknown/in-progress, 1 fresh, -1 not
+	taintMemo map[string]int8
+	sendsMemo map[string]map[int]bool
+}
+
+// NewFactStore returns an empty store.
+func NewFactStore() *FactStore {
+	return &FactStore{Funcs: map[string]*FuncFact{}, Impls: map[string][]string{}}
+}
+
+// Merge copies other's facts and impls into s (other wins on ID
+// collisions, which only happen when the same package is summarized
+// twice — the summaries are identical).
+func (s *FactStore) Merge(other *FactStore) {
+	if other == nil {
+		return
+	}
+	for id, f := range other.Funcs {
+		s.Funcs[id] = f
+	}
+	for k, impls := range other.Impls {
+		merged := append(append([]string(nil), s.Impls[k]...), impls...)
+		sort.Strings(merged)
+		s.Impls[k] = dedupStrings(merged)
+	}
+	s.resetMemos()
+}
+
+func (s *FactStore) resetMemos() {
+	s.allocMemo, s.blockMemo, s.freshMemo, s.taintMemo, s.sendsMemo = nil, nil, nil, nil, nil
+}
+
+func dedupStrings(in []string) []string {
+	out := in[:0]
+	for i, v := range in {
+		if i > 0 && v == in[i-1] {
+			continue
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// EncodeJSON serializes the store for a .vetx file.
+func (s *FactStore) EncodeJSON() ([]byte, error) {
+	return json.Marshal(s)
+}
+
+// DecodeFactStore parses a serialized store, tolerating legacy or
+// foreign vetx content by returning an empty store on malformed input.
+func DecodeFactStore(data []byte) *FactStore {
+	out := NewFactStore()
+	var raw FactStore
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return out
+	}
+	if raw.Funcs != nil {
+		out.Funcs = raw.Funcs
+	}
+	if raw.Impls != nil {
+		out.Impls = raw.Impls
+	}
+	return out
+}
+
+// ModuleFunc reports whether id names a function of this module (one
+// whose body we can summarize), as opposed to stdlib or vendored code.
+func ModuleFunc(id string) bool {
+	return strings.HasPrefix(id, ModulePath+"/") || strings.HasPrefix(id, ModulePath+".")
+}
+
+// ModulePath is the import-path prefix of this module. Testdata
+// corpora use single-segment paths, which ModuleFunc treats as
+// module-internal too (no dot before the first slash).
+const ModulePath = "peertrack"
+
+// testdataPackages holds the root segments of packages the analysistest
+// loader compiled from a testdata corpus. A bare path like "transport"
+// is only module-internal when the test loader says so — otherwise
+// single-segment paths are stdlib ("sort", "io") and stay external.
+var testdataPackages = map[string]bool{}
+
+// RegisterTestdataPackage marks an import path as a testdata-local
+// package for the interprocedural queries. Called by the analysistest
+// loader; not used by the production drivers.
+func RegisterTestdataPackage(path string) {
+	seg := path
+	if i := strings.IndexAny(seg, "/."); i >= 0 {
+		seg = seg[:i]
+	}
+	testdataPackages[seg] = true
+}
+
+// moduleOrTestdata is ModuleFunc extended to the analysistest corpus
+// convention.
+func moduleOrTestdata(id string) bool {
+	if ModuleFunc(id) {
+		return true
+	}
+	seg := id
+	if i := strings.IndexAny(seg, "/."); i >= 0 {
+		seg = seg[:i]
+	}
+	return testdataPackages[seg]
+}
+
+// callees resolves one edge to the function IDs it may reach: the
+// static callee, or every registered implementation of a dynamic key.
+func (s *FactStore) callees(e CallEdge) []string {
+	if !e.Dynamic {
+		return []string{e.Callee}
+	}
+	return s.Impls[e.Callee]
+}
+
+// AllocChain reports why id (or anything it transitively calls within
+// the module) may allocate on its main path, as a human-readable call
+// chain ending at the offending site — or nil if it is provably
+// allocation-free under the summary. Cycles are treated as clean while
+// grey (a recursive function's allocations are still found at its own
+// sites).
+func (s *FactStore) AllocChain(id string) []string {
+	if s.allocMemo == nil {
+		s.allocMemo = map[string][]string{}
+	}
+	return s.effectChain(id, s.allocMemo, map[string]bool{}, true, func(f *FuncFact) []Site { return f.Allocs })
+}
+
+// BlockChain is AllocChain for potentially-blocking operations. Unlike
+// allocations, blocking in a cold branch still blocks — cold edges are
+// followed.
+func (s *FactStore) BlockChain(id string) []string {
+	if s.blockMemo == nil {
+		s.blockMemo = map[string][]string{}
+	}
+	return s.effectChain(id, s.blockMemo, map[string]bool{}, false, func(f *FuncFact) []Site { return f.Blocks })
+}
+
+func (s *FactStore) effectChain(id string, memo map[string][]string, grey map[string]bool, skipCold bool, sites func(*FuncFact) []Site) []string {
+	if chain, ok := memo[id]; ok {
+		return chain
+	}
+	if grey[id] {
+		return nil
+	}
+	f := s.Funcs[id]
+	if f == nil {
+		return nil // external or unsummarized: effects were tabled at the call site
+	}
+	grey[id] = true
+	defer delete(grey, id)
+	var chain []string
+	if len(sites(f)) > 0 {
+		site := sites(f)[0]
+		chain = []string{shortFuncID(id) + ": " + site.What + " at " + site.Pos}
+	} else {
+		for _, e := range f.Calls {
+			if skipCold && e.Cold {
+				continue
+			}
+			for _, callee := range s.callees(e) {
+				if !moduleOrTestdata(callee) {
+					continue
+				}
+				sub := s.effectChain(callee, memo, grey, skipCold, sites)
+				if sub != nil {
+					chain = append([]string{shortFuncID(id) + " calls " + shortFuncID(callee) + " at " + e.Pos}, sub...)
+					break
+				}
+			}
+			if chain != nil {
+				break
+			}
+		}
+	}
+	memo[id] = chain
+	return chain
+}
+
+// ReturnsFresh reports whether every return site of id yields freshly
+// allocated data — the clone-helper certificate sendalias accepts.
+// Functions with no recorded return summary are not fresh.
+func (s *FactStore) ReturnsFresh(id string) bool {
+	if s.freshMemo == nil {
+		s.freshMemo = map[string]int8{}
+	}
+	return s.returnsFresh(id, map[string]bool{})
+}
+
+func (s *FactStore) returnsFresh(id string, grey map[string]bool) bool {
+	if v := s.freshMemo[id]; v != 0 {
+		return v > 0
+	}
+	if grey[id] {
+		return false
+	}
+	f := s.Funcs[id]
+	if f == nil || len(f.Returns) == 0 {
+		return false
+	}
+	grey[id] = true
+	defer delete(grey, id)
+	ok := true
+	for _, r := range f.Returns {
+		switch {
+		case r == RetFresh:
+		case strings.HasPrefix(r, retCallPrefix):
+			if !s.returnsFresh(strings.TrimPrefix(r, retCallPrefix), grey) {
+				ok = false
+			}
+		default:
+			ok = false
+		}
+		if !ok {
+			break
+		}
+	}
+	if ok {
+		s.freshMemo[id] = 1
+	} else {
+		s.freshMemo[id] = -1
+	}
+	return ok
+}
+
+// ReturnsAliasOfOwner reports whether some return site of id may alias
+// the callee's receiver or package-level state — the certificate that
+// makes `msg.F = p.snapshot()` as dangerous as `msg.F = p.buf`.
+func (s *FactStore) ReturnsAliasOfOwner(id string) bool {
+	f := s.Funcs[id]
+	if f == nil {
+		return false
+	}
+	for _, r := range f.Returns {
+		if r == RetRecv || r == RetGlobal {
+			return true
+		}
+		if strings.HasPrefix(r, retCallPrefix) && s.ReturnsAliasOfOwner(strings.TrimPrefix(r, retCallPrefix)) {
+			return true
+		}
+	}
+	return false
+}
+
+// Tainted reports whether id returns map-derived data in nondeterministic
+// order, directly or by forwarding another tainted function's result.
+func (s *FactStore) Tainted(id string) bool {
+	if s.taintMemo == nil {
+		s.taintMemo = map[string]int8{}
+	}
+	return s.tainted(id, map[string]bool{})
+}
+
+func (s *FactStore) tainted(id string, grey map[string]bool) bool {
+	if v := s.taintMemo[id]; v != 0 {
+		return v > 0
+	}
+	if grey[id] {
+		return false
+	}
+	f := s.Funcs[id]
+	if f == nil {
+		return false
+	}
+	grey[id] = true
+	defer delete(grey, id)
+	t := f.MapReturn
+	if !t {
+		for _, r := range f.Returns {
+			if strings.HasPrefix(r, retCallPrefix) && s.tainted(strings.TrimPrefix(r, retCallPrefix), grey) {
+				t = true
+				break
+			}
+		}
+	}
+	if t {
+		s.taintMemo[id] = 1
+	} else {
+		s.taintMemo[id] = -1
+	}
+	return t
+}
+
+// SendsParam reports whether the value passed as parameter index i of
+// id may end up aliased inside a wire message the callee (or a callee
+// of the callee) sends.
+func (s *FactStore) SendsParam(id string, i int) bool {
+	if s.sendsMemo == nil {
+		s.sendsMemo = map[string]map[int]bool{}
+	}
+	m := s.sendsParams(id, map[string]bool{})
+	return m[i]
+}
+
+func (s *FactStore) sendsParams(id string, grey map[string]bool) map[int]bool {
+	if m, ok := s.sendsMemo[id]; ok {
+		return m
+	}
+	if grey[id] {
+		return nil
+	}
+	f := s.Funcs[id]
+	if f == nil {
+		return nil
+	}
+	grey[id] = true
+	defer delete(grey, id)
+	out := map[int]bool{}
+	for _, i := range f.SendsParams {
+		out[i] = true
+	}
+	for _, e := range f.Calls {
+		if len(e.ParamArgs) == 0 {
+			continue
+		}
+		for _, callee := range s.callees(e) {
+			sub := s.sendsParams(callee, grey)
+			for calleeIdx, callerIdx := range e.ParamArgs {
+				if sub[calleeIdx] {
+					out[callerIdx] = true
+				}
+			}
+		}
+	}
+	s.sendsMemo[id] = out
+	return out
+}
+
+// shortFuncID trims the module prefix for readable diagnostics:
+// "peertrack/internal/core.(*bucket).upsert" -> "core.(*bucket).upsert".
+func shortFuncID(id string) string {
+	if i := strings.LastIndex(id, "/"); i >= 0 {
+		return id[i+1:]
+	}
+	return id
+}
+
+// ParsePosition parses a "file:line:col" string back into a
+// token.Position so serialized sites can re-enter the diagnostic and
+// suppression machinery.
+func ParsePosition(s string) token.Position {
+	var pos token.Position
+	rest := s
+	for i := 0; i < 2; i++ {
+		j := strings.LastIndex(rest, ":")
+		if j < 0 {
+			break
+		}
+		n, err := strconv.Atoi(rest[j+1:])
+		if err != nil {
+			break
+		}
+		if i == 0 {
+			pos.Column = n
+		} else {
+			pos.Line = n
+		}
+		rest = rest[:j]
+	}
+	if pos.Line == 0 && pos.Column > 0 {
+		// Only one numeric suffix was present: treat it as the line.
+		pos.Line, pos.Column = pos.Column, 0
+	}
+	pos.Filename = rest
+	return pos
+}
+
+// FormatPosition is the inverse of ParsePosition.
+func FormatPosition(pos token.Position) string {
+	return fmt.Sprintf("%s:%d:%d", pos.Filename, pos.Line, pos.Column)
+}

@@ -1,0 +1,67 @@
+package analysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"peertrack/internal/analysis"
+)
+
+// TestLiveTreeClean pins the lint contracts on the real tree: the full
+// eight-pass suite (with allow hygiene) over every module package must
+// report nothing. This is the regression guard for the packages the
+// interprocedural passes exist to protect — a transport call slipping
+// under a ctlapi or telemetry mutex, a gossip message aliasing sender
+// state, or an allocation on an annotated hot path turns this red
+// before it turns a benchmark red.
+func TestLiveTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the whole module via go list -export")
+	}
+	root := moduleRoot(t)
+	fset, pkgs, err := analysis.Load(root, true, "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	facts := analysis.NewFactStore()
+	for _, lp := range pkgs {
+		analysis.ComputeFacts(fset, lp, facts)
+	}
+	var all []analysis.Finding
+	for _, lp := range pkgs {
+		fs, err := analysis.RunPackageOpts(fset, lp, analysis.All(), analysis.RunOptions{
+			RespectFilters: true,
+			Facts:          facts,
+			CheckAllows:    true,
+			FullSuite:      true,
+		})
+		if err != nil {
+			t.Fatalf("running suite on %s: %v", lp.ImportPath, err)
+		}
+		all = append(all, fs...)
+	}
+	analysis.SortFindings(all)
+	for _, f := range analysis.Dedup(all) {
+		t.Errorf("live tree finding: %s", f)
+	}
+}
+
+// moduleRoot walks up from the test's working directory to go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above test directory")
+		}
+		dir = parent
+	}
+}

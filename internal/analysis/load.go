@@ -45,6 +45,19 @@ type LoadedPackage struct {
 	Files      []*ast.File
 	Pkg        *types.Package
 	Info       *types.Info
+
+	allows *allowIndex // built lazily; shared so usage marking survives
+}
+
+// allowIdx returns the package's //lint:allow index, built once. Fact
+// extraction and pass reporting must share the instance: both mark
+// entries as exercised, which is what the stale-allow hygiene check
+// keys off.
+func (lp *LoadedPackage) allowIdx(fset *token.FileSet) *allowIndex {
+	if lp.allows == nil {
+		lp.allows = buildAllowIndex(fset, lp.Files)
+	}
+	return lp.allows
 }
 
 // Load lists patterns under dir, parses and type-checks every

@@ -205,7 +205,7 @@ func sortedLater(pass *Pass, rest []ast.Stmt, obj types.Object) bool {
 			if !ok || found {
 				return !found
 			}
-			if !isSortCall(pass, call) {
+			if !isSortCall(pass.TypesInfo, call) {
 				return true
 			}
 			for _, arg := range call.Args {
@@ -227,11 +227,11 @@ func sortedLater(pass *Pass, rest []ast.Stmt, obj types.Object) bool {
 
 // isSortCall matches sort.*, slices.*, and local helpers whose name
 // starts with Sort/sort (e.g. the chord tests' SortRefs).
-func isSortCall(pass *Pass, call *ast.CallExpr) bool {
-	if _, ok := selectorCall(pass.TypesInfo, call.Fun, "sort"); ok {
+func isSortCall(info *types.Info, call *ast.CallExpr) bool {
+	if _, ok := selectorCall(info, call.Fun, "sort"); ok {
 		return true
 	}
-	if _, ok := selectorCall(pass.TypesInfo, call.Fun, "slices"); ok {
+	if _, ok := selectorCall(info, call.Fun, "slices"); ok {
 		return true
 	}
 	var name string

@@ -27,3 +27,19 @@ func TestMapOrder(t *testing.T) {
 func TestMsgFreeze(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(), analysis.MsgFreeze, "msgfreeze")
 }
+
+func TestHotAlloc(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.HotAlloc, "hotalloc")
+}
+
+func TestLockHeld(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.LockHeld, "lockheld")
+}
+
+func TestSendAlias(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.SendAlias, "sendalias")
+}
+
+func TestSortedSource(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.SortedSource, "sortedsource")
+}

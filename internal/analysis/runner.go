@@ -23,20 +23,39 @@ func (f Finding) String() string {
 
 // AllowPrefix is the suppression marker: a comment of the form
 //
-//	//lint:allow <pass> <justification>
+//	//lint:allow <pass> <reason>
 //
 // on the flagged line (or the line immediately above it) suppresses
-// that pass's diagnostics for the line. The justification is mandatory
-// in spirit — review should reject bare allows — but not enforced.
+// that pass's diagnostics for the line. The reason is mandatory: a bare
+// `//lint:allow <pass>` is itself a diagnostic (analyzer "allow"), as
+// is an allow for an unknown pass or one that suppresses nothing when
+// the full suite runs.
 const AllowPrefix = "lint:allow"
 
-// allowIndex maps file → line → set of allowed pass names. A comment
-// covers its own line and the next one, so both trailing and preceding
-// placements work.
-type allowIndex map[string]map[int]map[string]bool
+// AllowHygieneName is the analyzer name hygiene findings report under.
+// Hygiene findings are not themselves suppressible.
+const AllowHygieneName = "allow"
 
-func buildAllowIndex(fset *token.FileSet, files []*ast.File) allowIndex {
-	idx := allowIndex{}
+// allowEntry is one //lint:allow comment.
+type allowEntry struct {
+	pass      string
+	hasReason bool
+	pos       token.Position // position of the comment itself
+	used      bool
+}
+
+// allowIndex maps file → line → the entries covering that line. A
+// comment covers its own line and the next one, so both trailing and
+// preceding placements work. Usage is tracked on the shared entry, so
+// suppression during fact extraction (ComputeFacts) and during pass
+// reporting both count toward "exercised".
+type allowIndex struct {
+	byLine  map[string]map[int][]*allowEntry
+	entries []*allowEntry
+}
+
+func buildAllowIndex(fset *token.FileSet, files []*ast.File) *allowIndex {
+	idx := &allowIndex{byLine: map[string]map[int][]*allowEntry{}}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -52,18 +71,16 @@ func buildAllowIndex(fset *token.FileSet, files []*ast.File) allowIndex {
 				if len(fields) == 0 {
 					continue
 				}
-				name := fields[0]
 				pos := fset.Position(c.Pos())
-				m := idx[pos.Filename]
+				e := &allowEntry{pass: fields[0], hasReason: len(fields) > 1, pos: pos}
+				idx.entries = append(idx.entries, e)
+				m := idx.byLine[pos.Filename]
 				if m == nil {
-					m = map[int]map[string]bool{}
-					idx[pos.Filename] = m
+					m = map[int][]*allowEntry{}
+					idx.byLine[pos.Filename] = m
 				}
 				for _, line := range []int{pos.Line, pos.Line + 1} {
-					if m[line] == nil {
-						m[line] = map[string]bool{}
-					}
-					m[line][name] = true
+					m[line] = append(m[line], e)
 				}
 			}
 		}
@@ -71,26 +88,88 @@ func buildAllowIndex(fset *token.FileSet, files []*ast.File) allowIndex {
 	return idx
 }
 
-func (idx allowIndex) allows(pos token.Position, analyzer string) bool {
-	return idx[pos.Filename][pos.Line][analyzer]
+// allows reports whether an allow for analyzer covers pos, marking the
+// entry as exercised.
+func (idx *allowIndex) allows(pos token.Position, analyzer string) bool {
+	ok := false
+	for _, e := range idx.byLine[pos.Filename][pos.Line] {
+		if e.pass == analyzer {
+			e.used = true
+			ok = true
+		}
+	}
+	return ok
 }
 
-// RunPackage executes the analyzers against one loaded package,
-// applying package filters (when respectFilters) and //lint:allow
-// suppression, and returns the surviving findings sorted by position.
+// hygiene returns the allow-comment findings: missing reasons and
+// unknown pass names always; unexercised allows only when the full
+// suite ran (a single-pass run cannot know the comment is stale).
+func (idx *allowIndex) hygiene(known map[string]bool, fullSuite bool) []Finding {
+	var out []Finding
+	for _, e := range idx.entries {
+		switch {
+		case !known[e.pass]:
+			out = append(out, Finding{Analyzer: AllowHygieneName, Pos: e.pos,
+				Message: fmt.Sprintf("//lint:allow names unknown pass %q", e.pass)})
+		case !e.hasReason:
+			out = append(out, Finding{Analyzer: AllowHygieneName, Pos: e.pos,
+				Message: fmt.Sprintf("//lint:allow %s needs a reason: `//lint:allow %s <why this is safe>`", e.pass, e.pass)})
+		case fullSuite && !e.used:
+			out = append(out, Finding{Analyzer: AllowHygieneName, Pos: e.pos,
+				Message: fmt.Sprintf("stale //lint:allow %s: it suppresses nothing — remove it", e.pass)})
+		}
+	}
+	return out
+}
+
+// KnownPassNames is the set of valid //lint:allow targets.
+func KnownPassNames() map[string]bool {
+	known := map[string]bool{}
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	return known
+}
+
+// RunOptions configures RunPackageOpts.
+type RunOptions struct {
+	// RespectFilters applies each analyzer's AppliesTo predicate.
+	RespectFilters bool
+	// Facts is the interprocedural store (already filled for every
+	// module package in standalone mode; merged from dep vetx files in
+	// vettool mode). The v2 passes need it; v1 passes ignore it.
+	Facts *FactStore
+	// CheckAllows appends allow-hygiene findings for this package.
+	CheckAllows bool
+	// FullSuite means every pass ran over this package (directly or via
+	// facts), so an unexercised allow is provably stale.
+	FullSuite bool
+}
+
+// RunPackage executes the analyzers against one loaded package with
+// filters and suppression, the pre-v2 entry point kept for tests.
 func RunPackage(fset *token.FileSet, lp *LoadedPackage, analyzers []*Analyzer, respectFilters bool) ([]Finding, error) {
-	allow := buildAllowIndex(fset, lp.Files)
+	return RunPackageOpts(fset, lp, analyzers, RunOptions{RespectFilters: respectFilters})
+}
+
+// RunPackageOpts executes the analyzers against one loaded package,
+// applying //lint:allow suppression, and returns the surviving findings
+// sorted by position.
+func RunPackageOpts(fset *token.FileSet, lp *LoadedPackage, analyzers []*Analyzer, opts RunOptions) ([]Finding, error) {
+	allow := lp.allowIdx(fset)
 	var findings []Finding
 	for _, a := range analyzers {
-		if respectFilters && a.AppliesTo != nil && !a.AppliesTo(lp.ImportPath) {
+		if opts.RespectFilters && a.AppliesTo != nil && !a.AppliesTo(lp.ImportPath) {
 			continue
 		}
 		pass := &Pass{
-			Analyzer:  a,
-			Fset:      fset,
-			Files:     lp.Files,
-			Pkg:       lp.Pkg,
-			TypesInfo: lp.Info,
+			Analyzer:   a,
+			Fset:       fset,
+			Files:      lp.Files,
+			Pkg:        lp.Pkg,
+			TypesInfo:  lp.Info,
+			ImportPath: lp.ImportPath,
+			Facts:      opts.Facts,
 		}
 		name := a.Name
 		pass.Report = func(d Diagnostic) {
@@ -103,6 +182,9 @@ func RunPackage(fset *token.FileSet, lp *LoadedPackage, analyzers []*Analyzer, r
 		if err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("%s on %s: %v", a.Name, lp.ImportPath, err)
 		}
+	}
+	if opts.CheckAllows {
+		findings = append(findings, allow.hygiene(KnownPassNames(), opts.FullSuite)...)
 	}
 	SortFindings(findings)
 	return findings, nil

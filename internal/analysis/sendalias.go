@@ -1,0 +1,375 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SendAlias generalizes msgfreeze interprocedurally: any slice, map, or
+// pointer reachable from a wire message that the sender still retains
+// after transport Call/Send is a diagnostic.
+//
+// The in-memory transport shares pointers, so a message field aliasing
+// the sender's own state (a receiver field, package-level state, or the
+// view returned by a helper that returns receiver state) hands the peer
+// live memory — the gossip "fresh slices per wire message" rule. The
+// pass checks, at every send site, each reference-typed message field
+// against the escape/alias lattice:
+//
+//   - fresh values (composite literals, make, append-to-nil, clone
+//     helpers proven fresh by their facts) are fine — unless the sender
+//     writes through the retained local after the send;
+//   - receiver- or global-aliasing values are flagged;
+//   - values built by module helpers are resolved through the helpers'
+//     return-alias facts, so `Entries: a.wireEntriesLocked()` is clean
+//     exactly when the helper provably returns a fresh slice;
+//   - parameter-aliasing values become a SendsParams fact instead, and
+//     the *callers* passing retained state into such a function are
+//     flagged at the call site, transitively through forwarding
+//     helpers.
+var SendAlias = &Analyzer{
+	Name: "sendalias",
+	Doc:  "flag wire messages whose reference fields alias state the sender retains after Call/Send",
+	Run:  runSendAlias,
+}
+
+func runSendAlias(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fr := newFrame(pass, fd)
+			fr.walkBody(fd.Body)
+		}
+		// Function literals are separate frames: no receiver/parameter
+		// identity, but sends inside them are still checked.
+		ast.Inspect(f, func(n ast.Node) bool {
+			if fl, ok := n.(*ast.FuncLit); ok {
+				fr := &frame{pass: pass, facts: pass.facts(), params: map[types.Object]int{}, locals: map[types.Object]frameVal{}}
+				fr.walkBody(fl.Body)
+				return false
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// frame evaluates the alias lattice for one function body.
+type frame struct {
+	pass   *Pass
+	facts  *FactStore
+	recv   types.Object
+	params map[types.Object]int
+	locals map[types.Object]frameVal
+	body   *ast.BlockStmt
+}
+
+// frameVal is a lattice value plus, when the value is a composite
+// literal, the literal node for field inspection.
+type frameVal struct {
+	v   lv
+	lit *ast.CompositeLit
+}
+
+func newFrame(pass *Pass, fd *ast.FuncDecl) *frame {
+	fr := &frame{
+		pass:   pass,
+		facts:  pass.facts(),
+		params: map[types.Object]int{},
+		locals: map[types.Object]frameVal{},
+	}
+	if fd.Recv != nil && len(fd.Recv.List) > 0 && len(fd.Recv.List[0].Names) > 0 {
+		fr.recv = pass.TypesInfo.Defs[fd.Recv.List[0].Names[0]]
+	}
+	i := 0
+	if fd.Type.Params != nil {
+		for _, field := range fd.Type.Params.List {
+			for _, name := range field.Names {
+				fr.params[pass.TypesInfo.Defs[name]] = i
+				i++
+			}
+			if len(field.Names) == 0 {
+				i++
+			}
+		}
+	}
+	return fr
+}
+
+// walkBody visits the body in document order: assignments update the
+// local lattice, sends and fact-bearing calls are checked as reached.
+func (fr *frame) walkBody(body *ast.BlockStmt) {
+	fr.body = body
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch t := n.(type) {
+		case *ast.FuncLit:
+			return false // its own frame
+		case *ast.AssignStmt:
+			fr.assign(t)
+		case *ast.CallExpr:
+			if _, ok := transportSendCall(fr.pass.TypesInfo, t); ok {
+				fr.checkSend(t)
+			} else {
+				fr.checkCallArgs(t)
+			}
+		}
+		return true
+	})
+}
+
+func (fr *frame) assign(as *ast.AssignStmt) {
+	if len(as.Lhs) != len(as.Rhs) {
+		for _, lhs := range as.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok {
+				if obj := fr.pass.TypesInfo.ObjectOf(id); obj != nil {
+					fr.locals[obj] = frameVal{v: lvUnknown}
+				}
+			}
+		}
+		return
+	}
+	for i, lhs := range as.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj := fr.pass.TypesInfo.ObjectOf(id)
+		if obj == nil {
+			continue
+		}
+		if _, isParam := fr.params[obj]; isParam || obj == fr.recv {
+			continue
+		}
+		fr.locals[obj] = fr.eval(as.Rhs[i])
+	}
+}
+
+// checkSend inspects every reference-typed or message-shaped argument
+// of a transport Call/Send.
+func (fr *frame) checkSend(call *ast.CallExpr) {
+	for _, arg := range call.Args {
+		t := fr.pass.TypesInfo.TypeOf(arg)
+		if t == nil {
+			continue
+		}
+		val := fr.eval(arg)
+		if refType(t) {
+			fr.checkValue(arg, val, call, "message")
+		}
+		// Inspect the fields of the message literal (direct, through &,
+		// or through a local whose last value was a literal).
+		if val.lit != nil {
+			for _, el := range val.lit.Elts {
+				fieldExpr := el
+				fieldName := ""
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					fieldExpr = kv.Value
+					if id, ok := kv.Key.(*ast.Ident); ok {
+						fieldName = id.Name
+					}
+				}
+				ft := fr.pass.TypesInfo.TypeOf(fieldExpr)
+				if ft == nil || !refType(ft) {
+					continue
+				}
+				label := "message field"
+				if fieldName != "" {
+					label = "message field " + fieldName
+				}
+				fr.checkValue(fieldExpr, fr.eval(fieldExpr), call, label)
+			}
+		}
+	}
+}
+
+// checkValue applies the lattice verdict for one value crossing the
+// wire at send.
+func (fr *frame) checkValue(e ast.Expr, val frameVal, send *ast.CallExpr, label string) {
+	switch val.v.kind {
+	case RetRecv:
+		fr.pass.Reportf(e.Pos(),
+			"%s aliases the sender's own state; the receiving peer sees live memory (the in-memory transport shares pointers) — send a fresh copy", label)
+	case RetGlobal:
+		fr.pass.Reportf(e.Pos(),
+			"%s aliases package-level state retained by the sender — send a fresh copy", label)
+	case "call":
+		id := val.v.callee
+		if fr.facts.ReturnsFresh(id) {
+			return // proven clone helper
+		}
+		if fr.facts.ReturnsAliasOfOwner(id) {
+			fr.pass.Reportf(e.Pos(),
+				"%s is built by %s, which may return a view of its owner's state — clone before sending", label, shortFuncID(id))
+		}
+	case RetFresh:
+		// Fresh at send time, but still retained through a local the
+		// sender writes after the send? That mutates the peer's copy.
+		if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+			if obj := fr.pass.TypesInfo.ObjectOf(id); obj != nil {
+				if wpos, written := fr.writtenAfter(obj, send.End()); written {
+					fr.pass.Reportf(wpos,
+						"%s (%s) was sent over the transport above; writing through it here mutates memory the peer may now own", id.Name, label)
+				}
+			}
+		}
+	}
+}
+
+// writtenAfter reports a write through obj (element/field assignment or
+// a growing re-append) positioned after end.
+func (fr *frame) writtenAfter(obj types.Object, end token.Pos) (token.Pos, bool) {
+	var at token.Pos
+	found := false
+	ast.Inspect(fr.body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Pos() < end {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			if id := rootIdent(lhs); id != nil && fr.pass.TypesInfo.ObjectOf(id) == obj {
+				at, found = lhs.Pos(), true
+				return false
+			}
+			// buf = append(buf, ...) may write into the shared backing
+			// array when capacity allows.
+			if id, ok := lhs.(*ast.Ident); ok && fr.pass.TypesInfo.ObjectOf(id) == obj && i < len(as.Rhs) {
+				if c, ok := as.Rhs[i].(*ast.CallExpr); ok && isBuiltinCall(fr.pass.TypesInfo, c, "append") {
+					at, found = as.Pos(), true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return at, found
+}
+
+// checkCallArgs flags retained state passed into a function whose
+// SendsParams facts say the argument ends up inside a wire message —
+// the interprocedural half of the rule.
+func (fr *frame) checkCallArgs(call *ast.CallExpr) {
+	fn, ok := staticCallee(fr.pass.TypesInfo, call)
+	if !ok {
+		return
+	}
+	id := FuncID(fn)
+	if !moduleOrTestdata(id) {
+		return
+	}
+	for i, arg := range call.Args {
+		if !fr.facts.SendsParam(id, i) {
+			continue
+		}
+		t := fr.pass.TypesInfo.TypeOf(arg)
+		if t == nil || !refType(t) {
+			continue
+		}
+		switch val := fr.eval(arg); val.v.kind {
+		case RetRecv, RetGlobal:
+			fr.pass.Reportf(arg.Pos(),
+				"argument aliases the caller's retained state and %s sends it over the transport — pass a fresh copy", shortFuncID(id))
+		case "call":
+			if !fr.facts.ReturnsFresh(val.v.callee) && fr.facts.ReturnsAliasOfOwner(val.v.callee) {
+				fr.pass.Reportf(arg.Pos(),
+					"argument is a view returned by %s and %s sends it over the transport — clone it first", shortFuncID(val.v.callee), shortFuncID(id))
+			}
+		}
+	}
+}
+
+// eval mirrors the summarizer's lattice evaluation, additionally
+// carrying composite-literal nodes for field inspection.
+func (fr *frame) eval(e ast.Expr) frameVal {
+	info := fr.pass.TypesInfo
+	switch t := e.(type) {
+	case *ast.CompositeLit:
+		return frameVal{v: lv{kind: RetFresh}, lit: t}
+	case *ast.ParenExpr:
+		return fr.eval(t.X)
+	case *ast.UnaryExpr:
+		if t.Op == token.AND {
+			if cl, ok := t.X.(*ast.CompositeLit); ok {
+				return frameVal{v: lv{kind: RetFresh}, lit: cl}
+			}
+			return fr.eval(t.X)
+		}
+	case *ast.StarExpr:
+		return fr.eval(t.X)
+	case *ast.Ident:
+		obj := info.ObjectOf(t)
+		if obj == nil {
+			return frameVal{v: lvUnknown}
+		}
+		if obj == fr.recv {
+			return frameVal{v: lv{kind: RetRecv}}
+		}
+		if i, ok := fr.params[obj]; ok {
+			return frameVal{v: lv{kind: RetParam, param: i}}
+		}
+		if v, ok := obj.(*types.Var); ok {
+			if v.Parent() != nil && v.Parent().Parent() == types.Universe {
+				return frameVal{v: lv{kind: RetGlobal}}
+			}
+			if val, ok := fr.locals[obj]; ok {
+				return val
+			}
+		}
+		return frameVal{v: lvUnknown}
+	case *ast.SelectorExpr:
+		if id, ok := t.X.(*ast.Ident); ok {
+			if pkgNameOf(info, id) != nil {
+				if _, isVar := info.Uses[t.Sel].(*types.Var); isVar {
+					return frameVal{v: lv{kind: RetGlobal}}
+				}
+				return frameVal{v: lvUnknown}
+			}
+		}
+		return frameVal{v: fr.eval(t.X).v}
+	case *ast.IndexExpr:
+		return frameVal{v: fr.eval(t.X).v}
+	case *ast.SliceExpr:
+		return frameVal{v: fr.eval(t.X).v}
+	case *ast.CallExpr:
+		if name, ok := builtinName(info, t); ok {
+			switch name {
+			case "append":
+				if len(t.Args) > 0 {
+					if isNilish(info, t.Args[0]) {
+						return frameVal{v: lv{kind: RetFresh}}
+					}
+					return frameVal{v: fr.eval(t.Args[0]).v}
+				}
+			case "make", "new":
+				return frameVal{v: lv{kind: RetFresh}}
+			}
+			return frameVal{v: lvUnknown}
+		}
+		if tv, ok := info.Types[t.Fun]; ok && tv.IsType() {
+			if len(t.Args) == 1 {
+				return fr.eval(t.Args[0])
+			}
+			return frameVal{v: lvUnknown}
+		}
+		if fn, ok := staticCallee(info, t); ok {
+			id := FuncID(fn)
+			if moduleOrTestdata(id) {
+				return frameVal{v: lv{kind: "call", callee: id}}
+			}
+			if isKnownFreshExternal(id) {
+				return frameVal{v: lv{kind: RetFresh}}
+			}
+		}
+		return frameVal{v: lvUnknown}
+	}
+	return frameVal{v: lvUnknown}
+}

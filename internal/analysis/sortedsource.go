@@ -1,0 +1,185 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SortedSource extends maporder across function boundaries. A function
+// that returns map-derived data without sorting it (its MapReturn fact,
+// propagated through forwarding returns) is a tainted source; feeding
+// its result to an order-sensitive sink inside a deterministic package
+// — printing, encoding, hashing, or ranging straight into such a sink —
+// is flagged unless a sort launders the value in between.
+//
+// maporder catches the intra-function shape (`for k := range m { emit }`);
+// this pass catches the refactored one, where the map iteration hides
+// behind a Keys()-style helper in another function or package:
+//
+//	ks := idx.Keys()      // Keys ranges a map, returns unsorted
+//	for _, k := range ks {
+//	    fmt.Println(k)    // flagged here
+//	}
+//	sort.Strings(ks)      // ...unless sorted before the sink
+var SortedSource = &Analyzer{
+	Name:      "sortedsource",
+	Doc:       "flag order-sensitive sinks consuming map-derived unsorted data returned across function boundaries",
+	Run:       runSortedSource,
+	AppliesTo: deterministicOnly,
+}
+
+func runSortedSource(pass *Pass) error {
+	facts := pass.facts()
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				checkTaintFlow(pass, facts, body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// taintedCall resolves a call to a tainted module source, returning the
+// callee ID.
+func taintedCall(pass *Pass, facts *FactStore, call *ast.CallExpr) (string, bool) {
+	fn, ok := staticCallee(pass.TypesInfo, call)
+	if !ok {
+		return "", false
+	}
+	id := FuncID(fn)
+	if !moduleOrTestdata(id) || !facts.Tainted(id) {
+		return "", false
+	}
+	return id, true
+}
+
+// checkTaintFlow walks one function body in document order, tracking
+// locals holding tainted results and flagging sinks that consume them.
+func checkTaintFlow(pass *Pass, facts *FactStore, body *ast.BlockStmt) {
+	tainted := map[types.Object]string{} // local -> source function ID
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // separate frame, walked on its own
+		}
+		switch t := n.(type) {
+		case *ast.AssignStmt:
+			trackTaintAssign(pass, facts, t, tainted)
+		case *ast.RangeStmt:
+			checkTaintedRange(pass, facts, t, tainted)
+		case *ast.CallExpr:
+			if isSortCall(pass.TypesInfo, t) {
+				for _, arg := range t.Args {
+					clearTaint(pass, arg, tainted)
+				}
+				return true
+			}
+			checkSinkCall(pass, facts, t, tainted)
+		}
+		return true
+	})
+}
+
+func trackTaintAssign(pass *Pass, facts *FactStore, as *ast.AssignStmt, tainted map[types.Object]string) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, rhs := range as.Rhs {
+		id, ok := as.Lhs[i].(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj := pass.TypesInfo.ObjectOf(id)
+		if obj == nil {
+			continue
+		}
+		if call, ok := rhs.(*ast.CallExpr); ok {
+			if src, isTainted := taintedCall(pass, facts, call); isTainted {
+				tainted[obj] = src
+				continue
+			}
+		}
+		delete(tainted, obj) // reassigned from a clean source
+	}
+}
+
+// checkTaintedRange flags ranging over a tainted value when the loop
+// body feeds a direct order-sensitive sink.
+func checkTaintedRange(pass *Pass, facts *FactStore, rs *ast.RangeStmt, tainted map[types.Object]string) {
+	src := ""
+	switch x := ast.Unparen(rs.X).(type) {
+	case *ast.Ident:
+		if obj := pass.TypesInfo.ObjectOf(x); obj != nil {
+			src = tainted[obj]
+		}
+	case *ast.CallExpr:
+		src, _ = taintedCall(pass, facts, x)
+	}
+	if src == "" {
+		return
+	}
+	direct, _ := findSinks(pass, rs)
+	if direct == "" {
+		return
+	}
+	pass.Reportf(rs.Pos(),
+		"%s returns map-derived data in nondeterministic order, and this loop %s per element; sort the result before iterating",
+		shortFuncID(src), direct)
+}
+
+// checkSinkCall flags tainted values fed straight into an order-
+// sensitive sink call (fmt printers, Write/Encode/Sum-style methods).
+func checkSinkCall(pass *Pass, facts *FactStore, call *ast.CallExpr, tainted map[types.Object]string) {
+	sink := ""
+	if name, ok := selectorCall(pass.TypesInfo, call.Fun, "fmt"); ok && fmtPrinters[name] {
+		sink = "fmt." + name
+	} else if sel, ok := call.Fun.(*ast.SelectorExpr); ok && orderSinkMethods[sel.Sel.Name] {
+		if fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok {
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				sink = "." + sel.Sel.Name
+			}
+		}
+	}
+	if sink == "" {
+		return
+	}
+	for _, arg := range call.Args {
+		switch a := ast.Unparen(arg).(type) {
+		case *ast.CallExpr:
+			if src, ok := taintedCall(pass, facts, a); ok {
+				pass.Reportf(a.Pos(),
+					"%s returns map-derived data in nondeterministic order and it flows straight into %s; sort it first",
+					shortFuncID(src), sink)
+			}
+		case *ast.Ident:
+			if obj := pass.TypesInfo.ObjectOf(a); obj != nil {
+				if src := tainted[obj]; src != "" {
+					pass.Reportf(a.Pos(),
+						"%q holds map-derived data from %s in nondeterministic order and flows into %s; sort it first",
+						a.Name, shortFuncID(src), sink)
+				}
+			}
+		}
+	}
+}
+
+func clearTaint(pass *Pass, arg ast.Expr, tainted map[types.Object]string) {
+	ast.Inspect(arg, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+				delete(tainted, obj)
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,9 @@
+// Package dleft is the left arm of the diamond fixture.
+package dleft
+
+import "dbase"
+
+// Via forwards to the shared base allocator.
+func Via() []int {
+	return dbase.Fresh()
+}

@@ -1,0 +1,23 @@
+// Package dright is the right arm of the diamond fixture.
+package dright
+
+import "dbase"
+
+// Via forwards to the shared base allocator.
+func Via() []int {
+	return dbase.Fresh()
+}
+
+// Wait forwards to the shared base blocker.
+func Wait() {
+	dbase.Wait()
+}
+
+// ColdVia reaches the allocator only through a miss-shaped guard; the
+// cold edge must not contribute to alloc chains.
+func ColdVia(xs []int) []int {
+	if len(xs) == 0 {
+		return dbase.Fresh()
+	}
+	return xs
+}

@@ -1,0 +1,114 @@
+// Package hotalloc exercises the hot-path allocation pass: direct
+// sites, transitive chains through another package, and the cold-path
+// shapes (miss branches, post-early-return tails, panic guards) that
+// must stay quiet.
+package hotalloc
+
+import (
+	"fmt"
+
+	"hotallocdep"
+)
+
+type cache struct {
+	idx  map[string]int
+	slab []int
+}
+
+// direct allocation sites inside the annotated function itself.
+//
+//lint:hotpath
+func direct(n int) []int {
+	return []int{n, n} // want "slice literal allocates"
+}
+
+// transitive: the allocation is one package away, flagged at the edge
+// that leaves the hot function.
+//
+//lint:hotpath
+func transitive(xs []int) []int {
+	return hotallocdep.Grow(xs, 1) // want "call to hotallocdep.Grow may allocate"
+}
+
+// twoHops: the chain crosses a forwarding helper.
+//
+//lint:hotpath
+func twoHops(xs []int) []int {
+	return hotallocdep.Forward(xs, 2) // want "call to hotallocdep.Forward may allocate"
+}
+
+// cleanCallee: an allocation-free callee stays quiet.
+//
+//lint:hotpath
+func cleanCallee(xs []int) int {
+	return hotallocdep.Sum(xs)
+}
+
+// missBranch is a false-positive trap: the !ok branch is the amortized
+// first-insert path, cold by the miss-shaped guard.
+//
+//lint:hotpath
+func missBranch(c *cache, k string) int {
+	v, ok := c.idx[k]
+	if !ok {
+		c.idx[k] = len(c.slab)
+		c.slab = append(c.slab, 0)
+		return 0
+	}
+	return v
+}
+
+// hitTail is a false-positive trap: the hit path returns early, so the
+// insert tail below it is cold.
+//
+//lint:hotpath
+func hitTail(c *cache, k string, v int) {
+	if i, ok := c.idx[k]; ok {
+		c.slab[i] = v
+		return
+	}
+	c.idx[k] = len(c.slab)
+	c.slab = append(c.slab, v)
+}
+
+// panicGuard is a false-positive trap: a panicking path is cold by
+// definition, fmt.Sprintf inside it included.
+//
+//lint:hotpath
+func panicGuard(n int) int {
+	if n < 0 {
+		panic(fmt.Sprintf("bad n %d", n))
+	}
+	return n * 2
+}
+
+// boxed: a non-pointer-shaped value crossing into an interface
+// parameter allocates.
+type sink interface{ put(v any) }
+
+//lint:hotpath
+func boxed(s sink, p [2]int) {
+	s.put(p) // want "interface boxing"
+}
+
+// callsAnnotated: annotated callees police themselves; the edge into
+// one is not re-reported here.
+//
+//lint:hotpath
+func callsAnnotated(c *cache, k string) int {
+	return missBranch(c, k)
+}
+
+// allowed: the escape hatch silences a site with a reason.
+//
+//lint:hotpath
+func allowed() []byte {
+	//lint:allow hotalloc warm-up buffer; steady state reuses it
+	return make([]byte, 64)
+}
+
+// notAnnotated may allocate freely: only //lint:hotpath functions and
+// their callees are in scope.
+func notAnnotated(n int) []int {
+	return make([]int, n)
+}

@@ -1,0 +1,23 @@
+// Package hotallocdep provides callees for the hotalloc corpus's
+// interprocedural cases: the allocation lives here, the //lint:hotpath
+// annotation lives a package away.
+package hotallocdep
+
+// Grow allocates on its steady path: the append has no cold guard.
+func Grow(xs []int, v int) []int {
+	return append(xs, v)
+}
+
+// Sum is allocation-free.
+func Sum(xs []int) int {
+	n := 0
+	for _, v := range xs {
+		n += v
+	}
+	return n
+}
+
+// Forward adds a hop so chains longer than one edge are exercised.
+func Forward(xs []int, v int) []int {
+	return Grow(xs, v)
+}

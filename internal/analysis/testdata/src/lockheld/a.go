@@ -1,0 +1,90 @@
+// Package lockheld exercises the held-mutex blocking pass: direct
+// transport and clock waits under a lock, interprocedural chains, and
+// the release shapes (unlock-before-call, early-exit arms, goroutine
+// frames) that must stay quiet.
+package lockheld
+
+import (
+	"sync"
+	"time"
+
+	"lockhelddep"
+	"transport"
+)
+
+type node struct {
+	mu  sync.Mutex
+	net transport.Network
+	val int
+}
+
+// direct: a transport call while the store mutex is held.
+func (n *node) direct(to transport.Addr) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.net.Call("a", to, n.val) // want "transport.Call performs .* while holding n.mu"
+}
+
+// sleepy: a clock wait inside the critical section.
+func (n *node) sleepy() {
+	n.mu.Lock()
+	time.Sleep(time.Millisecond) // want "time.Sleep waits on the wall clock while holding n.mu"
+	n.mu.Unlock()
+}
+
+// indirect: the blocking call is a package away; the chain rides the
+// facts.
+func (n *node) indirect() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	lockhelddep.Backoff() // want "call to lockhelddep.Backoff may block while holding n.mu"
+}
+
+// released is a false-positive trap: the lock is dropped before the
+// blocking call.
+func (n *node) released(to transport.Addr) {
+	n.mu.Lock()
+	n.val++
+	n.mu.Unlock()
+	n.net.Call("a", to, nil)
+}
+
+// earlyExit is a false-positive trap: the fast arm unlocks before
+// calling, and the merge after the if sees the lock released on the
+// surviving path too.
+func (n *node) earlyExit(to transport.Addr, fast bool) {
+	n.mu.Lock()
+	if fast {
+		n.mu.Unlock()
+		n.net.Call("a", to, nil)
+		return
+	}
+	n.val++
+	n.mu.Unlock()
+	n.net.Call("a", to, nil)
+}
+
+// spawned is a false-positive trap: the goroutine body runs outside
+// this critical section and gets its own (lock-free) frame.
+func (n *node) spawned(to transport.Addr) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	go func() {
+		n.net.Call("a", to, nil)
+	}()
+}
+
+// pureCallee: a non-blocking helper under the lock stays quiet.
+func (n *node) pureCallee() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.val = lockhelddep.Pure(n.val)
+}
+
+// allowed: the escape hatch, with its mandatory reason.
+func (n *node) allowed() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	//lint:allow lockheld bounded 0s sleep used as a scheduler yield in tests
+	time.Sleep(0)
+}

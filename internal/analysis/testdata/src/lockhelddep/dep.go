@@ -1,0 +1,15 @@
+// Package lockhelddep provides blocking callees for the lockheld
+// corpus's interprocedural cases.
+package lockhelddep
+
+import "time"
+
+// Backoff blocks the caller on the wall clock.
+func Backoff() {
+	time.Sleep(10 * time.Millisecond)
+}
+
+// Pure is safe to call under a lock.
+func Pure(n int) int {
+	return n + 1
+}

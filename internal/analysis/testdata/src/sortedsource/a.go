@@ -1,0 +1,52 @@
+// Package sortedsource exercises the cross-function map-order pass:
+// unsorted map-derived returns consumed by order-sensitive sinks, with
+// sort-laundering traps on both sides of the function boundary.
+package sortedsource
+
+import (
+	"fmt"
+	"sort"
+
+	"sortedsourcedep"
+)
+
+// loop: ranging a tainted result straight into a print sink.
+func loop(m map[string]int) {
+	ks := sortedsourcedep.Keys(m)
+	for _, k := range ks { // want "returns map-derived data in nondeterministic order"
+		fmt.Println(k)
+	}
+}
+
+// inline: the tainted call feeds the sink without touching a local.
+func inline(m map[string]int) {
+	fmt.Println(sortedsourcedep.Keys(m)) // want "flows straight into fmt.Println"
+}
+
+// sortedLocal is a false-positive trap: the caller sorts before the
+// sink, clearing the taint.
+func sortedLocal(m map[string]int) {
+	ks := sortedsourcedep.Keys(m)
+	sort.Strings(ks)
+	for _, k := range ks {
+		fmt.Println(k)
+	}
+}
+
+// sortedHelper is a false-positive trap: the helper launders through
+// sort before returning, so its fact is clean.
+func sortedHelper(m map[string]int) {
+	for _, k := range sortedsourcedep.SortedKeys(m) {
+		fmt.Println(k)
+	}
+}
+
+// reassigned is a false-positive trap: the local is overwritten from a
+// clean source before the sink.
+func reassigned(m map[string]int) {
+	ks := sortedsourcedep.Keys(m)
+	ks = []string{"a", "b"}
+	for _, k := range ks {
+		fmt.Println(k)
+	}
+}

@@ -1,0 +1,25 @@
+// Package sortedsourcedep provides map-derived sources for the
+// sortedsource corpus: one tainted (unsorted), one laundered.
+package sortedsourcedep
+
+import "sort"
+
+// Keys returns the map's keys in range order — unsorted, so consumers
+// in deterministic packages must sort before emitting.
+func Keys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// SortedKeys launders through sort before returning.
+func SortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -47,6 +47,11 @@ func newBucket(p ids.Prefix) *bucket {
 	return &bucket{prefix: p, idx: make(map[ids.ID]int32)}
 }
 
+// upsert inserts or updates e. The update path (existing ID) is the
+// steady state and stays allocation-free; first insertion of an ID may
+// grow the slab.
+//
+//lint:hotpath
 func (b *bucket) upsert(e IndexEntry) {
 	if slot, exists := b.idx[e.ID]; exists {
 		b.slab[slot] = e // update in place, keeping FIFO position
@@ -56,6 +61,9 @@ func (b *bucket) upsert(e IndexEntry) {
 	b.slab = append(b.slab, e)
 }
 
+// get returns the live entry for id, if present.
+//
+//lint:hotpath
 func (b *bucket) get(id ids.ID) (IndexEntry, bool) {
 	slot, ok := b.idx[id]
 	if !ok {
@@ -185,6 +193,8 @@ func (g *gatewayStore) peek(key ids.PrefixKey) *bucket {
 }
 
 // upsert inserts or updates an entry in the bucket of prefix p.
+//
+//lint:hotpath
 func (g *gatewayStore) upsert(p ids.Prefix, e IndexEntry) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
@@ -192,6 +202,8 @@ func (g *gatewayStore) upsert(p ids.Prefix, e IndexEntry) {
 }
 
 // lookup finds an entry for object id in the bucket keyed key.
+//
+//lint:hotpath
 func (g *gatewayStore) lookup(key ids.PrefixKey, id ids.ID) (IndexEntry, bool) {
 	g.mu.RLock()
 	defer g.mu.RUnlock()

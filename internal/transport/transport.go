@@ -131,6 +131,8 @@ type statsShard struct {
 // scalar counters ride in the same critical section as the map bumps,
 // which benchmarks faster single-threaded than per-field atomics while
 // still scaling across shards under concurrent traffic.
+//
+//lint:hotpath
 func (sh *statsShard) record(to Addr, name string, calls, messages, bytes, failures, drops, blocked uint64) {
 	sh.mu.Lock()
 	sh.calls += calls
@@ -146,6 +148,8 @@ func (sh *statsShard) record(to Addr, name string, calls, messages, bytes, failu
 
 // shardOf hashes an address (FNV-1a) to a shard index without
 // allocating.
+//
+//lint:hotpath
 func shardOf(to Addr) uint32 {
 	h := uint32(2166136261)
 	for i := 0; i < len(to); i++ {
@@ -176,6 +180,8 @@ func NewStats() *Stats {
 
 // recordCall accounts one completed round trip: request and response
 // both crossed the wire.
+//
+//lint:hotpath
 func (s *Stats) recordCall(to Addr, req, resp any, failed bool) {
 	var failures uint64
 	if failed {
@@ -187,6 +193,8 @@ func (s *Stats) recordCall(to Addr, req, resp any, failed bool) {
 // recordDrop accounts a call whose request was emitted and lost to
 // random message loss: one message on the wire, one failure, no
 // response bytes.
+//
+//lint:hotpath
 func (s *Stats) recordDrop(to Addr, req any) {
 	s.shards[shardOf(to)].record(to, typeName(req), 1, 1, uint64(sizeOf(req)), 1, 1, 0)
 }
@@ -195,6 +203,8 @@ func (s *Stats) recordDrop(to Addr, req any) {
 // unreachable (dead, partitioned away, or unregistered): like a drop it
 // charges one request message and one failure, but is counted
 // separately so fault accounting conserves (see Snapshot.Conserves).
+//
+//lint:hotpath
 func (s *Stats) recordBlocked(to Addr, req any) {
 	s.shards[shardOf(to)].record(to, typeName(req), 1, 1, uint64(sizeOf(req)), 1, 0, 1)
 }
