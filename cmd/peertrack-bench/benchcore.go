@@ -48,8 +48,15 @@ type coreSnapshot struct {
 	// the last fault to a clean CheckRing. Fully deterministic (seeded
 	// sim), so the ledger gate allows no slack: any increase is a real
 	// protocol regression.
-	ConvergenceRounds int                `json:"convergence_rounds,omitempty"`
-	FigureMs          map[string]float64 `json:"figure_wall_ms"`
+	ConvergenceRounds int `json:"convergence_rounds,omitempty"`
+	// ReplicationOverhead is the factor-2 indexing-message overhead
+	// ratio from the replication sweep at a fixed tiny scale: total
+	// indexing-phase messages with one mirror per bucket divided by the
+	// unreplicated total. Deterministic (seeded sim, message counts),
+	// so the ledger gate allows only float-formatting slack: mirroring
+	// must stay an O(1)-message piggyback per primary write.
+	ReplicationOverhead float64            `json:"replication_overhead,omitempty"`
+	FigureMs            map[string]float64 `json:"figure_wall_ms"`
 }
 
 type benchCoreFile struct {
@@ -155,6 +162,22 @@ func benchConvergenceRounds() (int, error) {
 	return sw.MaxConverge, nil
 }
 
+// benchReplicationOverhead measures the factor-2 message overhead of
+// k-successor replication on a fixed tiny workload. The sweep also
+// re-asserts the failover acceptance bar (every crash-window read
+// answered), so a ledger run doubles as a correctness check.
+func benchReplicationOverhead() (float64, error) {
+	s := experiments.Tiny()
+	s.Nodes = 16
+	s.MaxVolume = 150
+	s.Queries = 25
+	rows, err := experiments.ExpReplication(s)
+	if err != nil {
+		return 0, err
+	}
+	return rows[1].MsgOverhead, nil
+}
+
 // ledgerCheck re-measures the XL stats and fails if they regressed
 // beyond the given slack against the committed ledger's current block.
 // bytes_per_node is near-deterministic, so its slack is tight;
@@ -200,6 +223,18 @@ func ledgerCheck(path string, byteSlack, speedSlack float64) error {
 				rounds, ledger.Current.ConvergenceRounds)
 		}
 	}
+	if ledger.Current.ReplicationOverhead > 0 {
+		ratio, err := benchReplicationOverhead()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("# ledger-check: replication_overhead %.4f (committed %.4f, no slack)\n",
+			ratio, ledger.Current.ReplicationOverhead)
+		if ratio > ledger.Current.ReplicationOverhead*1.0001 {
+			return fmt.Errorf("replication_overhead regressed: %.4f > %.4f (deterministic metric)",
+				ratio, ledger.Current.ReplicationOverhead)
+		}
+	}
 	fmt.Println("# ledger-check: ok")
 	return nil
 }
@@ -239,6 +274,12 @@ func benchCore(path, scaleName string, scale experiments.Scale) error {
 		return err
 	}
 	out.Current.ConvergenceRounds = rounds
+	fmt.Fprintln(os.Stderr, "# bench-core: replication overhead")
+	ratio, err := benchReplicationOverhead()
+	if err != nil {
+		return err
+	}
+	out.Current.ReplicationOverhead = ratio
 
 	out.Current.FigureMs = make(map[string]float64)
 	figs := []struct {

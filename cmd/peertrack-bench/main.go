@@ -42,7 +42,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: verify, 6a, 6b, 7a, 7b, 8a, 8b, xl, triangle, window, alpha, cache, intermediate, overlay, churn, prediction, telemetry, or all")
+	fig := flag.String("fig", "all", "figure to regenerate: verify, 6a, 6b, 7a, 7b, 8a, 8b, xl, triangle, window, alpha, cache, intermediate, overlay, churn, prediction, replication, telemetry, or all")
 	scaleName := flag.String("scale", "default", "experiment scale: tiny, default, full, or xl")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	seed := flag.Int64("seed", 1, "workload seed")
@@ -149,7 +149,7 @@ func main() {
 
 	figs := strings.Split(*fig, ",")
 	if *fig == "all" {
-		figs = []string{"verify", "6a", "6b", "7a", "7b", "8a", "8b", "triangle", "window", "alpha", "cache", "intermediate", "overlay", "churn", "prediction"}
+		figs = []string{"verify", "6a", "6b", "7a", "7b", "8a", "8b", "triangle", "window", "alpha", "cache", "intermediate", "overlay", "churn", "prediction", "replication"}
 	}
 	for _, f := range figs {
 		if err := run(strings.TrimSpace(f), scale, *csv); err != nil {
@@ -313,6 +313,18 @@ func run(fig string, scale experiments.Scale, csv bool) error {
 		for _, r := range rows {
 			w.row(r.Transition, fmt.Sprintf("%d -> %d", r.LpBefore, r.LpAfter),
 				fmt.Sprint(r.IndexRecords), f1(r.ReconcileKMsgs), f1(r.KMsgsPerRecord))
+		}
+	case "replication":
+		rows, err := experiments.ExpReplication(scale)
+		if err != nil {
+			return err
+		}
+		w.header("Extension — k-successor replication: overhead vs crash availability")
+		w.row("factor", "index k msgs", "msg overhead", "byte overhead", "mirror writes", "crash locates", "fallthroughs")
+		for _, r := range rows {
+			w.row(fmt.Sprint(r.Factor), f1(r.IndexKMsgs), f2(r.MsgOverhead), f2(r.ByteOverhead),
+				fmt.Sprint(r.MirrorWrites), fmt.Sprintf("%d/%d", r.CrashLocateOK, r.CrashLocates),
+				fmt.Sprint(r.Fallthroughs))
 		}
 	case "prediction":
 		rows, err := experiments.ExpPrediction(scale)

@@ -6,9 +6,9 @@
 //
 // Usage:
 //
-//	peertrack-chaos [-seeds N] [-seed N] [-profile safe|lossy|both|churn10x]
-//	                [-nodes N] [-epochs N] [-drop P] [-workers N]
-//	                [-telemetry FILE] [-v]
+//	peertrack-chaos [-seeds N] [-seed N] [-profile safe|lossy|both|churn10x|repl]
+//	                [-nodes N] [-epochs N] [-drop P] [-replication K]
+//	                [-workers N] [-telemetry FILE] [-v]
 //
 // Without -seed it sweeps -seeds scenarios starting at seed 1 (split
 // 4:1 between the safe and lossy profiles when -profile both). On any
@@ -19,6 +19,18 @@
 // each seed runs the same permanent-crash schedule twice and requires
 // the Chord-only run to fail reconvergence and the gossip-assisted run
 // to pass it (see internal/chaos.RunChurnPair).
+//
+// -profile repl selects the paired replication-failover regression:
+// each seed crashes factor−1 index primaries mid-schedule and reads
+// every settled object during the window. The replicated run (factor
+// -replication, default 2) must answer all of them from surviving
+// copies; the factor-1 baseline under the identical crash schedule
+// must provably lose reads (see internal/chaos.RunReplicationPair).
+//
+// -replication K also applies to the safe/lossy profiles: every
+// scenario network keeps K total copies of each gateway bucket and IOP
+// repository, and every checkpoint additionally verifies
+// replica agreement.
 //
 // With -telemetry FILE the merged telemetry snapshot of all scenarios
 // (counters, histograms, span totals, in seed order, so independent of
@@ -43,6 +55,7 @@ func main() {
 	nodes := flag.Int("nodes", 0, "initial network size (0 = harness default)")
 	epochs := flag.Int("epochs", 0, "fault epochs per scenario (0 = harness default)")
 	drop := flag.Float64("drop", 0, "lossy-profile drop rate (0 = harness default)")
+	replication := flag.Int("replication", 0, "total copies of gateway state, incl. primary (0 = profile default)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel scenarios")
 	telemetryOut := flag.String("telemetry", "", "write the merged telemetry exposition to this file")
 	verbose := flag.Bool("v", false, "print every scenario report")
@@ -52,8 +65,12 @@ func main() {
 		runChurn10x(*seed, *seeds, *workers, *telemetryOut, *verbose)
 		return
 	}
+	if *profile == "repl" {
+		runReplPairs(*seed, *seeds, *nodes, *replication, *workers, *telemetryOut, *verbose)
+		return
+	}
 
-	base := chaos.Config{Nodes: *nodes, Epochs: *epochs, DropRate: *drop}
+	base := chaos.Config{Nodes: *nodes, Epochs: *epochs, DropRate: *drop, Replication: *replication}
 	var merged telemetry.Snapshot
 
 	if *seed != 0 {
@@ -160,6 +177,50 @@ func runChurn10x(seed int64, seeds, workers int, telemetryOut string, verbose bo
 	}
 }
 
+// runReplPairs runs the paired replication-failover profile: every
+// seed executes the same crash schedule at the requested factor and at
+// factor 1, and the pair must discriminate — all crash-window reads
+// answered with replication on, reads provably lost with it off. Exits
+// 1 when any pair misses the expectation.
+func runReplPairs(seed int64, seeds, nodes, factor, workers int, telemetryOut string, verbose bool) {
+	base := chaos.ReplicationConfig{Nodes: nodes, Factor: factor}
+	if seed != 0 {
+		base.Seed = seed
+		pair := chaos.RunReplicationPair(base)
+		fmt.Println(pair.Replicated)
+		fmt.Println(pair.Baseline)
+		writeTelemetry(telemetryOut, pair.Replicated.Telemetry)
+		if pair.Failed() {
+			for _, v := range pair.Violations {
+				fmt.Println(" ", v)
+			}
+			os.Exit(1)
+		}
+		return
+	}
+	base.Seed = 1
+	sw := chaos.ReplicationSweep(base, seeds, workers)
+	fmt.Println(sw)
+	if verbose {
+		for s := int64(0); s < int64(seeds); s++ {
+			c := base
+			c.Seed = 1 + s
+			pair := chaos.RunReplicationPair(c)
+			fmt.Println(" ", pair.Replicated)
+			fmt.Println(" ", pair.Baseline)
+		}
+	}
+	writeTelemetry(telemetryOut, sw.Telemetry)
+	if sw.Failed() {
+		first := sw.Failures[0]
+		fmt.Printf("\nfirst failing pair (seed %d):\n", first.Replicated.Seed)
+		for _, v := range first.Violations {
+			fmt.Println(" ", v)
+		}
+		os.Exit(1)
+	}
+}
+
 // writeTelemetry dumps the merged exposition to path ("" disables; "-"
 // prints to stdout) and always logs the one-line totals.
 func writeTelemetry(path string, snap telemetry.Snapshot) {
@@ -197,7 +258,7 @@ func profilesFor(name string) []chaos.Profile {
 	case "both":
 		return []chaos.Profile{chaos.ProfileSafe, chaos.ProfileLossy}
 	default:
-		fmt.Fprintf(os.Stderr, "peertrack-chaos: unknown profile %q (want safe, lossy, both, or churn10x)\n", name)
+		fmt.Fprintf(os.Stderr, "peertrack-chaos: unknown profile %q (want safe, lossy, both, churn10x, or repl)\n", name)
 		os.Exit(2)
 		return nil
 	}

@@ -37,9 +37,10 @@ func main() {
 	mode := flag.String("mode", "group", "indexing mode: group or individual")
 	dataPath := flag.String("data", "", "snapshot file for durable state (restored at start, saved at exit)")
 	secret := flag.String("secret", "", "shared network secret enabling HMAC frame authentication")
+	replicas := flag.Int("replicas", 1, "total copies of gateway state incl. primary (1 = no replication; set identically network-wide)")
 	flag.Parse()
 
-	opts := peertrack.NodeOptions{NetworkSize: *netsize, NetworkSecret: *secret}
+	opts := peertrack.NodeOptions{NetworkSize: *netsize, NetworkSecret: *secret, Replicas: *replicas}
 	switch *mode {
 	case "group":
 		opts.Mode = peertrack.Grouped

@@ -106,6 +106,7 @@ var DeterministicPackages = map[string]bool{
 	"peertrack/internal/invariants":  true,
 	"peertrack/internal/experiments": true,
 	"peertrack/internal/telemetry":   true,
+	"peertrack/internal/replication": true,
 }
 
 // NormalizeImportPath maps a test-variant import path to the package it

@@ -71,6 +71,11 @@ type Config struct {
 	// after the final loss-free settle (defaults 0.8 and 0.5).
 	MinLocateOK float64
 	MinTraceOK  float64
+	// Replication is the total number of copies of every gateway bucket
+	// and IOP repository, primary included (default 1 = no mirroring).
+	// At 2 and above every checkpoint additionally runs a repair round
+	// and the replica-agreement invariant.
+	Replication int
 }
 
 func (c *Config) fill() {
@@ -100,6 +105,9 @@ func (c *Config) fill() {
 	}
 	if c.MinTraceOK <= 0 {
 		c.MinTraceOK = 0.5
+	}
+	if c.Replication <= 0 {
+		c.Replication = 1
 	}
 }
 

@@ -1,0 +1,445 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"peertrack/internal/core"
+	"peertrack/internal/invariants"
+	"peertrack/internal/moods"
+	"peertrack/internal/telemetry"
+	"peertrack/internal/transport"
+	"peertrack/internal/workload"
+)
+
+// This file is the replication-failover harness: a crash scenario
+// sharpened to the window the k-successor replication exists for. Each
+// round it lets a slice of the workload index and mirror fully, then
+// kills factor−1 index primaries and — before any repair, revival, or
+// ring re-wiring — reads every object whose state predates the crash
+// from a live peer. With factor f, the f copies of any bucket (and of
+// any repository) live on f distinct consecutive ring nodes, so f−1
+// crashes always leave at least one copy alive; the invariant under
+// test is that no such read ever returns a stale or empty answer. A
+// second workload slice flushes with the primaries still dead, so
+// indexing and mirror traffic race the crash. The paired runner
+// (RunReplicationPair) executes the same schedule at factor 1 and
+// requires it to LOSE reads in that window — proving the failover path,
+// not a lucky placement, is what answered them.
+
+// ReplicationConfig parameterizes one replication-failover scenario.
+// The zero value is usable.
+type ReplicationConfig struct {
+	// Seed drives victim selection and the workload.
+	Seed int64
+	// Nodes is the network size (default 16).
+	Nodes int
+	// Factor is the replication factor under test, total copies
+	// including the primary (default 2).
+	Factor int
+	// Rounds is the number of crash rounds (default 3).
+	Rounds int
+	// Crashes is the number of primaries killed per round (default
+	// Factor−1, the largest count that provably leaves every bucket a
+	// live copy).
+	Crashes int
+	// ObjectsPerNode and TraceLen shape the movement workload
+	// (defaults 3 and 4).
+	ObjectsPerNode int
+	TraceLen       int
+}
+
+func (c *ReplicationConfig) fill() {
+	if c.Nodes <= 0 {
+		c.Nodes = 16
+	}
+	if c.Factor <= 0 {
+		c.Factor = 2
+	}
+	if c.Rounds <= 0 {
+		c.Rounds = 3
+	}
+	if c.Crashes <= 0 {
+		c.Crashes = c.Factor - 1
+		if c.Crashes <= 0 {
+			c.Crashes = 1
+		}
+	}
+	if c.ObjectsPerNode <= 0 {
+		c.ObjectsPerNode = 3
+	}
+	if c.TraceLen <= 0 {
+		c.TraceLen = 4
+	}
+	if c.TraceLen > c.Nodes {
+		c.TraceLen = c.Nodes
+	}
+}
+
+// ReplicationReport is the outcome of one scenario. Determinism
+// contract as for Report: identical config → identical report.
+type ReplicationReport struct {
+	Seed   int64
+	Factor int
+	// RoundsRun counts crash rounds executed (stops early on failure).
+	RoundsRun int
+	// WindowLocates / WindowOK count the crash-window reads and how
+	// many agreed with the oracle; WindowTraces / WindowTraceOK the
+	// same for full traces (which walk the mirrored repositories).
+	WindowLocates, WindowOK     int
+	WindowTraces, WindowTraceOK int
+	// Fallthroughs is the final core.replication.fallthrough_reads
+	// counter — how many crash-window answers came from a replica.
+	Fallthroughs uint64
+	// Violations is empty on success. At factor ≥ 2 every crash-window
+	// read must agree with the oracle and every checkpoint must pass
+	// the full invariant suite plus replica agreement; at factor 1 the
+	// window reads only count (the paired runner asserts they lose).
+	Violations []invariants.Violation
+	// Telemetry is the scenario's full instrument snapshot.
+	Telemetry telemetry.Snapshot
+}
+
+// Failed reports whether the scenario violated any invariant.
+func (r ReplicationReport) Failed() bool { return len(r.Violations) > 0 }
+
+func (r ReplicationReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "repl seed %d factor=%d rounds=%d window locate %d/%d trace %d/%d fallthrough=%d",
+		r.Seed, r.Factor, r.RoundsRun, r.WindowOK, r.WindowLocates,
+		r.WindowTraceOK, r.WindowTraces, r.Fallthroughs)
+	if r.Failed() {
+		fmt.Fprintf(&b, " FAIL (%d violations)", len(r.Violations))
+		for i, v := range r.Violations {
+			if i == 4 {
+				fmt.Fprintf(&b, "\n  ... %d more", len(r.Violations)-i)
+				break
+			}
+			fmt.Fprintf(&b, "\n  %s", v)
+		}
+	}
+	return b.String()
+}
+
+// RunReplication executes one replication-failover scenario
+// deterministically.
+func RunReplication(cfg ReplicationConfig) (rep ReplicationReport) {
+	cfg.fill()
+	rep = ReplicationReport{Seed: cfg.Seed, Factor: cfg.Factor}
+	fail := func(format string, args ...any) ReplicationReport {
+		rep.Violations = append(rep.Violations, invariants.Violation{
+			Invariant: "harness", Detail: fmt.Sprintf(format, args...),
+		})
+		return rep
+	}
+
+	var nw *core.Network
+	defer func() {
+		if nw != nil {
+			rep.Telemetry = nw.Telemetry.Snapshot()
+			rep.Fallthroughs = nw.Telemetry.Counter("core.replication.fallthrough_reads").Value()
+		}
+	}()
+
+	nw, err := core.BuildNetwork(core.NetworkConfig{
+		Nodes: cfg.Nodes,
+		Seed:  cfg.Seed,
+		Peer:  core.Config{ReplicationFactor: cfg.Factor},
+	})
+	if err != nil {
+		return fail("build: %v", err)
+	}
+	names := make([]moods.NodeName, cfg.Nodes)
+	for i := range names {
+		names[i] = core.NodeNameFor(i)
+	}
+	wl, err := workload.PaperSpec{
+		Nodes:          names,
+		ObjectsPerNode: cfg.ObjectsPerNode,
+		MoveFraction:   0.5,
+		TraceLen:       cfg.TraceLen,
+		Grouped:        true,
+		Seed:           cfg.Seed + 2_000_003,
+		Spread:         10 * time.Second,
+		HopGap:         time.Minute,
+	}.Generate()
+	if err != nil {
+		return fail("workload: %v", err)
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x3e91ac55))
+	lastSeen := make(map[moods.ObjectID]moods.NodeName)
+	crashed := make(map[transport.Addr]bool)
+	feed := func(obs moods.Observation) bool {
+		p, ok := nw.PeerByName(obs.Node)
+		if !ok || crashed[p.Addr()] {
+			return false // a dead node sights nothing
+		}
+		if lastSeen[obs.Object] == obs.Node {
+			return false
+		}
+		lastSeen[obs.Object] = obs.Node
+		if err := nw.ScheduleObservation(obs); err != nil {
+			panic(err)
+		}
+		return true
+	}
+
+	n := len(wl.Observations)
+	for round := 0; round < cfg.Rounds; round++ {
+		rep.RoundsRun = round + 1
+		lo, hi := round*n/cfg.Rounds, (round+1)*n/cfg.Rounds
+		mid := lo + (hi-lo)/2
+
+		// Phase A: settled traffic — indexed, stitched, and mirrored.
+		for _, obs := range wl.Observations[lo:mid] {
+			feed(obs)
+		}
+		nw.Kernel.Run()
+		nw.FlushAll()
+		nw.FlushAll()
+		nw.SyncReplicas()
+
+		// Phase B: kill Crashes index primaries. The ring is NOT
+		// repaired: this is the failover window.
+		for _, addr := range pickPrimaries(nw, rng, cfg.Crashes) {
+			crashed[addr] = true
+			nw.Transport.Kill(addr)
+		}
+
+		// A second slice flushes with the primaries dead, so indexing
+		// and mirror writes race the crash. Objects it touches have
+		// legitimately un-indexed movements; the window reads below
+		// check only objects whose whole history predates the crash.
+		touched := make(map[moods.ObjectID]bool)
+		for _, obs := range wl.Observations[mid:hi] {
+			if feed(obs) {
+				touched[obs.Object] = true
+			}
+		}
+		nw.Kernel.Run()
+		nw.FlushAll()
+
+		var asker *core.Peer
+		for _, p := range nw.Peers() {
+			if !crashed[p.Addr()] {
+				asker = p
+				break
+			}
+		}
+		now := nw.Kernel.Now()
+		for _, obj := range wl.Objects {
+			if touched[obj] || lastSeen[obj] == "" {
+				continue
+			}
+			want, _ := nw.Oracle.Locate(obj, now)
+			res, err := asker.Locate(obj, now)
+			rep.WindowLocates++
+			switch {
+			case err == nil && res.Node == want:
+				rep.WindowOK++
+			case cfg.Factor >= 2:
+				rep.Violations = append(rep.Violations, invariants.Violation{
+					Invariant: "replica-failover", Object: obj,
+					Detail: fmt.Sprintf("round %d crash-window locate: got %q err=%v, want %q", round, res.Node, err, want),
+				})
+			}
+			wantPath := nw.Oracle.FullTrace(obj)
+			tres, terr := asker.FullTrace(obj)
+			rep.WindowTraces++
+			switch {
+			case terr == nil && tres.Path.Equal(wantPath):
+				rep.WindowTraceOK++
+			case cfg.Factor >= 2:
+				rep.Violations = append(rep.Violations, invariants.Violation{
+					Invariant: "replica-failover", Object: obj,
+					Detail: fmt.Sprintf("round %d crash-window trace: got %v err=%v, want %v", round, tres.Path.Nodes(), terr, wantPath.Nodes()),
+				})
+			}
+		}
+		if cfg.Factor >= 2 && rep.Failed() {
+			return rep
+		}
+
+		// Heal, converge, and hold the full invariant suite plus
+		// replica agreement at the round boundary.
+		for addr := range crashed {
+			nw.Transport.Revive(addr)
+		}
+		crashed = make(map[transport.Addr]bool)
+		for pass := 0; pass < 64; pass++ {
+			total := 0
+			for _, p := range nw.Peers() {
+				total += p.Buffered()
+			}
+			if total == 0 {
+				break
+			}
+			nw.FlushAll()
+		}
+		nw.SyncReplicas()
+		opts := invariants.Options{RequireIOPExact: true, RequireIOPBidir: true}
+		if vs := invariants.CheckNetwork(nw, opts); len(vs) > 0 {
+			rep.Violations = vs
+			return rep
+		}
+		if vs := invariants.CheckReplicaAgreement(nw); len(vs) > 0 {
+			rep.Violations = vs
+			return rep
+		}
+	}
+	return rep
+}
+
+// pickPrimaries selects k distinct live peers currently holding a
+// non-empty index bucket — the nodes whose crash takes primary state
+// with it — by scenario RNG over the deterministic candidate order.
+func pickPrimaries(nw *core.Network, rng *rand.Rand, k int) []transport.Addr {
+	var candidates []transport.Addr
+	for _, p := range nw.Peers() {
+		for _, b := range p.DumpIndex() {
+			if len(b.Entries) > 0 {
+				candidates = append(candidates, p.Addr())
+				break
+			}
+		}
+	}
+	sort.Slice(candidates, func(i, j int) bool { return candidates[i] < candidates[j] })
+	if k > len(candidates)-1 {
+		k = len(candidates) - 1 // always leave a live primary to ask from
+	}
+	if k < 0 {
+		k = 0
+	}
+	perm := rng.Perm(len(candidates))[:k]
+	sort.Ints(perm)
+	out := make([]transport.Addr, k)
+	for i, idx := range perm {
+		out[i] = candidates[idx]
+	}
+	return out
+}
+
+// ReplicationPairReport is the paired replicated/baseline verdict for
+// one seed.
+type ReplicationPairReport struct {
+	Replicated ReplicationReport
+	Baseline   ReplicationReport
+	// Violations is empty when the pair matches the expectation: the
+	// replicated run answers every crash-window read (with at least one
+	// replica fallthrough) while the factor-1 baseline, under the same
+	// crash schedule, provably loses reads.
+	Violations []invariants.Violation
+}
+
+// Failed reports whether the paired expectation was violated.
+func (p ReplicationPairReport) Failed() bool { return len(p.Violations) > 0 }
+
+// RunReplicationPair runs the same crash schedule twice — at
+// cfg.Factor and at factor 1 with the identical victim count — and
+// asserts the discriminating outcome the harness is checked in for.
+func RunReplicationPair(cfg ReplicationConfig) ReplicationPairReport {
+	cfg.fill()
+	base := cfg
+	base.Factor = 1
+	base.Crashes = cfg.Crashes // same victims despite the factor drop
+	pair := ReplicationPairReport{
+		Replicated: RunReplication(cfg),
+		Baseline:   RunReplication(base),
+	}
+	if pair.Replicated.Failed() {
+		pair.Violations = append(pair.Violations, invariants.Violation{
+			Invariant: "replication-pair",
+			Detail:    fmt.Sprintf("seed %d: replicated run (factor %d) failed", cfg.Seed, cfg.Factor),
+		})
+		pair.Violations = append(pair.Violations, pair.Replicated.Violations...)
+	}
+	if pair.Replicated.Fallthroughs == 0 {
+		pair.Violations = append(pair.Violations, invariants.Violation{
+			Invariant: "replication-pair",
+			Detail:    fmt.Sprintf("seed %d: no crash-window read used a replica — schedule exercised nothing", cfg.Seed),
+		})
+	}
+	if pair.Baseline.WindowOK == pair.Baseline.WindowLocates && pair.Baseline.WindowTraceOK == pair.Baseline.WindowTraces {
+		pair.Violations = append(pair.Violations, invariants.Violation{
+			Invariant: "replication-pair",
+			Detail: fmt.Sprintf("seed %d: factor-1 baseline lost no crash-window reads (%d/%d locates) — schedule too weak to discriminate",
+				cfg.Seed, pair.Baseline.WindowOK, pair.Baseline.WindowLocates),
+		})
+	}
+	return pair
+}
+
+// ReplicationSweepReport aggregates paired runs across seeds.
+type ReplicationSweepReport struct {
+	Scenarios int
+	Factor    int
+	// Failures holds the failing pairs, ascending by seed.
+	Failures []ReplicationPairReport
+	// WindowLocates / Fallthroughs accumulate the replicated runs'
+	// crash-window reads and replica-served answers.
+	WindowLocates int
+	Fallthroughs  uint64
+	// Telemetry merges the replicated runs' snapshots in seed order
+	// (worker-count independent).
+	Telemetry telemetry.Snapshot
+}
+
+// Failed reports whether any pair in the sweep failed.
+func (s ReplicationSweepReport) Failed() bool { return len(s.Failures) > 0 }
+
+func (s ReplicationSweepReport) String() string {
+	return fmt.Sprintf("%d replication pairs (factor %d): %d failed, %d window reads, %d replica fallthroughs",
+		s.Scenarios, s.Factor, len(s.Failures), s.WindowLocates, s.Fallthroughs)
+}
+
+// ReplicationSweep runs n paired scenarios with seeds
+// cfg.Seed…cfg.Seed+n−1 across workers. Each scenario owns its whole
+// world, so the aggregate is byte-identical at any worker count
+// (assembled in seed order).
+func ReplicationSweep(cfg ReplicationConfig, n, workers int) ReplicationSweepReport {
+	cfg.fill()
+	if workers <= 0 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	pairs := make([]ReplicationPairReport, n)
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				c := cfg
+				c.Seed = cfg.Seed + int64(i)
+				pairs[i] = RunReplicationPair(c)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	out := ReplicationSweepReport{Scenarios: n, Factor: cfg.Factor}
+	for _, p := range pairs {
+		out.WindowLocates += p.Replicated.WindowLocates
+		out.Fallthroughs += p.Replicated.Fallthroughs
+		out.Telemetry = out.Telemetry.Merge(p.Replicated.Telemetry)
+		if p.Failed() {
+			out.Failures = append(out.Failures, p)
+		}
+	}
+	sort.Slice(out.Failures, func(i, j int) bool {
+		return out.Failures[i].Replicated.Seed < out.Failures[j].Replicated.Seed
+	})
+	return out
+}

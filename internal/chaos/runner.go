@@ -126,7 +126,11 @@ func RunSchedule(cfg Config, sched Schedule) (rep Report) {
 		}
 	}()
 
-	nw, err := core.BuildNetwork(core.NetworkConfig{Nodes: cfg.Nodes, Seed: cfg.Seed})
+	nw, err := core.BuildNetwork(core.NetworkConfig{
+		Nodes: cfg.Nodes,
+		Seed:  cfg.Seed,
+		Peer:  core.Config{ReplicationFactor: cfg.Replication},
+	})
 	if err != nil {
 		return harnessFail("build: %v", err)
 	}
@@ -172,13 +176,21 @@ func RunSchedule(cfg Config, sched Schedule) (rep Report) {
 		}
 
 		// Checkpoint: every structural invariant must hold in both
-		// profiles; exactness only where no history departed.
+		// profiles; exactness only where no history departed. With
+		// replication on, a repair round first re-converges the mirrors
+		// (it is protocol activity, like the flush pulses above), then
+		// every primary must agree byte-for-byte with its k−1 copies.
+		nw.SyncReplicas()
 		opts := invariants.Options{SkipIOP: r.skipIOP}
 		if cfg.Profile == ProfileSafe {
 			opts.RequireIOPExact = true
 			opts.RequireIOPBidir = true
 		}
 		if vs := invariants.CheckNetwork(nw, opts); len(vs) > 0 {
+			rep.Violations = vs
+			return rep
+		}
+		if vs := invariants.CheckReplicaAgreement(nw); len(vs) > 0 {
 			rep.Violations = vs
 			return rep
 		}

@@ -40,15 +40,25 @@ func (n *Node) Lookup(key ids.ID) (LookupResult, error) {
 }
 
 func (n *Node) lookup(key ids.ID) (LookupResult, error) {
+	res, _, err := n.lookupVia(key)
+	return res, err
+}
+
+// lookupVia is lookup plus provenance: it also returns the last live
+// hop that named the owner (zero when the answer came from local
+// routing state alone). The via node's successor list begins at the
+// owner, which is what replica-set queries fall back on when the owner
+// itself is unreachable.
+func (n *Node) lookupVia(key ids.ID) (LookupResult, NodeRef, error) {
 	n.mu.RLock()
 	left := n.left
 	n.mu.RUnlock()
 	if left {
-		return LookupResult{}, ErrLeft
+		return LookupResult{}, NodeRef{}, ErrLeft
 	}
 	// Fast path: we own the key.
 	if n.Owns(key) {
-		return LookupResult{Node: n.self, Hops: 0}, nil
+		return LookupResult{Node: n.self, Hops: 0}, NodeRef{}, nil
 	}
 
 	hops := 0
@@ -60,7 +70,7 @@ func (n *Node) lookup(key ids.ID) (LookupResult, error) {
 		done = true // degenerate single-node ring
 	}
 	if done {
-		return LookupResult{Node: cur, Hops: hops}, nil
+		return LookupResult{Node: cur, Hops: hops}, NodeRef{}, nil
 	}
 	for step := 0; step < n.cfg.MaxLookupSteps; step++ {
 		resp, err := n.call(cur, closestPrecedingReq{Key: key})
@@ -69,7 +79,7 @@ func (n *Node) lookup(key ids.ID) (LookupResult, error) {
 			dead[cur.Addr] = true
 			next, derr := n.detour(key, dead)
 			if derr != nil {
-				return LookupResult{}, fmt.Errorf("%w: %v", ErrLookupFailed, err)
+				return LookupResult{}, NodeRef{}, fmt.Errorf("%w: %v", ErrLookupFailed, err)
 			}
 			cur = next
 			hops++
@@ -79,13 +89,15 @@ func (n *Node) lookup(key ids.ID) (LookupResult, error) {
 		cp := resp.(closestPrecedingResp)
 		switch {
 		case cp.Done:
-			if dead[cp.Node.Addr] {
-				return LookupResult{}, fmt.Errorf("%w: owner %s unreachable", ErrLookupFailed, cp.Node.Addr)
-			}
-			return LookupResult{Node: cp.Node, Hops: hops}, nil
+			// The owner is returned even when it is known-dead: routing
+			// succeeded in naming the responsible node, and failover
+			// callers (LookupSet) need it plus the via hop to reach the
+			// key's replica set. Callers that need the owner alive find
+			// out on their next call to it.
+			return LookupResult{Node: cp.Node, Hops: hops}, cur, nil
 		case cp.Node.Equal(cur):
 			// No progress: cur believes its successor is responsible.
-			return LookupResult{Node: cp.Node, Hops: hops}, nil
+			return LookupResult{Node: cp.Node, Hops: hops}, cur, nil
 		case dead[cp.Node.Addr]:
 			// cur handed us a node we already know is dead (stale
 			// finger). Step along cur's successor list instead, which
@@ -96,13 +108,26 @@ func (n *Node) lookup(key ids.ID) (LookupResult, error) {
 				dead[cur.Addr] = true
 				next, derr := n.detour(key, dead)
 				if derr != nil {
-					return LookupResult{}, fmt.Errorf("%w: %v", ErrLookupFailed, serr)
+					return LookupResult{}, NodeRef{}, fmt.Errorf("%w: %v", ErrLookupFailed, serr)
 				}
 				cur = next
 				continue
 			}
+			succs := st.(getStateResp).Successors
+			// The list may already cover the key: walking it in ring
+			// order, the first entry s with key ∈ (prev, s] is the owner.
+			// This is the only way to terminate when both the owner and
+			// the owner's predecessor are dead — neither can claim the
+			// key, so no closestPreceding answer ever says Done.
+			prev := cur
+			for _, s := range succs {
+				if ids.BetweenRightIncl(key, prev.ID, s.ID) {
+					return LookupResult{Node: s, Hops: hops}, cur, nil
+				}
+				prev = s
+			}
 			moved := false
-			for _, s := range st.(getStateResp).Successors {
+			for _, s := range succs {
 				if !dead[s.Addr] && !s.Equal(cur) {
 					cur = s
 					moved = true
@@ -110,13 +135,98 @@ func (n *Node) lookup(key ids.ID) (LookupResult, error) {
 				}
 			}
 			if !moved {
-				return LookupResult{}, fmt.Errorf("%w: no live successor past %s", ErrLookupFailed, cur.Addr)
+				return LookupResult{}, NodeRef{}, fmt.Errorf("%w: no live successor past %s", ErrLookupFailed, cur.Addr)
 			}
 		default:
 			cur = cp.Node
 		}
 	}
-	return LookupResult{}, fmt.Errorf("%w: exceeded %d steps for key %s", ErrLookupFailed, n.cfg.MaxLookupSteps, key.Short())
+	return LookupResult{}, NodeRef{}, fmt.Errorf("%w: exceeded %d steps for key %s", ErrLookupFailed, n.cfg.MaxLookupSteps, key.Short())
+}
+
+// LookupSet finds up to want distinct candidate holders of key in
+// deterministic ring order: the node responsible for the key first,
+// then its ring successors — exactly the replica set of a k-successor
+// replication scheme. The owner is included even when it is currently
+// unreachable (callers skip it during failover); its successor list is
+// then taken from the last live hop of the lookup path, whose list
+// begins at the owner, so failover still learns which nodes mirror the
+// key.
+func (n *Node) LookupSet(key ids.ID, want int) ([]NodeRef, error) {
+	if want < 1 {
+		want = 1
+	}
+	res, via, err := n.lookupVia(key)
+	if err != nil {
+		return nil, err
+	}
+	owner := res.Node
+	set := make([]NodeRef, 0, want)
+	add := func(r NodeRef) {
+		if r.IsZero() || len(set) >= want {
+			return
+		}
+		for _, have := range set {
+			if have.Addr == r.Addr {
+				return
+			}
+		}
+		set = append(set, r)
+	}
+	add(owner)
+	// Extend with the owner's successor list. When the answer came from
+	// local routing state (via is zero), this node's own successor list
+	// already starts at the owner, so it is the authoritative extension;
+	// the same holds for the via node when the owner does not answer.
+	switch {
+	case len(set) >= want:
+	case owner.Equal(n.self) || via.IsZero():
+		for _, s := range n.Successors() {
+			add(s)
+		}
+	default:
+		if st, err := n.call(owner, getStateReq{}); err == nil {
+			for _, s := range st.(getStateResp).Successors {
+				add(s)
+			}
+			break
+		}
+		if st, err := n.call(via, getStateReq{}); err == nil {
+			// via may precede the owner by several positions (it named
+			// the owner from deep in its successor list when the owner's
+			// immediate predecessor was also dead). Entries up to and
+			// including the owner are not replicas of the key and must
+			// not crowd real replicas out of the set.
+			succs := st.(getStateResp).Successors
+			start := 0
+			for i, s := range succs {
+				if s.Addr == owner.Addr {
+					start = i + 1
+					break
+				}
+			}
+			for _, s := range succs[start:] {
+				add(s)
+			}
+		}
+	}
+	// Walk the ring forward for any copies still missing: the owner of
+	// lastID+1 is the next ring position, alive or dead (lookups name
+	// dead owners too). This is the only source of the owner's own
+	// successors when the owner sits at the very end of every reachable
+	// successor list — e.g. a dead owner whose predecessor is also dead.
+	for len(set) < want {
+		next, _, err := n.lookupVia(set[len(set)-1].ID.AddPow2(0))
+		if err != nil || next.Node.IsZero() {
+			break
+		}
+		before := len(set)
+		add(next.Node)
+		if len(set) == before {
+			break // wrapped around or duplicate: no progress
+		}
+	}
+	return set, nil
 }
 
 // detour picks an alternative hop when the current one is unreachable:

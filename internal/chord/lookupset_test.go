@@ -1,0 +1,107 @@
+package chord
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"peertrack/internal/ids"
+)
+
+// ringOrder returns refs sorted by ID starting at the successor of key:
+// the ground-truth replica candidate order of the static ring.
+func ringOrder(refs []NodeRef, key ids.ID) []NodeRef {
+	sorted := append([]NodeRef(nil), refs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID.Less(sorted[j].ID) })
+	owner := SuccessorOf(refs, key)
+	start := 0
+	for i, r := range sorted {
+		if r.Equal(owner) {
+			start = i
+			break
+		}
+	}
+	out := make([]NodeRef, 0, len(sorted))
+	for i := 0; i < len(sorted); i++ {
+		out = append(out, sorted[(start+i)%len(sorted)])
+	}
+	return out
+}
+
+func TestLookupSetMatchesRingOrder(t *testing.T) {
+	_, nodes := staticRing(t, 48)
+	refs := refsOf(nodes)
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 100; i++ {
+		key := ids.HashString(fmt.Sprintf("set-key-%d", r.Int63()))
+		want := ringOrder(refs, key)
+		start := nodes[r.Intn(len(nodes))]
+		const k = 4
+		set, err := start.LookupSet(key, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(set) != k {
+			t.Fatalf("LookupSet returned %d refs, want %d", len(set), k)
+		}
+		for j, ref := range set {
+			if !ref.Equal(want[j]) {
+				t.Fatalf("set[%d] = %s, want %s (key %s from %s)",
+					j, ref.Addr, want[j].Addr, key.Short(), start.Addr())
+			}
+		}
+	}
+}
+
+func TestLookupSetIncludesOwnSuccessorsLocally(t *testing.T) {
+	_, nodes := staticRing(t, 16)
+	n := nodes[3]
+	// A key this node owns resolves without any RPC; the set must still
+	// extend past the owner using the local successor list.
+	key := n.Self().ID
+	set, err := n.LookupSet(key, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 3 || !set[0].Equal(n.Self()) {
+		t.Fatalf("local LookupSet = %v", set)
+	}
+	succs := n.Successors()
+	if !set[1].Equal(succs[0]) || !set[2].Equal(succs[1]) {
+		t.Fatalf("local LookupSet successors = %s,%s, want %s,%s",
+			set[1].Addr, set[2].Addr, succs[0].Addr, succs[1].Addr)
+	}
+}
+
+func TestLookupSetSurvivesDeadOwner(t *testing.T) {
+	net, nodes := staticRing(t, 32)
+	refs := refsOf(nodes)
+	r := rand.New(rand.NewSource(17))
+	for i := 0; i < 50; i++ {
+		key := ids.HashString(fmt.Sprintf("dead-owner-%d", r.Int63()))
+		want := ringOrder(refs, key)
+		var start *Node
+		for {
+			start = nodes[r.Intn(len(nodes))]
+			if !start.Self().Equal(want[0]) {
+				break
+			}
+		}
+		net.Kill(want[0].Addr)
+		set, err := start.LookupSet(key, 3)
+		net.Revive(want[0].Addr)
+		if err != nil {
+			// Routing may legitimately fail if the lookup path itself
+			// needed the dead node and no detour preceded the key.
+			continue
+		}
+		if len(set) < 2 {
+			t.Fatalf("dead-owner LookupSet too short: %v", set)
+		}
+		if !set[0].Equal(want[0]) || !set[1].Equal(want[1]) {
+			t.Fatalf("dead-owner set = %s,%s, want %s,%s",
+				set[0].Addr, set[1].Addr, want[0].Addr, want[1].Addr)
+		}
+	}
+}

@@ -234,6 +234,14 @@ func (n *Node) SetAppHandler(h transport.Handler) {
 func (n *Node) closestPreceding(key ids.ID) closestPrecedingResp {
 	n.mu.RLock()
 	defer n.mu.RUnlock()
+	// A key this node owns terminates at this node. Routing normally
+	// stops one hop earlier (the predecessor answers Done), but a detour
+	// around a dead predecessor can land the lookup directly on the
+	// owner — which must then claim the key instead of handing back a
+	// finger that precedes it (circling the ring past the key forever).
+	if !n.pred.IsZero() && ids.BetweenRightIncl(key, n.pred.ID, n.self.ID) {
+		return closestPrecedingResp{Node: n.self, Done: true}
+	}
 	succ := n.successors[0]
 	if ids.BetweenRightIncl(key, n.self.ID, succ.ID) {
 		return closestPrecedingResp{Node: succ, Done: true}

@@ -320,6 +320,79 @@ func (g *gatewayStore) delegable(key ids.PrefixKey, n int) []IndexEntry {
 	return b.oldest(n)
 }
 
+// delegatedFlag reads the bucket's delegated flag (false if absent).
+func (g *gatewayStore) delegatedFlag(key ids.PrefixKey) bool {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	b := g.buckets[key]
+	return b != nil && b.delegated
+}
+
+// dumpBucket returns copies of the bucket's live entries sorted by
+// hashed id, plus its delegated flag (replication full pushes).
+func (g *gatewayStore) dumpBucket(key ids.PrefixKey) ([]IndexEntry, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	b := g.buckets[key]
+	if b == nil {
+		return nil, false
+	}
+	out := make([]IndexEntry, 0, len(b.idx))
+	for _, e := range b.slab {
+		if e.Object != "" {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID.Less(out[j].ID) })
+	return out, b.delegated
+}
+
+// replaceBucket replaces the bucket's contents and delegated flag
+// wholesale (replica full-sync receive).
+func (g *gatewayStore) replaceBucket(key ids.PrefixKey, entries []IndexEntry, delegated bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var pfx ids.Prefix
+	if key != individualKey && key.Len() <= ids.MaxKeyLen {
+		pfx = key.Prefix()
+	}
+	if g.buckets == nil {
+		g.buckets = make(map[ids.PrefixKey]*bucket)
+	}
+	b := newBucket(pfx)
+	b.delegated = delegated
+	for _, e := range entries {
+		b.upsert(e)
+	}
+	g.buckets[key] = b
+}
+
+// dropBucket deletes the bucket keyed key outright.
+func (g *gatewayStore) dropBucket(key ids.PrefixKey) {
+	g.mu.Lock()
+	delete(g.buckets, key)
+	g.mu.Unlock()
+}
+
+// drainBucket removes and returns all live entries of the bucket keyed
+// key in FIFO order, plus its delegated flag (replica promotion).
+func (g *gatewayStore) drainBucket(key ids.PrefixKey) ([]IndexEntry, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	b := g.buckets[key]
+	if b == nil {
+		return nil, false
+	}
+	out := make([]IndexEntry, 0, len(b.idx))
+	for _, e := range b.slab {
+		if e.Object != "" {
+			out = append(out, e)
+		}
+	}
+	delete(g.buckets, key)
+	return out, b.delegated
+}
+
 // removeAll deletes the given object ids from the bucket keyed key.
 func (g *gatewayStore) removeAll(key ids.PrefixKey, objs []ids.ID) {
 	g.mu.Lock()

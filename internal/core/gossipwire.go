@@ -5,6 +5,7 @@ import (
 
 	"peertrack/internal/gossip"
 	"peertrack/internal/overlay"
+	"peertrack/internal/replication"
 	"peertrack/internal/transport"
 )
 
@@ -31,7 +32,12 @@ func (p *Peer) AttachGossip(a *gossip.Agent) {
 func (p *Peer) Gossip() *gossip.Agent { return p.gossip }
 
 // onGossipDead is the failure detector's dead-verdict callback: every
-// cached gateway resolution pointing at the dead address is evicted.
+// cached gateway resolution pointing at the dead address is evicted,
+// and — when replication is on — every replica held for the dead owner
+// becomes a promotion candidate. The verdict also exempts the dead
+// owner's replicas from stale-GC until the ring hands their range to a
+// live successor: a verdicted owner cannot refresh its copies, and
+// dropping them would destroy the last survivors.
 func (p *Peer) onGossipDead(ref overlay.NodeRef) {
 	p.cacheMu.Lock()
 	evicted := 0
@@ -41,6 +47,20 @@ func (p *Peer) onGossipDead(ref overlay.NodeRef) {
 	p.cacheMu.Unlock()
 	if evicted > 0 {
 		p.tel.gwDeadEvictions.Add(uint64(evicted))
+	}
+	if p.cfg.Replicas <= 0 {
+		return
+	}
+	p.deadMu.Lock()
+	if p.deadOwners == nil {
+		p.deadOwners = make(map[transport.Addr]bool)
+	}
+	p.deadOwners[ref.Addr] = true
+	p.deadMu.Unlock()
+	for _, u := range p.repl.HeldOwnedBy(ref.Addr) {
+		if owner, v, ok := p.repl.HeldMeta(u); ok {
+			p.maybePromoteHeld(replication.HeldInfo{Unit: u, Owner: owner, Version: v}) // self-gates on ring ownership
+		}
 	}
 }
 

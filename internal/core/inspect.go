@@ -5,6 +5,7 @@ import (
 
 	"peertrack/internal/ids"
 	"peertrack/internal/moods"
+	"peertrack/internal/transport"
 )
 
 // State inspection for the whole-network invariant checker
@@ -48,8 +49,19 @@ func (p *Peer) MaxDescent() int { return p.cfg.MaxDescent }
 // Mode returns the configured indexing mode.
 func (p *Peer) Mode() Mode { return p.cfg.Mode }
 
-// Replicas returns the configured replication factor.
+// Replicas returns the configured mirror count (copies beyond the
+// primary).
 func (p *Peer) Replicas() int { return p.cfg.Replicas }
+
+// ReplicationFactor returns the configured total number of copies of
+// each gateway bucket, primary included (factor 1 = no mirroring).
+func (p *Peer) ReplicationFactor() int { return p.cfg.Replicas + 1 }
+
+// DumpRepoReplicas returns a copy of every mirrored repository this
+// peer holds, keyed by the owning node's address.
+func (p *Peer) DumpRepoReplicas() map[transport.Addr]map[moods.ObjectID][]VisitRecord {
+	return p.repoReplica.dump()
+}
 
 // InjectIndexEntry plants an index record directly into a bucket,
 // bypassing the protocol. It exists so invariant-checker tests can

@@ -29,6 +29,14 @@ type peerTelemetry struct {
 	traceHops  *telemetry.Histogram
 
 	gwDeadEvictions *telemetry.Counter // cached resolutions evicted on gossip dead verdicts
+
+	replMirrorWrites *telemetry.Counter // replica writes piggybacked on index/stitch traffic
+	replRepairPushes *telemetry.Counter // full-bucket pushes repairing stale/missing mirrors
+	replProbes       *telemetry.Counter // anti-entropy version probes to mirrors
+	replPromotions   *telemetry.Counter // held replicas promoted to owned buckets
+	replFallthrough  *telemetry.Counter // reads served from a replica after a primary failure
+	replHandoffs     *telemetry.Counter // whole-bucket version-line handoffs adopted
+	replDrops        *telemetry.Counter // stale orphaned replicas garbage-collected
 }
 
 // SetTelemetry attaches a registry; wire before traffic starts (the
@@ -56,5 +64,13 @@ func (p *Peer) SetTelemetry(reg *telemetry.Registry) {
 		traceHops:  reg.Histogram("core.trace.hops", telemetry.HopBuckets()),
 
 		gwDeadEvictions: reg.Counter("core.gwcache.dead_evictions"),
+
+		replMirrorWrites: reg.Counter("core.replication.mirror_writes"),
+		replRepairPushes: reg.Counter("core.replication.repair_pushes"),
+		replProbes:       reg.Counter("core.replication.probes"),
+		replPromotions:   reg.Counter("core.replication.promotions"),
+		replFallthrough:  reg.Counter("core.replication.fallthrough_reads"),
+		replHandoffs:     reg.Counter("core.replication.handoffs"),
+		replDrops:        reg.Counter("core.replication.stale_drops"),
 	}
 }

@@ -5,6 +5,7 @@ import (
 
 	"peertrack/internal/ids"
 	"peertrack/internal/moods"
+	"peertrack/internal/replication"
 	"peertrack/internal/transport"
 )
 
@@ -135,15 +136,24 @@ func (r fetchIndexResp) WireSize() int {
 
 // delegateReq pushes index records from a Data Triangle parent to one of
 // its children (or, during split/merge, between old and new gateways).
+// MetaVersion/MetaSynced, when set, transfer the bucket's replication
+// bookkeeping along with the records (whole-bucket handoff): the
+// receiver adopts the version line and claims the existing mirror
+// copies by probe instead of re-replicating (see replication.go).
 type delegateReq struct {
-	Key     ids.PrefixKey // the receiving bucket's key
-	Entries []IndexEntry
+	Key         ids.PrefixKey // the receiving bucket's key
+	Entries     []IndexEntry
+	MetaVersion uint64
+	MetaSynced  []replication.MirrorVersion
 }
 
 func (r delegateReq) WireSize() int {
-	n := keyWireSize
+	n := keyWireSize + 8
 	for _, e := range r.Entries {
 		n += e.wireSize()
+	}
+	for _, mv := range r.MetaSynced {
+		n += len(mv.Addr) + 8
 	}
 	return n
 }

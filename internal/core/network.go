@@ -411,6 +411,7 @@ func (nw *Network) Shrink(k int) (int, int, error) {
 // all peers until no bucket moves, completing the splitting–merging
 // process after membership or Lp changes.
 func (nw *Network) Reconcile() {
+	defer nw.SyncReplicas() // re-mirror re-homed buckets, promote, GC orphans
 	for _, p := range nw.peers {
 		p.InvalidateGatewayCache()
 	}

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"peertrack/internal/ids"
 	"peertrack/internal/moods"
 )
 
@@ -159,8 +160,26 @@ func TestTraceHopsProportionalToTraceLength(t *testing.T) {
 
 func TestIndexingFailuresSurfaceInStats(t *testing.T) {
 	nw := buildNet(t, 8, Config{Mode: GroupIndexing})
-	// Kill a node that will be some group's gateway, then index.
-	nw.Transport.Kill(nw.Peers()[5].Addr())
+	// Kill the node that owns some group's gateway id (not the observer
+	// itself), then index: writes to that group can never be delivered,
+	// so they must surface as failures and stay buffered for retry.
+	observer := nw.Peers()[0]
+	lp := observer.pm.Lp()
+	var gw *Peer
+	for i := 0; i < 100 && gw == nil; i++ {
+		obj := moods.ObjectID(fmt.Sprintf("ff-%d", i))
+		gwid := ids.PrefixOf(obj.Hash(), lp).GatewayID()
+		for _, p := range nw.Peers() {
+			if p != observer && p.node.Owns(gwid) {
+				gw = p
+				break
+			}
+		}
+	}
+	if gw == nil {
+		t.Fatal("no group gateway found among other peers")
+	}
+	nw.Transport.Kill(gw.Addr())
 	for i := 0; i < 100; i++ {
 		nw.ScheduleObservation(moods.Observation{
 			Object: moods.ObjectID(fmt.Sprintf("ff-%d", i)),

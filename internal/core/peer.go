@@ -23,6 +23,7 @@ import (
 	"peertrack/internal/ids"
 	"peertrack/internal/moods"
 	"peertrack/internal/overlay"
+	"peertrack/internal/replication"
 	"peertrack/internal/transport"
 )
 
@@ -68,9 +69,20 @@ type Config struct {
 	// many ring successors so the index survives gateway crashes (see
 	// replication.go). Default 0 (off), matching the paper's setup.
 	Replicas int
+	// ReplicationFactor is the total number of copies of every gateway
+	// bucket and IOP repository, primary included: k-successor
+	// replication with deterministic failover (replication.go). It is
+	// the preferred way to size the scheme; Replicas is kept as the
+	// mirror count (factor − 1) for existing callers. 0 derives from
+	// Replicas; 1 means replication off.
+	ReplicationFactor int
 }
 
 func (c *Config) fill() {
+	if c.ReplicationFactor <= 0 {
+		c.ReplicationFactor = c.Replicas + 1
+	}
+	c.Replicas = c.ReplicationFactor - 1
 	if c.NMax <= 0 {
 		c.NMax = 1024
 	}
@@ -106,6 +118,28 @@ type Peer struct {
 	replica *gatewayStore
 	trans   *transitionStats
 	contain *containStore
+
+	// repl is the replication bookkeeping engine: versions of the units
+	// this node owns and the mirror copies it holds for other owners.
+	// repoReplica stores mirrored remote repositories, keyed by owner.
+	repl        *replication.Engine
+	repoReplica *repoReplicaStore
+
+	// dirtyMu guards dirtyRepo: objects whose local visit lists changed
+	// since the last repository mirror flush (see flushRepoMirror).
+	dirtyMu   sync.Mutex
+	dirtyRepo map[moods.ObjectID]struct{}
+
+	// deadMu guards deadOwners: owners gossip declared dead. Their
+	// replicas are exempt from orphan garbage collection — they may be
+	// the last surviving copy of the crashed node's data.
+	deadMu     sync.Mutex
+	deadOwners map[transport.Addr]bool
+
+	// noReplicaHandoff disables the one-step replica-set handoff on
+	// bucket re-homing/evacuation, forcing full re-replication at the
+	// receiver (A/B baseline for tests and experiments).
+	noReplicaHandoff bool
 
 	mu     sync.Mutex
 	window []moods.Observation
@@ -155,16 +189,18 @@ func NewPeer(node overlay.Node, net transport.Network, pm *PrefixManager, cfg Co
 	// lazily: at XL network sizes most peers never act as gateway for
 	// most stores, and seven eager map allocations per peer add up.
 	p := &Peer{
-		node:    node,
-		net:     net,
-		cfg:     cfg,
-		pm:      pm,
-		clock:   clock,
-		repo:    newIOPStore(),
-		gw:      newGatewayStore(),
-		replica: newGatewayStore(),
-		trans:   newTransitionStats(),
-		contain: newContainStore(),
+		node:        node,
+		net:         net,
+		cfg:         cfg,
+		pm:          pm,
+		clock:       clock,
+		repo:        newIOPStore(),
+		gw:          newGatewayStore(),
+		replica:     newGatewayStore(),
+		trans:       newTransitionStats(),
+		contain:     newContainStore(),
+		repl:        replication.NewEngine(),
+		repoReplica: &repoReplicaStore{},
 	}
 	node.SetAppHandler(p.handleRPC)
 	return p
@@ -197,7 +233,11 @@ func (p *Peer) LocalVisits() int { return p.repo.len() }
 func (p *Peer) Observe(obs moods.Observation) error {
 	obs.Node = p.Name()
 	p.repo.record(obs.Object, obs.At)
+	p.markRepoDirty(obs.Object)
 	if p.cfg.Mode == IndividualIndexing {
+		// No window to batch into: mirror the repository change with the
+		// same per-arrival granularity the indexing itself has.
+		p.flushRepoMirror()
 		return p.indexIndividually(obs)
 	}
 	p.mu.Lock()
@@ -226,6 +266,11 @@ func (p *Peer) FlushWindow() error {
 	batch := p.window
 	p.window = nil
 	p.mu.Unlock()
+	// Mirror the repository changes of this window (and any stitch
+	// updates that arrived since the last flush) before the early
+	// return: captures recorded into a window that closes empty must
+	// still reach the mirrors.
+	p.flushRepoMirror()
 	if len(batch) == 0 {
 		return nil
 	}
@@ -412,6 +457,8 @@ func (p *Peer) handleRPC(from transport.Addr, req any) (any, error) {
 			}
 			p.repo.setTo(obj, r.To, r.At)
 		}
+		p.markRepoDirty(r.Objects...)
+		p.flushRepoMirror()
 		return iopSetToResp{}, nil
 	case transModelReq:
 		dests, counts, dwell := p.trans.snapshot()
@@ -420,38 +467,79 @@ func (p *Peer) handleRPC(from transport.Addr, req any) (any, error) {
 		for _, l := range r.Links {
 			if l.From != "" {
 				p.repo.setFrom(l.Object, l.From, l.At)
+				p.markRepoDirty(l.Object)
 			}
 		}
+		p.flushRepoMirror()
 		return iopSetFromResp{}, nil
 	case fetchIndexReq:
 		entries, delegated := p.gw.take(r.Key, r.Objects)
+		if len(entries) > 0 {
+			taken := make([]ids.ID, len(entries))
+			for i, e := range entries {
+				taken[i] = e.ID
+			}
+			p.mirrorRemove(r.Key, taken)
+		}
 		return fetchIndexResp{Entries: entries, Delegated: delegated}, nil
 	case queryIndexReq:
 		entries, delegated := p.queryWithReplica(r.Key, r.Objects)
 		return queryIndexResp{Entries: entries, Delegated: delegated}, nil
 	case delegateReq:
 		if r.Key == individualKey {
+			written := make([]IndexEntry, 0, len(r.Entries))
 			for _, e := range r.Entries {
-				p.mergeEntry(individualKey, ids.Prefix{}, e)
+				written = append(written, p.mergeEntry(individualKey, ids.Prefix{}, e))
 			}
-			p.replicate(individualKey, r.Entries)
+			p.replicate(individualKey, written)
 			return delegateResp{}, nil
 		}
 		if r.Key.Len() > ids.MaxKeyLen {
 			return nil, fmt.Errorf("core: delegate: invalid prefix key %#x", uint64(r.Key))
 		}
 		pfx := r.Key.Prefix()
-		for _, e := range r.Entries {
-			p.mergeEntry(r.Key, pfx, e)
+		if r.MetaVersion > 0 && p.cfg.Replicas > 0 && p.gw.peek(r.Key) == nil {
+			// One-step replica-set handoff: the sender transferred the
+			// bucket's version line along with its records, and this node
+			// has no copy of its own to merge — adopt both. The existing
+			// mirror copies are claimed by version probe in the next sync
+			// round instead of being re-shipped.
+			for _, e := range r.Entries {
+				p.gw.upsert(pfx, e)
+			}
+			u := replication.IndexUnit(r.Key)
+			p.repl.DropHeld(u)
+			p.replica.dropBucket(r.Key)
+			p.repl.AdoptOwned(u, replication.OwnedMeta{Version: r.MetaVersion, Synced: r.MetaSynced})
+			p.tel.replHandoffs.Inc()
+			return delegateResp{}, nil
 		}
-		p.replicate(r.Key, r.Entries)
+		written := make([]IndexEntry, 0, len(r.Entries))
+		for _, e := range r.Entries {
+			written = append(written, p.mergeEntry(r.Key, pfx, e))
+		}
+		p.replicate(r.Key, written)
 		return delegateResp{}, nil
 	case iopGetReq:
 		visits, found := p.repo.get(r.Object)
 		return iopGetResp{Visits: visits, Found: found}, nil
 	case replicatePutReq:
-		p.handleReplicatePut(r)
-		return replicatePutResp{}, nil
+		return p.handleReplicatePut(r), nil
+	case replicaSyncReq:
+		p.handleReplicaSync(r)
+		return replicaSyncResp{}, nil
+	case replicaCheckReq:
+		return p.handleReplicaCheck(r), nil
+	case replicaDropReq:
+		p.handleReplicaDrop(r)
+		return replicaDropResp{}, nil
+	case replicaQueryReq:
+		return p.handleReplicaQuery(r), nil
+	case repoMirrorReq:
+		return p.handleRepoMirror(r), nil
+	case repoQueryReq:
+		visits, found := p.repoReplica.get(r.Owner, r.Object)
+		return repoQueryResp{Visits: visits, Found: found}, nil
 	case routedTraceReq:
 		return p.handleRoutedTrace(from, r)
 	default:
@@ -522,8 +610,10 @@ func (p *Peer) gatewayArrive(r arriveReq) {
 // an object's history; when reconciliation moves the buckets together
 // the two heads must be merged — the newer arrival stays the head, the
 // older becomes its predecessor, and the missing IOP links are
-// stitched.
-func (p *Peer) mergeEntry(key ids.PrefixKey, pfx ids.Prefix, e IndexEntry) {
+// stitched. It returns the entry actually written (which differs from
+// e when the local record won the merge), so callers replicate what the
+// bucket really holds.
+func (p *Peer) mergeEntry(key ids.PrefixKey, pfx ids.Prefix, e IndexEntry) IndexEntry {
 	upsert := func(v IndexEntry) {
 		if key == individualKey {
 			p.gw.upsertKeyed(individualKey, v)
@@ -534,7 +624,7 @@ func (p *Peer) mergeEntry(key ids.PrefixKey, pfx ids.Prefix, e IndexEntry) {
 	cur, had := p.gw.lookup(key, e.ID)
 	if !had {
 		upsert(e)
-		return
+		return e
 	}
 	newer, older := e, cur
 	if cur.Arrived > e.Arrived {
@@ -551,6 +641,7 @@ func (p *Peer) mergeEntry(key ids.PrefixKey, pfx ids.Prefix, e IndexEntry) {
 		})
 	}
 	upsert(newer)
+	return newer
 }
 
 // lateStitchRetries bounds how many times a late-visit stitch is
@@ -686,6 +777,7 @@ func (p *Peer) stitchInsert(obj moods.ObjectID, nd moods.NodeName, cur IndexEntr
 		} else {
 			p.gw.upsert(pfx, cur)
 		}
+		p.replicate(key, []IndexEntry{cur})
 	}
 	return true
 }
@@ -835,6 +927,7 @@ func (p *Peer) refreshFromAscent(pfx ids.Prefix, objs []ids.ID) []ids.ID {
 			p.gw.upsert(pfx, e)
 			found[e.ID] = true
 		}
+		p.replicate(pfx.Key(), fr.Entries)
 		next := remaining[:0:0]
 		for _, id := range remaining {
 			if !found[id] {
@@ -880,6 +973,7 @@ func (p *Peer) refreshFromDescent(pfx ids.Prefix, objs []ids.ID, maxDepth int) {
 		for _, e := range fr.Entries {
 			p.gw.upsert(pfx, e)
 		}
+		p.replicate(pfx.Key(), fr.Entries)
 		if fr.Delegated {
 			var unfound []ids.ID
 			found := make(map[ids.ID]bool, len(fr.Entries))
@@ -897,8 +991,16 @@ func (p *Peer) refreshFromDescent(pfx ids.Prefix, objs []ids.ID, maxDepth int) {
 			// prefix by the recursive call, so move them here.
 			if len(unfound) > 0 {
 				deeper, _ := p.gw.take(child.Key(), unfound)
-				for _, e := range deeper {
-					p.gw.upsert(pfx, e)
+				if len(deeper) > 0 {
+					taken := make([]ids.ID, len(deeper))
+					for i, e := range deeper {
+						taken[i] = e.ID
+					}
+					p.mirrorRemove(child.Key(), taken)
+					for _, e := range deeper {
+						p.gw.upsert(pfx, e)
+					}
+					p.replicate(pfx.Key(), deeper)
 				}
 			}
 		}
@@ -955,6 +1057,7 @@ func (p *Peer) maybeDelegate(pfx ids.Prefix) {
 		}
 		p.gw.removeAll(key, victimIDs)
 		p.gw.markDelegated(key)
+		p.mirrorRemove(key, victimIDs)
 		p.tel.delegations.Inc()
 		p.tel.delegatedRecords.Add(uint64(len(split[bit])))
 		moved += len(split[bit])

@@ -50,12 +50,26 @@ func (p *Peer) findIndexSpan(obj moods.ObjectID, sp *telemetry.Span) (IndexEntry
 	if p.cfg.Mode == IndividualIndexing {
 		res, err := p.node.Lookup(id)
 		if err != nil {
+			e, h, found, _ := p.replicaFallthrough(individualKey, id, id, "")
+			hops += h
+			if found {
+				sp.Stepf(string(p.node.Addr()), "replica fallthrough: hit for %s", obj)
+				return e, hops, nil
+			}
 			return IndexEntry{}, hops, fmt.Errorf("core: find gateway: %w", err)
 		}
 		hops += res.Hops
 		sp.Stepf(string(res.Node.Addr), "gateway lookup: %d overlay hops", res.Hops)
 		resp, err := p.call(res.Node, queryIndexReq{Key: individualKey, Objects: []ids.ID{id}})
 		if err != nil {
+			// Gateway unreachable: fall through to the next live replica
+			// of its individual bucket in ring order.
+			e, h, found, _ := p.replicaFallthrough(individualKey, id, id, res.Node.Addr)
+			hops += h
+			if found {
+				sp.Stepf(string(p.node.Addr()), "replica fallthrough: hit for %s", obj)
+				return e, hops, nil
+			}
 			return IndexEntry{}, hops, err
 		}
 		if res.Node.Addr != p.node.Addr() {
@@ -132,7 +146,15 @@ func (p *Peer) queryGatewaySpan(pfx ids.Prefix, id ids.ID, sp *telemetry.Span) (
 	hops := 0
 	gwRef, err := p.resolveGateway(pfx)
 	if err != nil {
-		return IndexEntry{}, hops, false, false
+		// Even the gateway resolution can die with the primary (the
+		// lookup terminates at the crashed owner); the replica set is
+		// still reachable through lookup provenance.
+		e, h, found, delegated := p.replicaFallthrough(pfx.Key(), pfx.GatewayID(), id, "")
+		hops += h
+		if found {
+			sp.Stepf(string(p.node.Addr()), "replica fallthrough: hit for %s", pfx.String())
+		}
+		return e, hops, found, delegated
 	}
 	resp, err := p.call(gwRef, queryIndexReq{Key: pfx.Key(), Objects: []ids.ID{id}})
 	if gwRef.Addr != p.node.Addr() {
@@ -140,7 +162,15 @@ func (p *Peer) queryGatewaySpan(pfx ids.Prefix, id ids.ID, sp *telemetry.Span) (
 	}
 	if err != nil {
 		sp.Stepf(string(gwRef.Addr), "gateway %s unreachable: %v", pfx.String(), err)
-		return IndexEntry{}, hops, false, false
+		// Deterministic failover: serve from the next live replica of
+		// the bucket in ring order, so the crash window never returns
+		// an empty answer while a replica holds the record.
+		e, h, found, delegated := p.replicaFallthrough(pfx.Key(), pfx.GatewayID(), id, gwRef.Addr)
+		hops += h
+		if found {
+			sp.Stepf(string(p.node.Addr()), "replica fallthrough: hit for %s", pfx.String())
+		}
+		return e, hops, found, delegated
 	}
 	qr := resp.(queryIndexResp)
 	if len(qr.Entries) == 0 {
@@ -202,7 +232,7 @@ func (p *Peer) locate(obj moods.ObjectID, t time.Duration, sp *telemetry.Span) (
 	bound := time.Duration(-1)
 	arrived := entry.Arrived
 	for steps := 0; steps < maxWalk; steps++ {
-		visits, h, err := p.fetchVisits(cur, obj)
+		visits, h, err := p.fetchVisitsRead(cur, obj)
 		hops += h
 		if err != nil {
 			return LocateResult{Hops: hops}, err
@@ -270,7 +300,7 @@ func (p *Peer) walkBack(start moods.NodeName, obj moods.ObjectID, bound time.Dur
 		if cur == moods.Nowhere {
 			break
 		}
-		visits, h, err := p.fetchVisits(cur, obj)
+		visits, h, err := p.fetchVisitsRead(cur, obj)
 		hops += h
 		if err != nil {
 			return nil, hops, err

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"peertrack/internal/ids"
+	"peertrack/internal/replication"
 	"peertrack/internal/transport"
 )
 
@@ -35,8 +36,11 @@ func (p *Peer) ReconcileStep() int {
 		switch {
 		case pfx.Len < lp:
 			// Split one level: old parent delegates everything into the
-			// two new parents (its children).
+			// two new parents (its children). The bucket's version line
+			// ends here — its records now live under different keys — so
+			// the mirrors drop their copies.
 			entries := p.gw.drain(key)
+			p.dropOwnedMeta(replication.IndexUnit(key))
 			if len(entries) == 0 {
 				continue
 			}
@@ -56,6 +60,7 @@ func (p *Peer) ReconcileStep() int {
 			// Merge one level: children migrate their data to the
 			// parent.
 			entries := p.gw.drain(key)
+			p.dropOwnedMeta(replication.IndexUnit(key))
 			if len(entries) == 0 {
 				continue
 			}
@@ -69,16 +74,32 @@ func (p *Peer) ReconcileStep() int {
 				continue
 			}
 			entries := p.gw.drain(key)
+			u := replication.IndexUnit(key)
 			if len(entries) == 0 {
+				p.dropOwnedMeta(u)
 				continue
 			}
-			if _, err := p.call(gwRef, delegateReq{Key: key, Entries: entries}); err != nil {
+			req := delegateReq{Key: key, Entries: entries}
+			handoff := false
+			if p.cfg.Replicas > 0 && !p.noReplicaHandoff {
+				if m, ok := p.repl.ExportOwned(u); ok {
+					req.MetaVersion, req.MetaSynced = m.Version, m.Synced
+					handoff = true
+				}
+			}
+			if _, err := p.call(gwRef, req); err != nil {
 				// Index records must never be lost to a failed migration:
 				// re-insert and report the bucket as still moving so the
 				// caller retries on a later pass.
 				for _, e := range entries {
 					p.gw.upsert(pfx, e)
 				}
+			} else if handoff {
+				// The version line (and the mirrors' copies) went with
+				// the records: hand off in one step, no re-replication.
+				p.repl.DropOwned(u)
+			} else {
+				p.dropOwnedMeta(u)
 			}
 			moved++
 		}
@@ -92,17 +113,23 @@ func (p *Peer) ReconcileStep() int {
 func (p *Peer) sendEntries(pfx ids.Prefix, entries []IndexEntry) {
 	gwRef, err := p.resolveGateway(pfx)
 	if err != nil {
-		// Leave the records where a later pass can retry: re-insert.
-		for _, e := range entries {
-			p.gw.upsert(pfx, e)
-		}
+		// Leave the records where a later pass can retry: re-insert (and
+		// start a fresh version line, since the old one was dropped).
+		p.reinsertBucket(pfx, entries)
 		return
 	}
 	if _, err := p.call(gwRef, delegateReq{Key: pfx.Key(), Entries: entries}); err != nil {
-		for _, e := range entries {
-			p.gw.upsert(pfx, e)
-		}
+		p.reinsertBucket(pfx, entries)
 	}
+}
+
+// reinsertBucket restores drained entries after a failed migration and
+// re-mirrors them so the replicas track the restored bucket.
+func (p *Peer) reinsertBucket(pfx ids.Prefix, entries []IndexEntry) {
+	for _, e := range entries {
+		p.gw.upsert(pfx, e)
+	}
+	p.replicate(pfx.Key(), entries)
 }
 
 // evacuate drains every remaining index bucket and hands the records to
@@ -116,10 +143,22 @@ func (p *Peer) evacuate(to transport.Addr) {
 	keys := p.gw.bucketKeys() // sorted
 	for _, key := range keys {
 		entries := p.gw.drain(key)
+		u := replication.IndexUnit(key)
 		if len(entries) == 0 {
+			p.dropOwnedMeta(u)
 			continue
 		}
-		if _, err := p.callAddr(to, delegateReq{Key: key, Entries: entries}); err != nil {
+		req := delegateReq{Key: key, Entries: entries}
+		handoff := false
+		if key != individualKey && p.cfg.Replicas > 0 && !p.noReplicaHandoff {
+			// Hand the replica set over with the records: the receiver
+			// adopts the version line and claims the mirrors by probe.
+			if m, ok := p.repl.ExportOwned(u); ok {
+				req.MetaVersion, req.MetaSynced = m.Version, m.Synced
+				handoff = true
+			}
+		}
+		if _, err := p.callAddr(to, req); err != nil {
 			// Receiver unreachable: keep the records local rather than
 			// lose them.
 			for _, e := range entries {
@@ -129,6 +168,11 @@ func (p *Peer) evacuate(to transport.Addr) {
 					p.gw.upsert(key.Prefix(), e)
 				}
 			}
+			p.replicate(key, entries)
+		} else if handoff {
+			p.repl.DropOwned(u)
+		} else {
+			p.dropOwnedMeta(u)
 		}
 	}
 }
@@ -174,6 +218,7 @@ func (p *Peer) rehomeIndividual() int {
 			victims[i] = e.ID
 		}
 		p.gw.removeAll(individualKey, victims)
+		p.mirrorRemove(individualKey, victims)
 		moved++
 	}
 	return moved

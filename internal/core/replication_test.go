@@ -8,6 +8,7 @@ import (
 	"peertrack/internal/chord"
 	"peertrack/internal/ids"
 	"peertrack/internal/moods"
+	"peertrack/internal/replication"
 )
 
 func TestReplicationCopiesEntries(t *testing.T) {
@@ -197,5 +198,230 @@ func TestReplicationAddsBoundedCost(t *testing.T) {
 	}
 	if with > base*4 {
 		t.Fatalf("replication cost blew up: %d -> %d", base, with)
+	}
+}
+
+func TestLocateFallsThroughBeforeRingRepair(t *testing.T) {
+	// The deterministic-failover window: the gateway is dead but the
+	// ring has NOT re-wired yet, so no replica owns the range and none
+	// may promote. Reads must still be answered from the mirrors.
+	for _, mode := range []Mode{IndividualIndexing, GroupIndexing} {
+		nw, err := BuildNetwork(NetworkConfig{
+			Nodes: 16,
+			Seed:  5,
+			Peer:  Config{Mode: mode, ReplicationFactor: 3},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		obj := moods.ObjectID("window-victim")
+		nw.ScheduleObservation(moods.Observation{Object: obj, Node: nw.Peers()[3].Name(), At: time.Second})
+		nw.StartWindows(2 * time.Second)
+		nw.Run()
+
+		var gwKey ids.ID
+		if mode == IndividualIndexing {
+			gwKey = obj.Hash()
+		} else {
+			gwKey = ids.PrefixOf(obj.Hash(), nw.PM.Lp()).GatewayID()
+		}
+		res, err := nw.Peers()[0].Node().Lookup(gwKey)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gwAddr := res.Node.Addr
+		if gwAddr == nw.Peers()[3].Addr() {
+			continue // gateway co-located with the IOP data; different scenario
+		}
+
+		// Crash the primary and immediately query: no stabilization, no
+		// reconcile, no promotion possible.
+		nw.Transport.Kill(gwAddr)
+		promoBefore := nw.Telemetry.Counter("core.replication.promotions").Value()
+		fallBefore := nw.Telemetry.Counter("core.replication.fallthrough_reads").Value()
+		var asker *Peer
+		for _, p := range nw.Peers() {
+			if p.Addr() != gwAddr {
+				asker = p
+				break
+			}
+		}
+		loc, err := asker.Locate(obj, time.Hour)
+		if err != nil {
+			t.Fatalf("mode %d: locate in crash window: %v", mode, err)
+		}
+		if loc.Node != nw.Peers()[3].Name() {
+			t.Fatalf("mode %d: located at %q, want %q", mode, loc.Node, nw.Peers()[3].Name())
+		}
+		if got := nw.Telemetry.Counter("core.replication.fallthrough_reads").Value(); got <= fallBefore {
+			t.Fatalf("mode %d: fallthrough counter did not move", mode)
+		}
+		if got := nw.Telemetry.Counter("core.replication.promotions").Value(); got != promoBefore {
+			t.Fatalf("mode %d: replica promoted inside the static-ring window", mode)
+		}
+	}
+}
+
+func TestRepoMirrorServesIOPWalkAfterHolderCrash(t *testing.T) {
+	// The object's index survives on the gateway, but the node holding
+	// its visit records crashes: the IOP walk must fall through to the
+	// repository mirrors.
+	nw, err := BuildNetwork(NetworkConfig{
+		Nodes: 16,
+		Seed:  7,
+		Peer:  Config{Mode: GroupIndexing, ReplicationFactor: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj := moods.ObjectID("walk-victim")
+	holder := nw.Peers()[3]
+	nw.ScheduleObservation(moods.Observation{Object: obj, Node: holder.Name(), At: time.Second})
+	nw.StartWindows(2 * time.Second)
+	nw.Run()
+
+	gwKey := ids.PrefixOf(obj.Hash(), nw.PM.Lp()).GatewayID()
+	res, err := nw.Peers()[0].Node().Lookup(gwKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Node.Addr == holder.Addr() {
+		t.Skip("gateway co-located with the repository holder for this seed")
+	}
+	nw.Transport.Kill(holder.Addr())
+
+	var asker *Peer
+	for _, p := range nw.Peers() {
+		if p.Addr() != holder.Addr() {
+			asker = p
+			break
+		}
+	}
+	loc, err := asker.Locate(obj, time.Hour)
+	if err != nil {
+		t.Fatalf("locate after repository holder crash: %v", err)
+	}
+	if loc.Node != holder.Name() {
+		t.Fatalf("located at %q, want %q", loc.Node, holder.Name())
+	}
+	tr, err := asker.FullTrace(obj)
+	if err != nil {
+		t.Fatalf("trace after repository holder crash: %v", err)
+	}
+	if len(tr.Path) != 1 || tr.Path[0].Node != holder.Name() {
+		t.Fatalf("trace path = %v, want single visit at %q", tr.Path, holder.Name())
+	}
+}
+
+func TestShrinkHandsOffReplicaSets(t *testing.T) {
+	// Satellite: departure hands the whole replica set to the delegate
+	// in one step. A/B against the same network with handoff disabled —
+	// the handoff path must claim mirrors by probe instead of
+	// re-shipping buckets, and must never repair more than the
+	// baseline.
+	run := func(handoff bool) (uint64, uint64) {
+		nw, err := BuildNetwork(NetworkConfig{
+			Nodes: 20,
+			Seed:  11,
+			Peer:  Config{Mode: GroupIndexing, ReplicationFactor: 3},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 80; i++ {
+			nw.ScheduleObservation(moods.Observation{
+				Object: moods.ObjectID(fmt.Sprintf("handoff-%d", i)),
+				Node:   nw.Peers()[i%20].Name(),
+				At:     time.Second,
+			})
+		}
+		nw.StartWindows(2 * time.Second)
+		nw.Run()
+		if !handoff {
+			for _, p := range nw.Peers() {
+				p.noReplicaHandoff = true
+			}
+		}
+		before := nw.Stats().Snapshot().Bytes
+		if _, _, err := nw.Shrink(4); err != nil {
+			t.Fatal(err)
+		}
+		moved := nw.Stats().Snapshot().Bytes - before
+		// Every object must remain locatable after the departure.
+		asker := nw.Peers()[0]
+		for i := 0; i < 80; i++ {
+			obj := moods.ObjectID(fmt.Sprintf("handoff-%d", i))
+			if _, err := asker.Locate(obj, time.Hour); err != nil {
+				t.Fatalf("handoff=%v: locate %s after shrink: %v", handoff, obj, err)
+			}
+		}
+		return moved, nw.Telemetry.Counter("core.replication.handoffs").Value()
+	}
+	baseBytes, baseHandoffs := run(false)
+	handBytes, handHandoffs := run(true)
+	if baseHandoffs != 0 {
+		t.Fatalf("baseline adopted %d handoffs with handoff disabled", baseHandoffs)
+	}
+	if handHandoffs == 0 {
+		t.Fatal("no replica-set handoffs adopted during shrink")
+	}
+	if handBytes >= baseBytes {
+		t.Fatalf("handoff cost no fewer wire bytes than re-replication: %d >= %d", handBytes, baseBytes)
+	}
+}
+
+func TestSyncReplicasRepairsLostMirror(t *testing.T) {
+	// Anti-entropy: a mirror that loses its copy (simulated restart) is
+	// detected by the owner's version probe and repaired with a full
+	// push at the next sync.
+	nw, err := BuildNetwork(NetworkConfig{
+		Nodes: 12,
+		Seed:  13,
+		Peer:  Config{Mode: GroupIndexing, ReplicationFactor: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		nw.ScheduleObservation(moods.Observation{
+			Object: moods.ObjectID(fmt.Sprintf("repair-%d", i)),
+			Node:   nw.Peers()[i%12].Name(),
+			At:     time.Second,
+		})
+	}
+	nw.StartWindows(2 * time.Second)
+	nw.Run()
+	nw.SyncReplicas()
+
+	count := func() int {
+		n := 0
+		for _, p := range nw.Peers() {
+			n += p.ReplicaEntries()
+		}
+		return n
+	}
+	intact := count()
+	if intact < 40 {
+		t.Fatalf("replica entries before corruption = %d, want >= 40", intact)
+	}
+
+	// Wipe one mirror's replica state wholesale (restart semantics:
+	// bucket data and replication bookkeeping both gone).
+	victim := nw.Peers()[5]
+	for _, snap := range victim.DumpReplicas() {
+		key, err := parseBucketKey(snap.Key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		victim.replica.dropBucket(key)
+		victim.repl.DropHeld(replication.IndexUnit(key))
+	}
+	if c := count(); c >= intact {
+		t.Fatalf("corruption did not remove replicas: %d >= %d", c, intact)
+	}
+
+	nw.SyncReplicas()
+	if c := count(); c != intact {
+		t.Fatalf("replica entries after repair = %d, want %d", c, intact)
 	}
 }

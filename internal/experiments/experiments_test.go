@@ -351,3 +351,37 @@ func TestExpVerifyAllPerfect(t *testing.T) {
 		}
 	}
 }
+
+func TestExpReplicationOverheadAndFailover(t *testing.T) {
+	s := Tiny()
+	s.Nodes = 16
+	s.MaxVolume = 150
+	s.Queries = 25
+	rows, err := ExpReplication(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Factor != 1 || rows[0].MirrorWrites != 0 {
+		t.Errorf("baseline row not factor-1/no-mirrors: %+v", rows[0])
+	}
+	for i, r := range rows[1:] {
+		if r.MirrorWrites == 0 {
+			t.Errorf("factor %d: no mirror writes", r.Factor)
+		}
+		// Message overhead must grow with the factor but stay well below
+		// a full per-copy duplication of total traffic (mirrors ride the
+		// primary write; queries and stabilization are not replicated).
+		if r.MsgOverhead <= rows[i].MsgOverhead || r.MsgOverhead > float64(r.Factor) {
+			t.Errorf("factor %d: msg overhead %.2f out of band", r.Factor, r.MsgOverhead)
+		}
+		if r.CrashLocates == 0 || r.CrashLocateOK != r.CrashLocates {
+			t.Errorf("factor %d: crash-window locate %d/%d", r.Factor, r.CrashLocateOK, r.CrashLocates)
+		}
+		if r.Fallthroughs == 0 {
+			t.Errorf("factor %d: no replica fallthroughs", r.Factor)
+		}
+	}
+}

@@ -281,3 +281,152 @@ func workloadSpec(names []moods.NodeName, s Scale) workload.PaperSpec {
 		Seed:           s.Seed + 7,
 	}
 }
+
+// ReplicationRow measures one replication factor: the wire cost of
+// keeping k total copies of every gateway bucket and IOP repository,
+// and the read availability those copies buy while factor−1 index
+// primaries are crashed (factor 1 has no crash phase — it is the
+// overhead baseline).
+type ReplicationRow struct {
+	Factor       int
+	Observations int
+	// IndexKMsgs / IndexMBytes are the indexing-phase wire totals.
+	IndexKMsgs  float64
+	IndexMBytes float64
+	// MsgOverhead and ByteOverhead are the ratios against the factor-1
+	// row (1.0 for the baseline itself).
+	MsgOverhead  float64
+	ByteOverhead float64
+	// MirrorWrites counts incremental replica-write piggybacks.
+	MirrorWrites uint64
+	// CrashLocateOK / CrashLocates score oracle-checked reads issued
+	// while factor−1 primaries are crashed, before any repair.
+	CrashLocateOK int
+	CrashLocates  int
+	// Fallthroughs counts reads answered from a surviving replica.
+	Fallthroughs uint64
+}
+
+// ExpReplication sweeps the replication factor over {1, 2, 3} on the
+// standard Section V workload: what does synchronous k-successor
+// mirroring cost on the indexing path, and does it deliver reads
+// through primary crashes. Every row at factor ≥ 2 must answer all of
+// its crash-window reads.
+func ExpReplication(s Scale) ([]ReplicationRow, error) {
+	s.fill()
+	factors := []int{1, 2, 3}
+	rows := make([]ReplicationRow, len(factors))
+	err := runTasks(s.workers(), len(factors), func(i int) error {
+		factor := factors[i]
+		nw, err := core.BuildNetwork(core.NetworkConfig{
+			Nodes: s.Nodes,
+			Seed:  s.Seed,
+			Peer:  core.Config{Mode: core.GroupIndexing, ReplicationFactor: factor},
+		})
+		if err != nil {
+			return err
+		}
+		names := make([]moods.NodeName, s.Nodes)
+		for j, p := range nw.Peers() {
+			names[j] = p.Name()
+		}
+		res, err := workloadSpec(names, s).Generate()
+		if err != nil {
+			return err
+		}
+		if err := nw.ScheduleAll(res.Observations); err != nil {
+			return err
+		}
+		before := nw.Stats().Snapshot()
+		nw.StartWindows(res.Horizon + 2*time.Second)
+		nw.Run()
+		nw.SyncReplicas()
+		delta := nw.Stats().Snapshot().Delta(before)
+		row := ReplicationRow{
+			Factor:       factor,
+			Observations: len(res.Observations),
+			IndexKMsgs:   float64(delta.Messages) / 1000,
+			IndexMBytes:  float64(delta.Bytes) / (1 << 20),
+			MirrorWrites: nw.Telemetry.Counter("core.replication.mirror_writes").Value(),
+		}
+
+		if factor >= 2 {
+			// Crash factor−1 primaries and read objects they indexed:
+			// every read must be served by a surviving copy.
+			rng := rand.New(rand.NewSource(s.Seed + int64(factor)*97))
+			perm := rng.Perm(nw.Size())
+			victims := nw.Peers()[:0:0]
+			var victimObjs []moods.ObjectID
+			for _, vi := range perm {
+				if len(victims) == factor-1 {
+					break
+				}
+				v := nw.Peers()[vi]
+				objs := indexedObjects(v)
+				if len(objs) == 0 {
+					continue
+				}
+				victims = append(victims, v)
+				victimObjs = append(victimObjs, objs...)
+			}
+			for _, v := range victims {
+				nw.Transport.Kill(v.Addr())
+			}
+			var asker *core.Peer
+			for _, p := range nw.Peers() {
+				if !contains(victims, p) {
+					asker = p
+					break
+				}
+			}
+			now := nw.Kernel.Now()
+			for q := 0; q < s.Queries && q < len(victimObjs); q++ {
+				obj := victimObjs[rng.Intn(len(victimObjs))]
+				want, _ := nw.Oracle.Locate(obj, now)
+				row.CrashLocates++
+				if got, err := asker.Locate(obj, now); err == nil && got.Node == want {
+					row.CrashLocateOK++
+				}
+			}
+			for _, v := range victims {
+				nw.Transport.Revive(v.Addr())
+			}
+			row.Fallthroughs = nw.Telemetry.Counter("core.replication.fallthrough_reads").Value()
+			if row.CrashLocateOK != row.CrashLocates {
+				return fmt.Errorf("replication factor %d: crash-window locate %d/%d",
+					factor, row.CrashLocateOK, row.CrashLocates)
+			}
+		}
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	base := rows[0]
+	for i := range rows {
+		rows[i].MsgOverhead = rows[i].IndexKMsgs / base.IndexKMsgs
+		rows[i].ByteOverhead = rows[i].IndexMBytes / base.IndexMBytes
+	}
+	return rows, nil
+}
+
+// indexedObjects lists the objects whose index entries a peer holds.
+func indexedObjects(p *core.Peer) []moods.ObjectID {
+	var out []moods.ObjectID
+	for _, b := range p.DumpIndex() {
+		for _, e := range b.Entries {
+			out = append(out, e.Object)
+		}
+	}
+	return out
+}
+
+func contains(ps []*core.Peer, p *core.Peer) bool {
+	for _, q := range ps {
+		if q == p {
+			return true
+		}
+	}
+	return false
+}

@@ -52,6 +52,11 @@ type NodeOptions struct {
 	// NetworkSecret, when non-empty, enables HMAC authentication of all
 	// P2P frames; every node of the network must share it.
 	NetworkSecret string
+	// Replicas is the total number of copies of every index bucket and
+	// IOP repository, including the primary (default 1 = none). Reads
+	// fall through to the next live ring successor when a primary is
+	// unreachable; set the same value on every node.
+	Replicas int
 }
 
 func (o *NodeOptions) fill() {
@@ -112,8 +117,9 @@ func StartNode(listen string, opts NodeOptions) (*Node, error) {
 	}
 	clock := func() time.Duration { return time.Since(nodeEpoch) }
 	peer = core.NewPeer(cn, tr, pm, core.Config{
-		Mode: opts.Mode,
-		NMax: opts.WindowMaxObjects,
+		Mode:              opts.Mode,
+		NMax:              opts.WindowMaxObjects,
+		ReplicationFactor: opts.Replicas,
 	}, clock)
 
 	tel := telemetry.New(clock)
