@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check vet lint lint-selftest race bench figures chaos-short chaos telemetry-demo profile xl ledger-check
+.PHONY: build test check vet lint lint-selftest race bench figures chaos-short chaos cluster-smoke telemetry-demo profile xl ledger-check
 
 build:
 	$(GO) build ./...
@@ -57,6 +57,17 @@ chaos-short:
 # chaos is the long sweep for soak runs.
 chaos:
 	$(GO) run -race ./cmd/peertrack-chaos -seeds 5000
+
+# cluster-smoke launches a real 9-node trackd fleet on loopback and
+# runs the live fault-injection smoke: SIGKILL the busiest node (factor
+# 2 replicas + resilient RPC must lose zero reads), restart it with the
+# same identity (chord rejoin + mirror-side replica restore), verify
+# stale pooled-connection replacement and the per-node retry/breaker
+# accounting identities, and shut the fleet down cleanly within the
+# budget. The full run — SIGSTOP pause fault, sim-vs-live parity, and
+# the factor-1 lost-reads baseline — is `go run ./cmd/peertrack-cluster`.
+cluster-smoke:
+	$(GO) run ./cmd/peertrack-cluster -smoke
 
 # bench refreshes the hot-path perf ledger after running the
 # alloc-pinning microbenchmarks. The baseline block of an existing

@@ -1,0 +1,559 @@
+// Command peertrack-cluster is a live fault-injection harness: it
+// launches a real trackd fleet on loopback, drives a tracking workload
+// over TCP through the control API, injects crashes (SIGKILL),
+// restarts-with-same-identity, and scheduler pauses (SIGSTOP), and
+// asserts the replication failover invariant against the live stack:
+//
+//   - with -replicas ≥ 2 and the resilient RPC layer, every object
+//     stays locatable across the crash window (zero lost reads);
+//   - the factor-1/no-resilience baseline provably loses reads when the
+//     same fault hits;
+//   - every node's retry/breaker counters decompose exactly against its
+//     transport counters (invariants.CheckResilience) — retried calls
+//     are never double-counted as drops;
+//   - healthy-phase protocol message counts and locate hop costs match
+//     a simulated twin of the same workload within stated tolerances.
+//
+// Run from the repository root (it builds ./cmd/trackd unless -trackd
+// points at a binary):
+//
+//	go run ./cmd/peertrack-cluster            # full run: faults + parity + baseline
+//	go run ./cmd/peertrack-cluster -smoke     # CI preset: faults only, tight budget
+//
+// Exit status 0 means every assertion held.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+func main() {
+	os.Exit(realMain())
+}
+
+// realMain keeps deferred cleanup (work-directory removal, fleet
+// teardown) ahead of the process exit code.
+func realMain() int {
+	var (
+		n        = flag.Int("n", 9, "fleet size")
+		replicas = flag.Int("replicas", 2, "replication factor for the resilient fleet")
+		objects  = flag.Int("objects", 24, "objects in the workload")
+		smoke    = flag.Bool("smoke", false, "CI preset: crash + restart only, no parity or baseline phases")
+		noBase   = flag.Bool("no-baseline", false, "skip the factor-1/no-resilience lost-reads proof")
+		noPause  = flag.Bool("no-pause", false, "skip the SIGSTOP pause fault")
+		budget   = flag.Duration("budget", 30*time.Second, "per-node clean-shutdown budget after SIGTERM")
+		seed     = flag.Int64("seed", 1, "workload and sim-twin seed")
+		trackd   = flag.String("trackd", "", "path to a trackd binary (default: go build ./cmd/trackd)")
+		keep     = flag.Bool("keep", false, "keep the work directory (logs, snapshots) on exit")
+	)
+	flag.Parse()
+
+	r := &run{
+		n:        *n,
+		replicas: *replicas,
+		smoke:    *smoke,
+		budget:   *budget,
+		seed:     *seed,
+	}
+	for i := 0; i < *objects; i++ {
+		r.objects = append(r.objects, fmt.Sprintf("urn:obj:%04d", i))
+	}
+
+	dir, err := os.MkdirTemp("", "peertrack-cluster-")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "peertrack-cluster:", err)
+		return 1
+	}
+	r.dir = dir
+	if !*keep {
+		defer os.RemoveAll(dir)
+	} else {
+		defer fmt.Printf("work directory kept: %s\n", dir)
+	}
+
+	bin := *trackd
+	if bin == "" {
+		bin = filepath.Join(dir, "trackd")
+		fmt.Println("building trackd...")
+		if out, err := exec.Command("go", "build", "-o", bin, "./cmd/trackd").CombinedOutput(); err != nil {
+			fmt.Fprintf(os.Stderr, "peertrack-cluster: build trackd (run from the repo root, or pass -trackd): %v\n%s", err, out)
+			os.RemoveAll(dir)
+			return 1
+		}
+	}
+	r.bin = bin
+
+	r.resilientScenario(!*smoke && !*noPause)
+	if !*smoke {
+		r.parityPhase()
+		if !*noBase {
+			r.baselineScenario()
+		}
+	}
+
+	fmt.Println()
+	if len(r.failures) > 0 {
+		fmt.Printf("FAIL: %d assertion(s) violated\n", len(r.failures))
+		for _, f := range r.failures {
+			fmt.Println("  -", f)
+		}
+		if !*keep {
+			fmt.Printf("(re-run with -keep to preserve logs)\n")
+		}
+		return 1
+	}
+	fmt.Println("PASS: live failover invariant, accounting invariants, and shutdown budget all held")
+	return 0
+}
+
+type run struct {
+	n        int
+	replicas int
+	objects  []string
+	smoke    bool
+	budget   time.Duration
+	seed     int64
+	dir      string
+	bin      string
+
+	t0        time.Time // workload epoch: object i observed at t0+observeAt(i)
+	liveMsgs  map[string]uint64
+	liveHops  []int
+	failures  []string
+	timeline  []string
+}
+
+func (r *run) failf(format string, args ...any) {
+	r.failures = append(r.failures, fmt.Sprintf(format, args...))
+	fmt.Printf("  FAIL: "+format+"\n", args...)
+}
+
+func (r *run) logf(format string, args ...any) {
+	fmt.Printf(format+"\n", args...)
+}
+
+// resilientScenario is the main event: replicated fleet, resilient RPC,
+// full fault schedule.
+func (r *run) resilientScenario(withPause bool) {
+	r.logf("== resilient fleet: %d nodes, factor %d ==", r.n, r.replicas)
+	fleet, err := r.launch("resilient", []string{"-replicas", fmt.Sprint(r.replicas)})
+	if err != nil {
+		r.failf("launch: %v", err)
+		return
+	}
+	defer func() {
+		for _, d := range fleet {
+			if d.running() {
+				d.kill()
+			}
+		}
+	}()
+	if err := r.converge(fleet, 30*time.Second); err != nil {
+		r.failf("ring convergence: %v", err)
+		return
+	}
+
+	before, err := r.scrapeAll(fleet)
+	if err != nil {
+		r.failf("pre-workload scrape: %v", err)
+		return
+	}
+
+	if err := r.workload(fleet); err != nil {
+		r.failf("workload: %v", err)
+		return
+	}
+	hops, failed := r.sweep(fleet[0], 10*time.Second)
+	if len(failed) > 0 {
+		r.failf("healthy-phase locates failed: %v", failed)
+		return
+	}
+	r.liveHops = hops
+	r.logf("healthy phase: %d objects observed and located, mean hops %.2f", len(r.objects), meanHops(hops))
+
+	after, err := r.scrapeAll(fleet)
+	if err != nil {
+		r.failf("post-workload scrape: %v", err)
+		return
+	}
+	r.liveMsgs = typeDelta(sumCounters(before), sumCounters(after), parityType)
+
+	// ---- fault 1: SIGKILL the busiest non-query node ----
+	victim := r.pickVictim(fleet)
+	if victim == nil {
+		return
+	}
+	r.logf("SIGKILL node %d (%s)", victim.idx, victim.listen)
+	tKill := time.Now()
+	victim.kill()
+	hops, failed = r.sweep(fleet[0], 15*time.Second)
+	recover := time.Since(tKill).Round(100 * time.Millisecond)
+	if len(failed) > 0 {
+		r.failf("lost reads across crash window with factor %d: %v", r.replicas, failed)
+	} else {
+		r.logf("crash window: all %d objects locatable within %v of the kill", len(r.objects), recover)
+		r.timeline = append(r.timeline, fmt.Sprintf("kill→all-readable %v", recover))
+	}
+
+	// ---- fault 2: restart with the same identity ----
+	r.logf("restarting node %d with the same listen/control/data identity", victim.idx)
+	tRestart := time.Now()
+	if err := victim.start(r.bin, fleet[0].listen, r.n, []string{"-replicas", fmt.Sprint(r.replicas)}); err != nil {
+		r.failf("restart: %v", err)
+		return
+	}
+	if err := victim.waitReady(20 * time.Second); err != nil {
+		r.failf("restarted node: %v", err)
+		return
+	}
+	if err := r.converge(fleet, 30*time.Second); err != nil {
+		r.failf("ring re-convergence after restart: %v", err)
+	} else {
+		rec := time.Since(tRestart).Round(100 * time.Millisecond)
+		r.logf("restarted node rejoined; ring reconverged in %v", rec)
+		r.timeline = append(r.timeline, fmt.Sprintf("restart→reconverged %v", rec))
+	}
+	if _, failed = r.sweep(fleet[0], 15*time.Second); len(failed) > 0 {
+		r.failf("locates after restart: %v", failed)
+	}
+
+	// Survivors held pooled connections to the killed process; the
+	// first reuse against its successor incarnation (or its corpse)
+	// must have been detected as stale, not billed as a drop.
+	metrics, err := r.scrapeAll(fleet)
+	if err != nil {
+		r.failf("post-restart scrape: %v", err)
+		return
+	}
+	if stale := sumCounters(metrics)["transport.conn.stale"]; stale == 0 {
+		r.failf("no stale pooled connections detected across a kill+restart")
+	} else {
+		r.logf("stale pooled connections detected and transparently replaced: %d", stale)
+	}
+
+	// ---- fault 3: pause (SIGSTOP) — timeouts instead of refusals ----
+	if withPause {
+		paused := fleet[1]
+		if paused == victim {
+			paused = fleet[2]
+		}
+		r.logf("SIGSTOP node %d for the next sweep (calls must time out and reroute)", paused.idx)
+		if err := paused.pause(); err != nil {
+			r.failf("pause: %v", err)
+		} else {
+			if _, failed = r.sweep(fleet[0], 20*time.Second); len(failed) > 0 {
+				r.failf("lost reads while a node was paused: %v", failed)
+			} else {
+				r.logf("pause window: all objects locatable")
+			}
+			if err := paused.resume(); err != nil {
+				r.failf("resume: %v", err)
+			}
+		}
+		time.Sleep(2 * time.Second) // let the resumed node settle before the invariant scrape
+	}
+
+	// ---- accounting invariants on every live node ----
+	r.checkInvariants(fleet)
+
+	// ---- clean shutdown within budget ----
+	tTerm := time.Now()
+	for _, d := range fleet {
+		if err := d.term(r.budget); err != nil {
+			r.failf("%v", err)
+		}
+	}
+	r.logf("fleet shut down cleanly in %v (budget %v/node)", time.Since(tTerm).Round(100*time.Millisecond), r.budget)
+	for _, line := range r.timeline {
+		r.logf("timeline: %s", line)
+	}
+}
+
+// checkInvariants verifies CheckResilience per node. Maintenance
+// traffic never fully quiesces, so a scrape can catch a call mid-
+// flight; only persistent violations count.
+func (r *run) checkInvariants(fleet []*daemon) {
+	var retries, opens uint64
+	for _, d := range fleet {
+		var lastErr string
+		for attempt := 0; attempt < 6; attempt++ {
+			snap, violations, err := checkResilienceMetrics(d)
+			if err != nil {
+				lastErr = err.Error()
+			} else if len(violations) > 0 {
+				lastErr = fmt.Sprintf("%v", violations)
+			} else {
+				lastErr = ""
+				retries += snap.Retries
+				opens += snap.BreakerOpens
+				break
+			}
+			time.Sleep(500 * time.Millisecond)
+		}
+		if lastErr != "" {
+			r.failf("node %d resilience accounting: %s", d.idx, lastErr)
+		}
+	}
+	if retries == 0 {
+		r.failf("fault schedule produced zero retries fleet-wide")
+	} else {
+		r.logf("accounting invariants hold on all nodes (%d retries, %d breaker opens fleet-wide)", retries, opens)
+	}
+}
+
+// parityPhase compares the recorded healthy-phase traffic against the
+// simulated twin.
+func (r *run) parityPhase() {
+	if r.liveMsgs == nil {
+		return
+	}
+	r.logf("== sim-vs-live parity ==")
+	sim, err := runSimTwin(r.n, r.replicas, r.objects, r.seed)
+	if err != nil {
+		r.failf("sim twin: %v", err)
+		return
+	}
+	failures, table := compareParity(r.liveMsgs, r.liveHops, sim)
+	for _, line := range strings.Split(strings.TrimRight(table, "\n"), "\n") {
+		r.logf("  %s", line)
+	}
+	if len(failures) == 0 {
+		r.logf("parity holds (per-type factor ≤ %.1f, hop means within %.1f)", parityTol, parityHopTol)
+	}
+	for _, f := range failures {
+		r.failf("parity: %s", f)
+	}
+}
+
+// baselineScenario proves the negative: factor 1 without resilience
+// loses reads under the same crash.
+func (r *run) baselineScenario() {
+	r.logf("== baseline fleet: factor 1, no resilience ==")
+	fleet, err := r.launch("baseline", []string{"-replicas", "1", "-no-resilience"})
+	if err != nil {
+		r.failf("baseline launch: %v", err)
+		return
+	}
+	defer func() {
+		for _, d := range fleet {
+			if d.running() {
+				d.kill()
+			}
+		}
+	}()
+	if err := r.converge(fleet, 30*time.Second); err != nil {
+		r.failf("baseline convergence: %v", err)
+		return
+	}
+	if err := r.workload(fleet); err != nil {
+		r.failf("baseline workload: %v", err)
+		return
+	}
+	if _, failed := r.sweep(fleet[0], 10*time.Second); len(failed) > 0 {
+		r.failf("baseline healthy-phase locates failed: %v", failed)
+		return
+	}
+	victim := r.pickVictim(fleet)
+	if victim == nil {
+		return
+	}
+	st, _ := victim.c.Status()
+	r.logf("SIGKILL node %d (%d index records, no replicas)", victim.idx, st.Indexed)
+	victim.kill()
+	_, failed := r.sweep(fleet[0], 12*time.Second)
+	if len(failed) == 0 {
+		r.failf("baseline lost no reads — factor-1 crash should be visible")
+	} else {
+		r.logf("baseline provably lost %d/%d reads (%v ...)", len(failed), len(r.objects), failed[0])
+	}
+	for _, d := range fleet {
+		if d.running() {
+			if err := d.term(r.budget); err != nil {
+				r.failf("baseline: %v", err)
+			}
+		}
+	}
+}
+
+// launch starts a fleet under a scenario-named subdirectory and waits
+// for every control API.
+func (r *run) launch(name string, extra []string) ([]*daemon, error) {
+	dir := filepath.Join(r.dir, name)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	fleet, err := newFleet(r.n, dir)
+	if err != nil {
+		return nil, err
+	}
+	if err := fleet[0].start(r.bin, "", r.n, extra); err != nil {
+		return nil, err
+	}
+	if err := fleet[0].waitReady(20 * time.Second); err != nil {
+		return nil, err
+	}
+	for _, d := range fleet[1:] {
+		if err := d.start(r.bin, fleet[0].listen, r.n, extra); err != nil {
+			return nil, err
+		}
+	}
+	for _, d := range fleet[1:] {
+		if err := d.waitReady(30 * time.Second); err != nil {
+			return nil, err
+		}
+	}
+	return fleet, nil
+}
+
+// converge waits until the successor pointers of all running nodes form
+// one cycle covering the whole live fleet.
+func (r *run) converge(fleet []*daemon, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		if cycleComplete(fleet) {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("ring did not converge within %v", timeout)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}
+
+func cycleComplete(fleet []*daemon) bool {
+	succ := map[string]string{}
+	var start string
+	live := 0
+	for _, d := range fleet {
+		if !d.running() {
+			continue
+		}
+		st, err := d.c.Status()
+		if err != nil || st.Successor == "" || st.Predecessor == "" {
+			return false
+		}
+		succ[st.Addr] = st.Successor
+		start = st.Addr
+		live++
+	}
+	seen := map[string]bool{}
+	cur := start
+	for i := 0; i < live; i++ {
+		if seen[cur] {
+			return false
+		}
+		seen[cur] = true
+		next, ok := succ[cur]
+		if !ok {
+			return false
+		}
+		cur = next
+	}
+	return cur == start
+}
+
+// workload observes every object at its home node with deterministic
+// timestamps shared with the sim twin.
+func (r *run) workload(fleet []*daemon) error {
+	r.t0 = time.Now().Add(-time.Minute) // all capture timestamps in the past
+	for i, obj := range r.objects {
+		d := fleet[i%len(fleet)]
+		if !d.running() {
+			continue
+		}
+		if err := d.c.ObserveAt(obj, r.t0.Add(observeAt(i))); err != nil {
+			return fmt.Errorf("observe %s at node %d: %w", obj, d.idx, err)
+		}
+	}
+	// Let the capture windows close and the index puts drain.
+	time.Sleep(600 * time.Millisecond)
+	return nil
+}
+
+// sweep locates every object from q, retrying failures round-robin
+// until the deadline: one slow object (calls into a paused node time
+// out in seconds, where a crashed node refuses in microseconds) must
+// not starve the rest of the set of their retry budget. It returns the
+// hop count of each object's first success, in object order, and the
+// objects that never resolved.
+func (r *run) sweep(q *daemon, window time.Duration) (hops []int, failed []string) {
+	deadline := time.Now().Add(window)
+	hopByObj := make(map[string]int, len(r.objects))
+	pending := append([]string(nil), r.objects...)
+	at := make(map[string]time.Time, len(r.objects))
+	for i, obj := range r.objects {
+		at[obj] = r.t0.Add(observeAt(i) + time.Millisecond)
+	}
+	for len(pending) > 0 {
+		var still []string
+		for _, obj := range pending {
+			res, err := q.c.Locate(obj, at[obj])
+			if err == nil && res.Node != "" {
+				hopByObj[obj] = res.Hops
+				continue
+			}
+			still = append(still, obj)
+		}
+		pending = still
+		if len(pending) == 0 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(150 * time.Millisecond)
+	}
+	for _, obj := range r.objects {
+		if h, ok := hopByObj[obj]; ok {
+			hops = append(hops, h)
+		} else {
+			failed = append(failed, obj)
+		}
+	}
+	return hops, failed
+}
+
+// pickVictim returns the non-query live node holding the most index
+// records — the crash that hurts reads the most.
+func (r *run) pickVictim(fleet []*daemon) *daemon {
+	var victim *daemon
+	best := -1
+	for _, d := range fleet[1:] {
+		if !d.running() {
+			continue
+		}
+		st, err := d.c.Status()
+		if err != nil {
+			continue
+		}
+		if st.Indexed > best {
+			best, victim = st.Indexed, d
+		}
+	}
+	if victim == nil {
+		r.failf("no victim candidate")
+	}
+	return victim
+}
+
+// scrapeAll collects /metrics from every running node, index-aligned
+// with the fleet (nil-safe via empty maps for dead nodes).
+func (r *run) scrapeAll(fleet []*daemon) ([]counters, error) {
+	out := make([]counters, len(fleet))
+	for i, d := range fleet {
+		if !d.running() {
+			out[i] = counters{}
+			continue
+		}
+		m, err := d.scrape()
+		if err != nil {
+			return nil, err
+		}
+		out[i] = m
+	}
+	return out, nil
+}
+

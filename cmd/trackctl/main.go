@@ -22,12 +22,14 @@ import (
 
 func main() {
 	daemon := flag.String("d", "http://127.0.0.1:7070", "trackd control API base URL")
+	retries := flag.Int("retries", 5, "extra attempts when the control port refuses the connection (node restarting)")
+	retryBackoff := flag.Duration("retry-backoff", 200*time.Millisecond, "base wait between connection-refused retries, growing linearly")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
 		usage()
 	}
-	c := &ctlapi.Client{Base: *daemon}
+	c := &ctlapi.Client{Base: *daemon, Retries: *retries, RetryBackoff: *retryBackoff}
 	var err error
 	switch args[0] {
 	case "observe":

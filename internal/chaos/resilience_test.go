@@ -1,0 +1,85 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"peertrack/internal/invariants"
+	"peertrack/internal/transport"
+)
+
+// The resilience accounting invariants must hold under arbitrary
+// seeded fault schedules: kills, revives, and lossy epochs drive the
+// wrapper through retries, breaker opens, half-open probes, and
+// recoveries, and after every epoch the wrapper's counters must
+// decompose exactly into the inner transport's drop/blocked accounting
+// — retried calls are separate inner calls, never double-counted drops.
+func TestResilienceInvariantsUnderFaultSchedule(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			const nodes = 8
+			mem := transport.NewMemory(seed + 100)
+			addrs := make([]transport.Addr, nodes)
+			for i := range addrs {
+				addrs[i] = transport.Addr(fmt.Sprintf("n%d", i))
+				mem.Register(addrs[i], func(from transport.Addr, req any) (any, error) {
+					return req, nil
+				})
+			}
+
+			// Virtual clock: epochs advance it so breaker cooldowns
+			// elapse; backoff sleeps advance it so call budgets bind.
+			var now time.Duration
+			r := transport.NewResilient(mem,
+				func() time.Duration { return now },
+				func(d time.Duration) { now += d },
+				transport.ResilientConfig{
+					MaxAttempts:      3,
+					CallBudget:       500 * time.Millisecond,
+					BackoffBase:      10 * time.Millisecond,
+					BackoffMax:       80 * time.Millisecond,
+					BreakerThreshold: 4,
+					BreakerCooldown:  2 * time.Second,
+					Seed:             seed,
+				})
+
+			dead := make(map[int]bool)
+			for epoch := 0; epoch < 30; epoch++ {
+				// Mutate the fault state: toggle one node, maybe go lossy.
+				victim := rng.Intn(nodes)
+				if dead[victim] {
+					mem.Revive(addrs[victim])
+					delete(dead, victim)
+				} else if len(dead) < nodes-2 {
+					mem.Kill(addrs[victim])
+					dead[victim] = true
+				}
+				if err := mem.SetDropRate([]float64{0, 0, 0.2}[rng.Intn(3)]); err != nil {
+					t.Fatal(err)
+				}
+
+				for call := 0; call < 40; call++ {
+					src := rng.Intn(nodes)
+					dst := rng.Intn(nodes)
+					if dead[src] || src == dst {
+						continue
+					}
+					r.Call(addrs[src], addrs[dst], "ping")
+				}
+				now += time.Second
+
+				if vs := invariants.CheckResilience(r.Resilience(), mem.Stats().Snapshot()); len(vs) != 0 {
+					t.Fatalf("epoch %d: resilience invariants violated:\n%v", epoch, vs)
+				}
+			}
+			snap := r.Resilience()
+			if snap.Retries == 0 || snap.BreakerOpens == 0 || snap.HalfOpenProbes == 0 {
+				t.Errorf("schedule did not exercise the policy: %+v", snap)
+			}
+		})
+	}
+}

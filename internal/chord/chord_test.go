@@ -213,6 +213,69 @@ func TestVoluntaryLeaveRelinksRing(t *testing.T) {
 	}
 }
 
+// TestRejoinWithSameIdentity crashes a node and rejoins it immediately
+// under the same address — and therefore the same ID — before any
+// survivor has evicted the stale entry. The join lookup for the
+// reborn node's own ID resolves to its previous incarnation (itself);
+// Join must treat that as "the ring still remembers me" and fall back
+// to a provisional successor rather than failing, and stabilization
+// must then converge the full ring including the reborn node.
+func TestRejoinWithSameIdentity(t *testing.T) {
+	net := transport.NewMemory(1)
+	nodes, err := BuildRing(net, addrs(12), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := nodes[7]
+	addr := victim.Addr()
+	net.Kill(addr)
+
+	reborn, err := New(net, addr, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reborn.Join(nodes[0].Self()); err != nil {
+		t.Fatalf("rejoin with same identity: %v", err)
+	}
+
+	live := make([]*Node, 0, len(nodes))
+	for _, n := range nodes {
+		if n == victim {
+			n = reborn
+		}
+		live = append(live, n)
+	}
+	for r := 0; r < 20; r++ {
+		for _, n := range live {
+			n.CheckPredecessor()
+			n.Stabilize()
+		}
+	}
+	for _, n := range live {
+		n.FixAllFingers()
+	}
+	refs := refsOf(live)
+	SortRefs(refs)
+	hitReborn := false
+	for i := 0; i < 100; i++ {
+		key := ids.HashString(fmt.Sprintf("rj%d", i))
+		res, err := live[i%len(live)].Lookup(key)
+		if err != nil {
+			t.Fatalf("lookup after rejoin: %v", err)
+		}
+		want := SuccessorOf(refs, key)
+		if !res.Node.Equal(want) {
+			t.Fatalf("post-rejoin lookup %s = %s, want %s", key.Short(), res.Node.Addr, want.Addr)
+		}
+		if want.Addr == addr {
+			hitReborn = true
+		}
+	}
+	if !hitReborn {
+		t.Fatal("no lookup key landed on the reborn node; test proves nothing")
+	}
+}
+
 func TestCrashRecoveryViaStabilization(t *testing.T) {
 	net := transport.NewMemory(1)
 	nodes, err := BuildRing(net, addrs(12), Config{})

@@ -33,7 +33,15 @@ func (n *Node) Join(bootstrap NodeRef) error {
 	}
 	succ := cur.Node
 	if succ.Equal(n.self) || succ.IsZero() {
-		return fmt.Errorf("chord: join found self as successor")
+		// The lookup for our own ID resolved to us: a previous
+		// incarnation of this identity is still in the ring (a node
+		// restarting with the same address rejoins under the same ID,
+		// and the survivors never evicted it). Their entries for us are
+		// valid again now that we are back — only our own successor
+		// pointer is missing. Adopt the bootstrap as a provisional
+		// successor; each stabilize round then walks the pointer toward
+		// the true successor via the predecessor-adoption rule.
+		succ = bootstrap
 	}
 	n.mu.Lock()
 	n.pred = NodeRef{}

@@ -37,6 +37,7 @@ type peerTelemetry struct {
 	replFallthrough  *telemetry.Counter // reads served from a replica after a primary failure
 	replHandoffs     *telemetry.Counter // whole-bucket version-line handoffs adopted
 	replDrops        *telemetry.Counter // stale orphaned replicas garbage-collected
+	replRestores     *telemetry.Counter // stale held units shipped back to a live owner before GC
 }
 
 // SetTelemetry attaches a registry; wire before traffic starts (the
@@ -72,5 +73,6 @@ func (p *Peer) SetTelemetry(reg *telemetry.Registry) {
 		replFallthrough:  reg.Counter("core.replication.fallthrough_reads"),
 		replHandoffs:     reg.Counter("core.replication.handoffs"),
 		replDrops:        reg.Counter("core.replication.stale_drops"),
+		replRestores:     reg.Counter("core.replication.restores"),
 	}
 }

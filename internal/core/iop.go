@@ -230,6 +230,35 @@ func (s *iopStore) snapshot() map[moods.ObjectID][]VisitRecord {
 	return out
 }
 
+// adopt inserts an object's visit history only when the store has no
+// slot for it at all. The replica-restore path uses it after a
+// restart-with-same-identity: returned history fills the holes, while
+// objects the reborn node has already re-observed keep their fresh
+// local records. Returns whether the history was adopted.
+func (s *iopStore) adopt(obj moods.ObjectID, vs []VisitRecord) bool {
+	if len(vs) == 0 {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.visits[obj]; ok {
+		return false
+	}
+	if s.visits == nil {
+		s.visits = make(map[moods.ObjectID]visitSlot)
+	}
+	slot := visitSlot{first: visitRec{Arrived: vs[0].Arrived, From: vs[0].From, To: vs[0].To}}
+	if len(vs) > 1 {
+		slot.rest = make([]visitRec, 0, len(vs)-1)
+		for _, v := range vs[1:] {
+			slot.rest = append(slot.rest, visitRec{Arrived: v.Arrived, From: v.From, To: v.To})
+		}
+	}
+	s.visits[obj] = slot
+	s.n += len(vs)
+	return true
+}
+
 // restore replaces the store contents from a snapshot (visit lists must
 // be time-sorted, as snapshot produces them).
 func (s *iopStore) restore(m map[moods.ObjectID][]VisitRecord) {

@@ -277,6 +277,20 @@ func (s *repoReplicaStore) get(owner transport.Addr, obj moods.ObjectID) ([]Visi
 	return append([]VisitRecord(nil), vs...), true
 }
 
+// dumpOwner returns copies of every object list mirrored for one owner,
+// sorted by object (the restore path's wire payload).
+func (s *repoReplicaStore) dumpOwner(owner transport.Addr) []RepoObject {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	m := s.byOwner[owner]
+	out := make([]RepoObject, 0, len(m))
+	for obj, vs := range m {
+		out = append(out, RepoObject{Object: obj, Visits: append([]VisitRecord(nil), vs...)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Object < out[j].Object })
+	return out
+}
+
 func (s *repoReplicaStore) dropOwner(owner transport.Addr) {
 	s.mu.Lock()
 	delete(s.byOwner, owner)
@@ -527,6 +541,24 @@ func (p *Peer) handleReplicaSync(r replicaSyncReq) {
 
 // handleRepoMirror applies one repository mirror push.
 func (p *Peer) handleRepoMirror(r repoMirrorReq) repoMirrorResp {
+	if r.Owner == p.node.Addr() {
+		// A mirror is returning this node's own repository: we came
+		// back from a restart with an empty store, stopped probing, and
+		// the mirror's GC pass is restoring its copy before dropping
+		// it. Adopt the objects we have no record of — anything
+		// re-observed since the restart keeps its fresh local history —
+		// and re-mirror the adoptions on the next flush.
+		var adopted []moods.ObjectID
+		for _, o := range r.Objects {
+			if p.repo.adopt(o.Object, o.Visits) {
+				adopted = append(adopted, o.Object)
+			}
+		}
+		if len(adopted) > 0 {
+			p.markRepoDirty(adopted...)
+		}
+		return repoMirrorResp{Current: true}
+	}
 	p.clearDead(r.Owner)
 	u := repoUnitOf(r.Owner)
 	if r.Full {
@@ -918,17 +950,31 @@ func (p *Peer) SyncOwnedReplicas() {
 // this node (mirror set moved on, unit handed off elsewhere). Units
 // whose recorded owner is marked dead are kept: they may be the last
 // surviving copy of a crashed node's data, and failover reads need
-// them until promotion or the owner's recovery reclaims them.
+// them until promotion or the owner's recovery reclaims them. Units
+// with a live owner are shipped back before dropping (restoreHeld):
+// an owner that restarted with the same identity lost its stores but
+// kept its ring position, and its mirrors' copies are all that's left.
 func (p *Peer) DropStaleReplicas() {
 	if p.cfg.Replicas <= 0 {
 		return
 	}
 	for _, u := range p.repl.StaleHeld() {
-		owner, _, ok := p.repl.HeldMeta(u)
+		owner, v, ok := p.repl.HeldMeta(u)
 		if !ok {
 			continue
 		}
 		if p.ownerDead(owner) {
+			continue
+		}
+		// The owner is alive yet stopped refreshing this unit. Usually
+		// the mirror set moved on and the owner still has the records —
+		// but after a restart-with-same-identity the owner came back
+		// EMPTY, was never verdicted dead, and this copy may be the
+		// last one. Ship it back through the normal write paths before
+		// dropping: a duplicate merge is idempotent, and a restore is
+		// the difference between garbage collection and data loss. An
+		// undeliverable copy is held for another generation instead.
+		if !p.restoreHeld(u, owner, v) {
 			continue
 		}
 		p.repl.DropHeld(u)
@@ -939,6 +985,68 @@ func (p *Peer) DropStaleReplicas() {
 		}
 		p.tel.replDrops.Inc()
 	}
+}
+
+// restoreHeld ships a stale held unit's contents back to where reads
+// will look for them — the owner for repository copies and per-object
+// records, the range's current gateway for prefix buckets — and reports
+// whether delivery succeeded (only then is the local copy safe to GC).
+// Empty units restore trivially.
+func (p *Peer) restoreHeld(u replication.Unit, owner transport.Addr, v uint64) bool {
+	if u.Repo {
+		objs := p.repoReplica.dumpOwner(owner)
+		if len(objs) == 0 {
+			return true
+		}
+		if _, err := p.callAddr(owner, repoMirrorReq{Owner: owner, Version: v, Full: true, Objects: objs}); err != nil {
+			return false
+		}
+		p.tel.replRestores.Inc()
+		return true
+	}
+	entries, _ := p.replica.dumpBucket(u.Key)
+	if len(entries) == 0 {
+		return true
+	}
+	if u.Key == individualKey {
+		// Per-object records re-home individually: each entry goes to
+		// its ring successor (the recorded owner may no longer own it).
+		byDest := make(map[transport.Addr][]IndexEntry)
+		for _, e := range entries {
+			res, err := p.node.Lookup(e.ID)
+			if err != nil {
+				return false
+			}
+			if res.Node.Addr == p.node.Addr() {
+				// Ours now: promotion handles it on the next pass.
+				return false
+			}
+			byDest[res.Node.Addr] = append(byDest[res.Node.Addr], e)
+		}
+		dests := make([]transport.Addr, 0, len(byDest))
+		for dest := range byDest {
+			dests = append(dests, dest)
+		}
+		sort.Slice(dests, func(i, j int) bool { return dests[i] < dests[j] })
+		for _, dest := range dests {
+			if _, err := p.callAddr(dest, delegateReq{Key: individualKey, Entries: byDest[dest]}); err != nil {
+				return false
+			}
+		}
+		p.tel.replRestores.Inc()
+		return true
+	}
+	gwRef, err := p.resolveGateway(u.Key.Prefix())
+	if err != nil || gwRef.Addr == p.node.Addr() {
+		// Unresolvable, or the range is ours now (promotion handles
+		// it): keep the copy.
+		return false
+	}
+	if _, err := p.call(gwRef, delegateReq{Key: u.Key, Entries: entries}); err != nil {
+		return false
+	}
+	p.tel.replRestores.Inc()
+	return true
 }
 
 // dropOwnedMeta abandons an owned unit's version line and tells its

@@ -313,6 +313,74 @@ func TestRepoMirrorServesIOPWalkAfterHolderCrash(t *testing.T) {
 	}
 }
 
+func TestRestartWithSameIdentityRestoresData(t *testing.T) {
+	// A node that crashes and returns under the same address keeps its
+	// ring position but loses its stores. Its mirrors then see a live
+	// owner that never probes its old units: the stale-GC pass must
+	// ship the copies back — index buckets via the gateway, the
+	// repository via the owner — instead of dropping what may be the
+	// last surviving copies.
+	nw, err := BuildNetwork(NetworkConfig{
+		Nodes: 12,
+		Seed:  23,
+		Peer:  Config{Mode: GroupIndexing, ReplicationFactor: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const objects = 40
+	for i := 0; i < objects; i++ {
+		nw.ScheduleObservation(moods.Observation{
+			Object: moods.ObjectID(fmt.Sprintf("reborn-%d", i)),
+			Node:   nw.Peers()[i%12].Name(),
+			At:     time.Second,
+		})
+	}
+	nw.StartWindows(2 * time.Second)
+	nw.Run()
+	nw.SyncReplicas()
+
+	victim := nw.Peers()[4]
+	if victim.IndexedEntries() == 0 || victim.LocalVisits() == 0 {
+		t.Fatalf("victim holds no data (%d indexed, %d visits); pick another seed",
+			victim.IndexedEntries(), victim.LocalVisits())
+	}
+	// Restart semantics: every store and all replication bookkeeping
+	// vanish; the address, ring position, and liveness remain.
+	for _, key := range victim.gw.bucketKeys() {
+		victim.gw.dropBucket(key)
+	}
+	for _, key := range victim.replica.bucketKeys() {
+		victim.replica.dropBucket(key)
+	}
+	victim.repo.restore(nil)
+	victim.repoReplica = &repoReplicaStore{}
+	victim.repl = replication.NewEngine()
+	if victim.IndexedEntries() != 0 || victim.LocalVisits() != 0 {
+		t.Fatal("wipe did not empty the victim's stores")
+	}
+
+	// One round opens a generation the reborn owner never touches; the
+	// GC pass at its end must restore-then-drop. A second round lets
+	// the restored buckets re-replicate.
+	nw.SyncReplicas()
+	nw.SyncReplicas()
+
+	asker := nw.Peers()[0]
+	for i := 0; i < objects; i++ {
+		obj := moods.ObjectID(fmt.Sprintf("reborn-%d", i))
+		if _, err := asker.Locate(obj, time.Hour); err != nil {
+			t.Errorf("locate %s after restart restore: %v", obj, err)
+		}
+	}
+	if victim.LocalVisits() == 0 {
+		t.Error("victim's repository was not restored from its mirrors")
+	}
+	if nw.Telemetry.Counter("core.replication.restores").Value() == 0 {
+		t.Error("no restores recorded by telemetry")
+	}
+}
+
 func TestShrinkHandsOffReplicaSets(t *testing.T) {
 	// Satellite: departure hands the whole replica set to the delegate
 	// in one step. A/B against the same network with handoff disabled —

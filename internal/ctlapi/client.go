@@ -3,10 +3,12 @@ package ctlapi
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
+	"syscall"
 	"time"
 )
 
@@ -16,6 +18,16 @@ type Client struct {
 	Base string
 	// HTTPClient defaults to http.DefaultClient.
 	HTTPClient *http.Client
+	// Retries is how many extra attempts to make when the control port
+	// refuses the connection — the node is restarting or not yet up
+	// (default 0: fail fast). Only connection-refused dials retry;
+	// HTTP errors and timeouts are returned immediately.
+	Retries int
+	// RetryBackoff is the base wait between attempts, growing linearly:
+	// backoff, 2·backoff, ... (default 200ms).
+	RetryBackoff time.Duration
+	// Sleep replaces time.Sleep between retries; tests inject it.
+	Sleep func(time.Duration)
 }
 
 func (c *Client) http() *http.Client {
@@ -23,6 +35,38 @@ func (c *Client) http() *http.Client {
 		return c.HTTPClient
 	}
 	return http.DefaultClient
+}
+
+// do issues the request, retrying refused connections per the client's
+// retry policy. The request closure is re-invoked on each attempt so
+// bodies are rebuilt rather than re-read.
+func (c *Client) do(req func() (*http.Response, error)) (*http.Response, error) {
+	backoff := c.RetryBackoff
+	if backoff <= 0 {
+		backoff = 200 * time.Millisecond
+	}
+	sleep := c.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	for attempt := 0; ; attempt++ {
+		resp, err := req()
+		if err == nil || attempt >= c.Retries || !errors.Is(err, syscall.ECONNREFUSED) {
+			return resp, err
+		}
+		sleep(time.Duration(attempt+1) * backoff)
+	}
+}
+
+// post sends a JSON body (nil for empty) to path with retries.
+func (c *Client) post(path string, body []byte) (*http.Response, error) {
+	return c.do(func() (*http.Response, error) {
+		var r io.Reader
+		if body != nil {
+			r = bytes.NewReader(body)
+		}
+		return c.http().Post(c.Base+path, "application/json", r)
+	})
 }
 
 // Observe ingests a capture event stamped now.
@@ -37,7 +81,7 @@ func (c *Client) ObserveAt(object string, at time.Time) error {
 	if err != nil {
 		return err
 	}
-	resp, err := c.http().Post(c.Base+"/observe", "application/json", bytes.NewReader(body))
+	resp, err := c.post("/observe", body)
 	if err != nil {
 		return err
 	}
@@ -49,7 +93,7 @@ func (c *Client) ObserveAt(object string, at time.Time) error {
 func (c *Client) Locate(object string, at time.Time) (LocateResponse, error) {
 	q := url.Values{"object": {object}}
 	if !at.IsZero() {
-		q.Set("at", at.Format(time.RFC3339))
+		q.Set("at", at.Format(time.RFC3339Nano))
 	}
 	var out LocateResponse
 	return out, c.getJSON("/locate?"+q.Encode(), &out)
@@ -65,10 +109,10 @@ func (c *Client) Trace(object string) (TraceResponse, error) {
 func (c *Client) TraceBetween(object string, from, to time.Time) (TraceResponse, error) {
 	q := url.Values{"object": {object}}
 	if !from.IsZero() {
-		q.Set("from", from.Format(time.RFC3339))
+		q.Set("from", from.Format(time.RFC3339Nano))
 	}
 	if !to.IsZero() {
-		q.Set("to", to.Format(time.RFC3339))
+		q.Set("to", to.Format(time.RFC3339Nano))
 	}
 	var out TraceResponse
 	return out, c.getJSON("/trace?"+q.Encode(), &out)
@@ -95,7 +139,7 @@ func (c *Client) pack(parent string, children []string, unpack bool) error {
 	if err != nil {
 		return err
 	}
-	resp, err := c.http().Post(c.Base+"/pack", "application/json", bytes.NewReader(body))
+	resp, err := c.post("/pack", body)
 	if err != nil {
 		return err
 	}
@@ -123,7 +167,7 @@ func (c *Client) Status() (StatusResponse, error) {
 
 // Snapshot asks the node to persist its state.
 func (c *Client) Snapshot() (SnapshotResponse, error) {
-	resp, err := c.http().Post(c.Base+"/snapshot", "application/json", nil)
+	resp, err := c.post("/snapshot", nil)
 	if err != nil {
 		return SnapshotResponse{}, err
 	}
@@ -136,7 +180,9 @@ func (c *Client) Snapshot() (SnapshotResponse, error) {
 }
 
 func (c *Client) getJSON(path string, out any) error {
-	resp, err := c.http().Get(c.Base + path)
+	resp, err := c.do(func() (*http.Response, error) {
+		return c.http().Get(c.Base + path)
+	})
 	if err != nil {
 		return err
 	}

@@ -259,6 +259,16 @@ func (k *Kernel) peekMin() (at Time, seq uint64, src int, lane int) {
 	return
 }
 
+// NextAt reports the virtual time of the earliest pending event, and
+// false when the queue is empty. It lets an external pacer map virtual
+// time onto a real clock — trackd's maintenance pump sleeps until the
+// next event is due, then calls Step — without exposing the queue
+// internals.
+func (k *Kernel) NextAt() (Time, bool) {
+	at, _, src, _ := k.peekMin()
+	return at, src != srcNone
+}
+
 // Step executes the single earliest pending event. It reports false if
 // the queue was empty.
 //

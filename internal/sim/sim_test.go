@@ -171,3 +171,24 @@ func TestPending(t *testing.T) {
 		t.Errorf("Pending after run = %d", k.Pending())
 	}
 }
+
+func TestNextAt(t *testing.T) {
+	k := New(1)
+	if _, ok := k.NextAt(); ok {
+		t.Error("NextAt on empty kernel reported an event")
+	}
+	k.Schedule(2*time.Second, func() {})
+	k.Schedule(time.Second, func() {})
+	k.Batch([]Time{1500 * time.Millisecond}, func(int) {})
+	if at, ok := k.NextAt(); !ok || at != time.Second {
+		t.Errorf("NextAt = %v, %v; want 1s, true", at, ok)
+	}
+	k.Step()
+	if at, ok := k.NextAt(); !ok || at != 1500*time.Millisecond {
+		t.Errorf("NextAt after step = %v, %v; want 1.5s (lane event), true", at, ok)
+	}
+	k.Run()
+	if _, ok := k.NextAt(); ok {
+		t.Error("NextAt after drain reported an event")
+	}
+}

@@ -20,6 +20,7 @@ type netTelemetry struct {
 	blocked  *telemetry.Counter
 	bytes    *telemetry.Histogram
 	latency  *telemetry.Histogram
+	stale    *telemetry.Counter
 
 	mu     sync.RWMutex
 	byType map[string]*telemetry.Counter
@@ -37,6 +38,7 @@ func newNetTelemetry(reg *telemetry.Registry) *netTelemetry {
 		blocked:  reg.Counter("transport.blocked"),
 		bytes:    reg.Histogram("transport.call.bytes", telemetry.ByteBuckets()),
 		latency:  reg.Histogram("transport.call.latency_ns", telemetry.LatencyBuckets()),
+		stale:    reg.Counter("transport.conn.stale"),
 	}
 }
 
@@ -96,6 +98,15 @@ func (nt *netTelemetry) drop(req any, start time.Duration) {
 	nt.latency.Observe(int64(nt.reg.Now() - start))
 	nt.failures.Inc()
 	nt.drops.Inc()
+}
+
+// staleConn accounts a pooled connection found dead on reuse and
+// transparently replaced (TCP only; not billed as a call).
+func (nt *netTelemetry) staleConn() {
+	if nt == nil {
+		return
+	}
+	nt.stale.Inc()
 }
 
 // block accounts a call to a structurally unreachable destination.

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"time"
 
 	"peertrack/internal/telemetry"
 )
@@ -118,6 +119,14 @@ func (m *Memory) Stats() *Stats { return m.stats }
 // without a lock on the hot path); nil detaches.
 func (m *Memory) SetTelemetry(reg *telemetry.Registry) {
 	m.tel = newNetTelemetry(reg)
+}
+
+// CallWithTimeout implements DeadlineCaller. The in-memory transport
+// dispatches synchronously on the caller's goroutine, so a deadline is
+// moot; it exists so code written against DeadlineCaller (the Resilient
+// wrapper's per-attempt timeouts) runs identically over both transports.
+func (m *Memory) CallWithTimeout(from, to Addr, req any, _ time.Duration) (any, error) {
+	return m.Call(from, to, req)
 }
 
 // Call implements Network.

@@ -1,0 +1,465 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"peertrack/internal/telemetry"
+)
+
+// DeadlineCaller is implemented by transports that can bound a single
+// call attempt with a deadline. TCP arms real connection deadlines; the
+// in-memory transport dispatches synchronously and ignores the timeout,
+// so code written against DeadlineCaller behaves identically over both.
+type DeadlineCaller interface {
+	CallWithTimeout(from, to Addr, req any, timeout time.Duration) (any, error)
+}
+
+// ErrCircuitOpen reports that a call was rejected without an attempt
+// because the destination's circuit breaker is open. It is always
+// wrapped under ErrUnreachable so callers' existing failure handling
+// (replica fallthrough, gossip suspicion) applies unchanged.
+var ErrCircuitOpen = errors.New("transport: circuit open")
+
+// ResilientConfig tunes the retry/backoff/breaker policy.
+type ResilientConfig struct {
+	// MaxAttempts is the total number of attempts per call, first try
+	// included (default 3; 1 disables retries).
+	MaxAttempts int
+	// AttemptTimeout bounds each attempt via DeadlineCaller when the
+	// inner transport supports it (default 0: the inner transport's own
+	// call timeout applies).
+	AttemptTimeout time.Duration
+	// CallBudget bounds the whole call — attempts plus backoff waits.
+	// Before sleeping, the wrapper gives up if the elapsed time plus the
+	// next wait would exceed the budget (default 0: unbounded).
+	CallBudget time.Duration
+	// BackoffBase is the pre-jitter wait before the second attempt,
+	// doubling per retry up to BackoffMax (defaults 25ms, 1s).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// BreakerThreshold is the number of consecutive transport-level
+	// failures to one destination that opens its breaker (default 5;
+	// negative disables circuit breaking).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker rejects calls before
+	// admitting a single half-open probe (default 2s).
+	BreakerCooldown time.Duration
+	// Seed drives the private jitter source. Same seed, same clock, same
+	// call sequence → same backoff schedule.
+	Seed int64
+}
+
+func (c *ResilientConfig) fill() {
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 25 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = time.Second
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 5
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 2 * time.Second
+	}
+}
+
+// breaker states. A destination with no breaker entry is closed.
+const (
+	bkClosed int8 = iota
+	bkOpen
+	bkHalfOpen
+)
+
+type breaker struct {
+	state    int8
+	probing  bool // half-open: one probe in flight
+	fails    int  // consecutive transport failures while closed
+	openedAt time.Duration
+}
+
+// Resilient wraps a Network with per-call deadlines, bounded retries
+// with exponential backoff and deterministic jitter, and a per-peer
+// circuit breaker with half-open probes. Time and waiting are injected:
+// the sim drives it from the kernel clock with a no-op sleep (retries
+// are immediate and fully deterministic), the live stack passes the
+// wall clock and time.Sleep.
+//
+// Only transport-level failures (errors under ErrUnreachable) are
+// retried and counted against the breaker; a RemoteError means the peer
+// answered and is returned immediately.
+type Resilient struct {
+	inner Network
+	cfg   ResilientConfig
+	clock func() time.Duration
+	sleep func(time.Duration)
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	breakers map[Addr]*breaker
+
+	calls            atomic.Uint64
+	attempts         atomic.Uint64
+	retries          atomic.Uint64
+	rejected         atomic.Uint64
+	successes        atomic.Uint64
+	failures         atomic.Uint64
+	recoveries       atomic.Uint64
+	breakerOpens     atomic.Uint64
+	breakerReopens   atomic.Uint64
+	breakerCloses    atomic.Uint64
+	halfOpenProbes   atomic.Uint64
+	deadlineExceeded atomic.Uint64
+
+	tel *resilientTelemetry
+}
+
+// NewResilient wraps inner. clock supplies the current time for breaker
+// cooldowns and the call budget (nil: a frozen zero clock — budget and
+// cooldown never elapse on their own). sleep performs backoff waits
+// (nil: no waiting, the sim case).
+func NewResilient(inner Network, clock func() time.Duration, sleep func(time.Duration), cfg ResilientConfig) *Resilient {
+	cfg.fill()
+	if clock == nil {
+		clock = func() time.Duration { return 0 }
+	}
+	if sleep == nil {
+		sleep = func(time.Duration) {}
+	}
+	return &Resilient{
+		inner:    inner,
+		cfg:      cfg,
+		clock:    clock,
+		sleep:    sleep,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		breakers: make(map[Addr]*breaker),
+	}
+}
+
+// Register implements Network.
+func (r *Resilient) Register(addr Addr, h Handler) error { return r.inner.Register(addr, h) }
+
+// Unregister implements Network.
+func (r *Resilient) Unregister(addr Addr) { r.inner.Unregister(addr) }
+
+// Stats implements Network: the inner transport's counters, where every
+// attempt is accounted individually.
+func (r *Resilient) Stats() *Stats { return r.inner.Stats() }
+
+// Inner returns the wrapped transport.
+func (r *Resilient) Inner() Network { return r.inner }
+
+// SetTelemetry attaches counters under transport.resilient.*; nil
+// detaches. Wire before traffic starts.
+func (r *Resilient) SetTelemetry(reg *telemetry.Registry) {
+	r.tel = newResilientTelemetry(reg)
+}
+
+// Call implements Network with the configured retry policy.
+func (r *Resilient) Call(from, to Addr, req any) (any, error) {
+	return r.call(from, to, req, r.cfg.AttemptTimeout)
+}
+
+// CallWithTimeout implements DeadlineCaller; timeout overrides the
+// configured AttemptTimeout for this call's attempts.
+func (r *Resilient) CallWithTimeout(from, to Addr, req any, timeout time.Duration) (any, error) {
+	return r.call(from, to, req, timeout)
+}
+
+func (r *Resilient) call(from, to Addr, req any, attemptTimeout time.Duration) (any, error) {
+	r.calls.Add(1)
+	r.tel.bump(telCalls)
+	start := r.clock()
+	if !r.admit(to) {
+		r.rejected.Add(1)
+		r.failures.Add(1)
+		r.tel.bump(telRejected)
+		r.tel.bump(telFailures)
+		return nil, fmt.Errorf("%w: %s (%w)", ErrUnreachable, to, ErrCircuitOpen)
+	}
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		r.attempts.Add(1)
+		r.tel.bump(telAttempts)
+		resp, err := r.attempt(from, to, req, attemptTimeout)
+		if err == nil || !errors.Is(err, ErrUnreachable) {
+			// The peer answered: success, or an application-level error
+			// that retrying would not change.
+			r.noteSuccess(to)
+			r.successes.Add(1)
+			if attempt > 1 {
+				r.recoveries.Add(1)
+				r.tel.bump(telRecoveries)
+			}
+			return resp, err
+		}
+		r.noteFailure(to)
+		lastErr = err
+		if attempt >= r.cfg.MaxAttempts {
+			break
+		}
+		if !r.admit(to) {
+			// The breaker opened under us (concurrent callers); stop
+			// hammering the destination mid-call.
+			break
+		}
+		wait := r.backoff(attempt)
+		if r.cfg.CallBudget > 0 && r.clock()-start+wait > r.cfg.CallBudget {
+			r.deadlineExceeded.Add(1)
+			r.tel.bump(telDeadlineExceeded)
+			break
+		}
+		r.sleep(wait)
+		r.retries.Add(1)
+		r.tel.bump(telRetries)
+	}
+	r.failures.Add(1)
+	r.tel.bump(telFailures)
+	return nil, lastErr
+}
+
+func (r *Resilient) attempt(from, to Addr, req any, timeout time.Duration) (any, error) {
+	if timeout > 0 {
+		if dc, ok := r.inner.(DeadlineCaller); ok {
+			return dc.CallWithTimeout(from, to, req, timeout)
+		}
+	}
+	return r.inner.Call(from, to, req)
+}
+
+// backoff returns the jittered wait before the next attempt: the base
+// doubles per retry up to the cap, then uniform jitter keeps it in
+// [d/2, d] so synchronized retry storms decorrelate. The jitter source
+// is private and seeded — no process-global randomness.
+func (r *Resilient) backoff(attempt int) time.Duration {
+	d := r.cfg.BackoffBase << uint(attempt-1)
+	if d <= 0 || d > r.cfg.BackoffMax {
+		d = r.cfg.BackoffMax
+	}
+	r.mu.Lock()
+	j := r.rng.Int63n(int64(d/2) + 1)
+	r.mu.Unlock()
+	return d/2 + time.Duration(j)
+}
+
+// admit decides whether a call (or retry) may proceed against to's
+// breaker, transitioning open→half-open after the cooldown. The caller
+// admitted by that transition is the probe; concurrent calls are
+// rejected until it resolves.
+func (r *Resilient) admit(to Addr) bool {
+	if r.cfg.BreakerThreshold < 0 {
+		return true
+	}
+	now := r.clock()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	b := r.breakers[to]
+	if b == nil {
+		return true
+	}
+	switch b.state {
+	case bkOpen:
+		if now-b.openedAt < r.cfg.BreakerCooldown {
+			return false
+		}
+		b.state = bkHalfOpen
+		b.probing = true
+		r.halfOpenProbes.Add(1)
+		r.tel.bump(telHalfOpenProbes)
+		return true
+	case bkHalfOpen:
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		r.halfOpenProbes.Add(1)
+		r.tel.bump(telHalfOpenProbes)
+		return true
+	}
+	return true
+}
+
+// noteSuccess closes to's breaker: any answer from the peer proves it
+// reachable again.
+func (r *Resilient) noteSuccess(to Addr) {
+	if r.cfg.BreakerThreshold < 0 {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	b := r.breakers[to]
+	if b == nil {
+		return
+	}
+	if b.state != bkClosed {
+		r.breakerCloses.Add(1)
+		r.tel.bump(telBreakerCloses)
+	}
+	delete(r.breakers, to)
+}
+
+// noteFailure records a transport-level failure against to's breaker.
+func (r *Resilient) noteFailure(to Addr) {
+	if r.cfg.BreakerThreshold < 0 {
+		return
+	}
+	now := r.clock()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	b := r.breakers[to]
+	if b == nil {
+		b = &breaker{}
+		r.breakers[to] = b
+	}
+	switch b.state {
+	case bkClosed:
+		b.fails++
+		if b.fails >= r.cfg.BreakerThreshold {
+			b.state = bkOpen
+			b.openedAt = now
+			r.breakerOpens.Add(1)
+			r.tel.bump(telBreakerOpens)
+		}
+	case bkHalfOpen:
+		// The probe failed: back to open for another cooldown.
+		b.state = bkOpen
+		b.probing = false
+		b.fails = 0
+		b.openedAt = now
+		r.breakerReopens.Add(1)
+		r.tel.bump(telBreakerReopens)
+	case bkOpen:
+		// A straggler admitted before the breaker opened; the open state
+		// already covers it.
+	}
+}
+
+// BreakerState reports to's breaker state for diagnostics: "closed",
+// "open", or "half-open".
+func (r *Resilient) BreakerState(to Addr) string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	b := r.breakers[to]
+	if b == nil {
+		return "closed"
+	}
+	switch b.state {
+	case bkOpen:
+		return "open"
+	case bkHalfOpen:
+		return "half-open"
+	}
+	return "closed"
+}
+
+// ResilienceSnapshot is a point-in-time copy of the wrapper's counters.
+// Calls are wrapper-level round trips; Attempts are inner-transport
+// calls, so when the wrapper is a transport's only caller,
+// Attempts == inner Stats().Snapshot().Calls exactly — each retry is
+// its own inner call with its own fault accounting, never a
+// double-counted drop.
+type ResilienceSnapshot struct {
+	Calls            uint64 // wrapper-level calls
+	Attempts         uint64 // inner calls issued (first tries + retries)
+	Retries          uint64 // attempts beyond the first, per call
+	Rejected         uint64 // calls rejected by an open breaker (zero attempts)
+	Successes        uint64 // calls answered by the peer (incl. RemoteError)
+	Failures         uint64 // calls that failed at transport level (incl. Rejected)
+	Recoveries       uint64 // successes that needed more than one attempt
+	BreakerOpens     uint64 // closed → open transitions
+	BreakerReopens   uint64 // half-open probe failures
+	BreakerCloses    uint64 // open/half-open → closed transitions
+	HalfOpenProbes   uint64 // calls admitted as half-open probes
+	DeadlineExceeded uint64 // retry loops cut short by CallBudget
+}
+
+// Conserves reports whether the counters are internally consistent:
+// every call succeeded or failed, and the attempt total decomposes into
+// admitted first tries plus retries.
+func (s ResilienceSnapshot) Conserves() bool {
+	return s.Successes+s.Failures == s.Calls &&
+		s.Attempts == s.Calls-s.Rejected+s.Retries &&
+		s.Rejected <= s.Failures &&
+		s.Recoveries <= s.Successes
+}
+
+// Resilience returns the wrapper's counter snapshot.
+func (r *Resilient) Resilience() ResilienceSnapshot {
+	return ResilienceSnapshot{
+		Calls:            r.calls.Load(),
+		Attempts:         r.attempts.Load(),
+		Retries:          r.retries.Load(),
+		Rejected:         r.rejected.Load(),
+		Successes:        r.successes.Load(),
+		Failures:         r.failures.Load(),
+		Recoveries:       r.recoveries.Load(),
+		BreakerOpens:     r.breakerOpens.Load(),
+		BreakerReopens:   r.breakerReopens.Load(),
+		BreakerCloses:    r.breakerCloses.Load(),
+		HalfOpenProbes:   r.halfOpenProbes.Load(),
+		DeadlineExceeded: r.deadlineExceeded.Load(),
+	}
+}
+
+// resilientTelemetry mirrors the snapshot counters into a telemetry
+// registry so the policy's behavior shows up on /metrics. A nil
+// receiver is a valid no-op. Handles live in a slot array so the hot
+// path is one index plus an atomic add.
+type resilientTelemetry struct {
+	counters [telSlotCount]*telemetry.Counter
+}
+
+// telemetry slot indices.
+const (
+	telCalls = iota
+	telAttempts
+	telRetries
+	telRejected
+	telFailures
+	telRecoveries
+	telBreakerOpens
+	telBreakerReopens
+	telBreakerCloses
+	telHalfOpenProbes
+	telDeadlineExceeded
+	telSlotCount
+)
+
+func newResilientTelemetry(reg *telemetry.Registry) *resilientTelemetry {
+	if reg == nil {
+		return nil
+	}
+	t := &resilientTelemetry{}
+	names := [telSlotCount]string{
+		telCalls:            "transport.resilient.calls",
+		telAttempts:         "transport.resilient.attempts",
+		telRetries:          "transport.resilient.retries",
+		telRejected:         "transport.resilient.rejected",
+		telFailures:         "transport.resilient.failures",
+		telRecoveries:       "transport.resilient.recoveries",
+		telBreakerOpens:     "transport.resilient.breaker_opens",
+		telBreakerReopens:   "transport.resilient.breaker_reopens",
+		telBreakerCloses:    "transport.resilient.breaker_closes",
+		telHalfOpenProbes:   "transport.resilient.halfopen_probes",
+		telDeadlineExceeded: "transport.resilient.deadline_exceeded",
+	}
+	for i, name := range names {
+		t.counters[i] = reg.Counter(name)
+	}
+	return t
+}
+
+func (t *resilientTelemetry) bump(slot int) {
+	if t == nil {
+		return
+	}
+	t.counters[slot].Inc()
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"peertrack/internal/telemetry"
@@ -39,14 +40,23 @@ type TCP struct {
 	DialTimeout time.Duration
 	// CallTimeout bounds a full round trip (default 10s).
 	CallTimeout time.Duration
+	// WriteTimeout, when > 0, additionally bounds sending the request on
+	// an established connection (capped by the round-trip deadline). A
+	// healthy peer drains a request frame immediately, so a short write
+	// timeout detects wedged connections faster than the full CallTimeout.
+	WriteTimeout time.Duration
+	// ReadTimeout, when > 0, additionally bounds waiting for the response
+	// after the request was sent (capped by the round-trip deadline).
+	ReadTimeout time.Duration
 	// Secret, when non-nil, enables HMAC-SHA256 frame authentication
 	// with sequence numbers (see auth.go). All peers must share it. Set
 	// before Register/Call.
 	Secret []byte
 
-	stats *Stats
-	tel   *netTelemetry
-	wg    sync.WaitGroup
+	stats      *Stats
+	staleConns atomic.Uint64
+	tel        *netTelemetry
+	wg         sync.WaitGroup
 }
 
 // NewTCP creates a TCP transport.
@@ -195,16 +205,77 @@ func (t *TCP) SetTelemetry(reg *telemetry.Registry) {
 // error after a connection existed is a message lost in flight
 // (recordDrop — one request message on the wire, no response).
 func (t *TCP) Call(from, to Addr, req any) (any, error) {
+	return t.call(from, to, req, t.CallTimeout)
+}
+
+// CallWithTimeout implements DeadlineCaller: like Call but with an
+// explicit round-trip deadline for this call only (<= 0 falls back to
+// CallTimeout).
+func (t *TCP) CallWithTimeout(from, to Addr, req any, timeout time.Duration) (any, error) {
+	if timeout <= 0 {
+		timeout = t.CallTimeout
+	}
+	return t.call(from, to, req, timeout)
+}
+
+// StaleConns reports how many pooled connections were detected dead on
+// reuse (typically after the peer restarted) and transparently replaced.
+func (t *TCP) StaleConns() uint64 { return t.staleConns.Load() }
+
+func (t *TCP) call(from, to Addr, req any, callTimeout time.Duration) (any, error) {
 	start := t.tel.begin()
 	pool := t.pool(to)
-	c, err := pool.get(t.DialTimeout)
-	if err != nil {
-		t.stats.recordBlocked(to, req)
-		t.tel.block(req, start)
-		return nil, fmt.Errorf("%w: %s (%v)", ErrUnreachable, to, err)
+	for tries := 0; ; tries++ {
+		c, err := pool.get(t.DialTimeout)
+		if err != nil {
+			t.stats.recordBlocked(to, req)
+			t.tel.block(req, start)
+			return nil, fmt.Errorf("%w: %s (%v)", ErrUnreachable, to, err)
+		}
+		resp, stale, rerr := t.roundTrip(pool, c, from, req, callTimeout)
+		if rerr != nil {
+			if stale && tries <= poolIdleConns {
+				// A pooled connection died while idle — the usual cause is
+				// the peer restarting on the same address, which leaves
+				// every pooled conn half-closed. That is a pool artifact,
+				// not a network event, so it is not billed to Stats (the
+				// Memory transport has no analogue and fault-accounting
+				// parity must hold); retry on a fresh connection, bounded
+				// by the pool depth plus one guaranteed fresh dial.
+				t.staleConns.Add(1)
+				t.tel.staleConn()
+				continue
+			}
+			t.stats.recordDrop(to, req)
+			t.tel.drop(req, start)
+			return nil, fmt.Errorf("%w: %s (%v)", ErrUnreachable, to, rerr)
+		}
+		t.stats.recordCall(to, req, resp.Payload, resp.Err != "")
+		t.tel.call(req, start, resp.Err != "")
+		if resp.Err != "" {
+			return nil, &RemoteError{Msg: resp.Err}
+		}
+		return resp.Payload, nil
 	}
-	deadline := time.Now().Add(t.CallTimeout)
-	c.conn.SetDeadline(deadline)
+}
+
+// roundTrip performs one request/response exchange on c, returning the
+// connection to the pool on success and closing it on failure. stale
+// reports a reused pooled connection failing with an immediate
+// connection error (not a timeout) — the signature of a peer that went
+// away while the conn sat idle; such requests were never processed and
+// are safe to replay on a fresh connection.
+func (t *TCP) roundTrip(pool *connPool, c *clientConn, from Addr, req any, callTimeout time.Duration) (rpcResponse, bool, error) {
+	now := time.Now()
+	deadline := now.Add(callTimeout)
+	wd := deadline
+	if t.WriteTimeout > 0 {
+		if d := now.Add(t.WriteTimeout); d.Before(wd) {
+			wd = d
+		}
+	}
+	c.conn.SetWriteDeadline(wd)
+	c.conn.SetReadDeadline(deadline)
 	var sendErr error
 	if c.auth != nil {
 		sendErr = c.auth.send(&rpcRequest{From: from, Payload: req})
@@ -213,9 +284,12 @@ func (t *TCP) Call(from, to Addr, req any) (any, error) {
 	}
 	if sendErr != nil {
 		c.conn.Close()
-		t.stats.recordDrop(to, req)
-		t.tel.drop(req, start)
-		return nil, fmt.Errorf("%w: %s (%v)", ErrUnreachable, to, sendErr)
+		return rpcResponse{}, c.reused && !isTimeout(sendErr), sendErr
+	}
+	if t.ReadTimeout > 0 {
+		if d := time.Now().Add(t.ReadTimeout); d.Before(deadline) {
+			c.conn.SetReadDeadline(d)
+		}
 	}
 	var resp rpcResponse
 	var recvErr error
@@ -226,18 +300,19 @@ func (t *TCP) Call(from, to Addr, req any) (any, error) {
 	}
 	if recvErr != nil {
 		c.conn.Close()
-		t.stats.recordDrop(to, req)
-		t.tel.drop(req, start)
-		return nil, fmt.Errorf("%w: %s (%v)", ErrUnreachable, to, recvErr)
+		return rpcResponse{}, c.reused && !isTimeout(recvErr), recvErr
 	}
 	c.conn.SetDeadline(time.Time{})
 	pool.put(c)
-	t.stats.recordCall(to, req, resp.Payload, resp.Err != "")
-	t.tel.call(req, start, resp.Err != "")
-	if resp.Err != "" {
-		return nil, &RemoteError{Msg: resp.Err}
-	}
-	return resp.Payload, nil
+	return resp, false, nil
+}
+
+// isTimeout reports whether err is a deadline expiry rather than a
+// connection error. Timeouts on reused connections are real lost calls
+// (the peer may have received the request), never stale-conn artifacts.
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
 }
 
 func (t *TCP) pool(to Addr) *connPool {
@@ -245,7 +320,7 @@ func (t *TCP) pool(to Addr) *connPool {
 	defer t.mu.Unlock()
 	p, ok := t.pools[to]
 	if !ok {
-		p = &connPool{addr: to, secret: t.Secret, idle: make(chan *clientConn, 4)}
+		p = &connPool{addr: to, secret: t.Secret, idle: make(chan *clientConn, poolIdleConns)}
 		t.pools[to] = p
 	}
 	return p
@@ -273,12 +348,18 @@ func (t *TCP) Close() {
 }
 
 // clientConn is a pooled outbound connection with its codec pair.
+// reused marks a connection handed out of the idle pool at least once:
+// only those can be "stale" (dead since the peer restarted).
 type clientConn struct {
-	conn net.Conn
-	enc  *gob.Encoder
-	dec  *gob.Decoder
-	auth *authCodec
+	conn   net.Conn
+	enc    *gob.Encoder
+	dec    *gob.Decoder
+	auth   *authCodec
+	reused bool
 }
+
+// poolIdleConns is the per-destination idle connection cap.
+const poolIdleConns = 4
 
 // connPool keeps a few idle connections per destination.
 type connPool struct {
@@ -290,6 +371,7 @@ type connPool struct {
 func (p *connPool) get(dialTimeout time.Duration) (*clientConn, error) {
 	select {
 	case c := <-p.idle:
+		c.reused = true
 		return c, nil
 	default:
 	}

@@ -8,9 +8,11 @@ import (
 
 	"peertrack/internal/chord"
 	"peertrack/internal/core"
+	"peertrack/internal/gossip"
 	"peertrack/internal/ids"
 	"peertrack/internal/moods"
 	"peertrack/internal/netsize"
+	"peertrack/internal/sim"
 	"peertrack/internal/telemetry"
 	"peertrack/internal/transport"
 )
@@ -21,8 +23,10 @@ import (
 // capture events.
 type Node struct {
 	tr     *transport.TCP
+	res    *transport.Resilient // nil when resilience is disabled
 	chord  *chord.Node
 	peer   *core.Peer
+	gossip *gossip.Agent // nil when the membership agent is disabled
 	pm     *core.PrefixManager
 	tel    *telemetry.Registry
 	pinned bool // operator pinned the network-size estimate
@@ -57,6 +61,51 @@ type NodeOptions struct {
 	// fall through to the next live ring successor when a primary is
 	// unreachable; set the same value on every node.
 	Replicas int
+
+	// DialTimeout bounds TCP connection establishment (default 5s).
+	DialTimeout time.Duration
+	// CallTimeout bounds one P2P round trip (default 10s).
+	CallTimeout time.Duration
+	// WriteTimeout, when > 0, additionally bounds sending a request on
+	// an established connection (default 0: round-trip deadline only).
+	WriteTimeout time.Duration
+	// ReadTimeout, when > 0, additionally bounds waiting for a response
+	// after the request was sent (default 0: round-trip deadline only).
+	ReadTimeout time.Duration
+
+	// RPCAttempts is the total attempts per P2P call, first try included
+	// (default 3; 1 disables retries).
+	RPCAttempts int
+	// RPCAttemptTimeout bounds each attempt (default 2s).
+	RPCAttemptTimeout time.Duration
+	// RPCBudget bounds a whole call — attempts plus backoff (default 8s).
+	RPCBudget time.Duration
+	// RPCBackoff is the pre-jitter base backoff, doubling per retry up
+	// to RPCBackoffMax (defaults 50ms, 1s).
+	RPCBackoff    time.Duration
+	RPCBackoffMax time.Duration
+	// BreakerThreshold is the number of consecutive transport failures
+	// to one peer that opens its circuit breaker (default 5; negative
+	// disables circuit breaking).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker rejects calls before
+	// admitting a half-open probe (default 3s).
+	BreakerCooldown time.Duration
+	// NoResilience issues P2P calls directly on the TCP transport: no
+	// retries, no breaker, no per-attempt deadlines. The experimental
+	// baseline ("factor 1, no retries"); production nodes leave it off.
+	NoResilience bool
+
+	// GossipEvery is the membership agent's round cadence: view
+	// exchange, failure-detector probes, and the gossip-driven chord
+	// repair all fire at this interval (default 1s; negative disables
+	// the agent entirely — dead-gateway verdicts and replica promotion
+	// then wait on chord stabilization alone).
+	GossipEvery time.Duration
+	// ReplicaSyncEvery is the replication anti-entropy cadence: probe
+	// mirrors, promote owned replicas, GC unclaimed ones (default 10s;
+	// active only when Replicas > 1).
+	ReplicaSyncEvery time.Duration
 }
 
 func (o *NodeOptions) fill() {
@@ -68,6 +117,39 @@ func (o *NodeOptions) fill() {
 	}
 	if o.LMin <= 0 {
 		o.LMin = 3
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	if o.CallTimeout <= 0 {
+		o.CallTimeout = 10 * time.Second
+	}
+	if o.RPCAttempts <= 0 {
+		o.RPCAttempts = 3
+	}
+	if o.RPCAttemptTimeout <= 0 {
+		o.RPCAttemptTimeout = 2 * time.Second
+	}
+	if o.RPCBudget <= 0 {
+		o.RPCBudget = 8 * time.Second
+	}
+	if o.RPCBackoff <= 0 {
+		o.RPCBackoff = 50 * time.Millisecond
+	}
+	if o.RPCBackoffMax <= 0 {
+		o.RPCBackoffMax = time.Second
+	}
+	if o.BreakerThreshold == 0 {
+		o.BreakerThreshold = 5
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = 3 * time.Second
+	}
+	if o.GossipEvery == 0 {
+		o.GossipEvery = time.Second
+	}
+	if o.ReplicaSyncEvery <= 0 {
+		o.ReplicaSyncEvery = 10 * time.Second
 	}
 }
 
@@ -82,6 +164,10 @@ var nodeEpoch = time.Unix(0, 0)
 func StartNode(listen string, opts NodeOptions) (*Node, error) {
 	opts.fill()
 	tr := transport.NewTCP()
+	tr.DialTimeout = opts.DialTimeout
+	tr.CallTimeout = opts.CallTimeout
+	tr.WriteTimeout = opts.WriteTimeout
+	tr.ReadTimeout = opts.ReadTimeout
 	if opts.NetworkSecret != "" {
 		tr.Secret = []byte(opts.NetworkSecret)
 	}
@@ -110,24 +196,60 @@ func StartNode(listen string, opts NodeOptions) (*Node, error) {
 		return nil, err
 	}
 
-	cn = chord.NewPrebound(tr, addr, ids.Hash([]byte(addr)), chord.Config{})
+	clock := func() time.Duration { return time.Since(nodeEpoch) }
+
+	// All outbound P2P traffic goes through the resilience wrapper:
+	// chord maintenance, PeerTrack protocol calls, and gossip probes
+	// share its retry/breaker policy, and — being the TCP transport's
+	// sole caller — its counters decompose exactly against the
+	// transport's (invariants.CheckResilience).
+	var netw transport.Network = tr
+	var res *transport.Resilient
+	if !opts.NoResilience {
+		res = transport.NewResilient(tr, clock, time.Sleep, transport.ResilientConfig{
+			MaxAttempts:      opts.RPCAttempts,
+			AttemptTimeout:   opts.RPCAttemptTimeout,
+			CallBudget:       opts.RPCBudget,
+			BackoffBase:      opts.RPCBackoff,
+			BackoffMax:       opts.RPCBackoffMax,
+			BreakerThreshold: opts.BreakerThreshold,
+			BreakerCooldown:  opts.BreakerCooldown,
+			Seed:             gossip.SeedFor(1, addr),
+		})
+		netw = res
+	}
+
+	cn = chord.NewPrebound(netw, addr, ids.Hash([]byte(addr)), chord.Config{})
 	pm := core.NewPrefixManager(core.Scheme2, opts.LMin, 1)
 	if opts.NetworkSize > 0 {
 		pm.SetNetworkSize(opts.NetworkSize)
 	}
-	clock := func() time.Duration { return time.Since(nodeEpoch) }
-	peer = core.NewPeer(cn, tr, pm, core.Config{
+	peer = core.NewPeer(cn, netw, pm, core.Config{
 		Mode:              opts.Mode,
 		NMax:              opts.WindowMaxObjects,
 		ReplicationFactor: opts.Replicas,
 	}, clock)
 
+	var agent *gossip.Agent
+	if opts.GossipEvery > 0 {
+		agent = gossip.New(netw, cn.Self(), gossip.Config{
+			Seed: gossip.SeedFor(2, addr),
+		})
+		peer.AttachGossip(agent)
+	}
+
 	tel := telemetry.New(clock)
 	tr.SetTelemetry(tel)
+	if res != nil {
+		res.SetTelemetry(tel)
+	}
 	cn.SetTelemetry(tel)
 	peer.SetTelemetry(tel)
+	if agent != nil {
+		agent.SetTelemetry(tel)
+	}
 
-	n := &Node{tr: tr, chord: cn, peer: peer, pm: pm, tel: tel, pinned: opts.NetworkSize > 0, stopCh: make(chan struct{})}
+	n := &Node{tr: tr, res: res, chord: cn, peer: peer, gossip: agent, pm: pm, tel: tel, pinned: opts.NetworkSize > 0, stopCh: make(chan struct{})}
 	n.wg.Add(1)
 	go n.maintain(opts)
 	return n, nil
@@ -170,38 +292,119 @@ func (n *Node) Join(bootstrap string) error {
 		return err
 	}
 	n.chord.Stabilize()
+	if n.gossip != nil {
+		n.gossip.SeedView(n.chord.Successors())
+	}
 	n.refreshNetworkSize()
 	return nil
 }
 
-// maintain runs overlay stabilization, finger repair, window flushes,
-// and network-size refresh until Close.
+// maintain runs the node's background maintenance — overlay
+// stabilization, finger repair, window flushes, network-size refresh,
+// gossip membership rounds, gossip-driven chord repair, and replica
+// anti-entropy — until Close.
+//
+// The schedule is the same discrete-event kernel the simulator uses,
+// pumped by the wall clock: events are queued in virtual time and a
+// single goroutine sleeps until the earliest one is due, then steps the
+// kernel. Live nodes therefore run the identical maintenance programs
+// (gossip.Agent.ScheduleRounds, the stabilize trio, the replica sync
+// sequence) as simulated ones; only the pacer differs.
 func (n *Node) maintain(opts NodeOptions) {
 	defer n.wg.Done()
-	stab := time.NewTicker(opts.StabilizeEvery)
-	defer stab.Stop()
-	flush := time.NewTicker(opts.WindowInterval)
-	defer flush.Stop()
-	est := time.NewTicker(10 * opts.StabilizeEvery)
-	defer est.Stop()
-	for {
-		select {
-		case <-n.stopCh:
-			return
-		case <-stab.C:
-			n.chord.CheckPredecessor()
-			n.chord.Stabilize()
-			n.chord.FixFingers()
-		case <-flush.C:
-			n.peer.FlushWindow()
-		case <-est.C:
-			n.refreshNetworkSize()
-			// Re-home any index buckets whose gateway placement is
-			// stale (ring convergence, membership changes) and merge
-			// split histories.
-			n.peer.InvalidateGatewayCache()
-			n.peer.ReconcileStep()
+	k := sim.New(gossip.SeedFor(3, n.chord.Addr()))
+	every := func(interval time.Duration, fn func()) {
+		var fire func()
+		fire = func() {
+			fn()
+			k.Schedule(interval, fire)
 		}
+		k.Schedule(interval, fire)
+	}
+
+	// Membership rounds are scheduled before the repair event so that at
+	// equal timestamps the round's fresh samples and verdicts are what
+	// the repair consumes (kernel ties break by scheduling order).
+	if n.gossip != nil {
+		loop := n.gossip.ScheduleRounds(k, opts.GossipEvery)
+		defer loop.Stop()
+		every(opts.GossipEvery, func() {
+			n.chord.RepairFromSamples(n.gossip.Samples(), n.gossip.IsDead)
+		})
+	}
+	every(opts.StabilizeEvery, func() {
+		n.chord.CheckPredecessor()
+		if err := n.chord.Stabilize(); err != nil && n.gossip != nil {
+			// A failed stabilization is first-hand evidence against the
+			// successor set; feed it to the failure detector just as the
+			// simulated churn maintainers do.
+			for _, s := range n.chord.Successors() {
+				if !s.Equal(n.chord.Self()) {
+					n.gossip.Suspect(s)
+				}
+			}
+		}
+		n.chord.FixFingers()
+	})
+	every(opts.WindowInterval, func() { n.peer.FlushWindow() })
+	every(10*opts.StabilizeEvery, func() {
+		n.refreshNetworkSize()
+		// Re-home any index buckets whose gateway placement is
+		// stale (ring convergence, membership changes) and merge
+		// split histories.
+		n.peer.InvalidateGatewayCache()
+		n.peer.ReconcileStep()
+	})
+	if opts.Replicas > 1 {
+		// Probe fast, GC slow: promotion and owner→mirror sync (which
+		// double as liveness probes on held units) run every tick, while
+		// the generational Drop/Begin pair runs every gcTicks'th tick.
+		// A held unit therefore gets several probe opportunities per GC
+		// generation, and — crucially — when an owner crashes, the
+		// failure detector has several sync intervals to land its dead
+		// verdict (which exempts the unit from GC as a surviving copy)
+		// before the stopped probes would condemn it. Drop still runs
+		// before Begin: it judges the PREVIOUS generation, whose probes
+		// have all had time to arrive.
+		const gcTicks = 4
+		tick := 0
+		every(opts.ReplicaSyncEvery, func() {
+			if tick++; tick%gcTicks == 0 {
+				n.peer.DropStaleReplicas()
+				n.peer.BeginReplicaSync()
+			}
+			n.peer.PromoteOwnedReplicas()
+			n.peer.SyncOwnedReplicas()
+		})
+	}
+
+	// The pump: virtual time t maps to wall time anchor+t.
+	anchor := time.Now()
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	defer timer.Stop()
+	for {
+		at, ok := k.NextAt()
+		if !ok {
+			return // unreachable: every maintenance event reschedules itself
+		}
+		if wait := time.Until(anchor.Add(at)); wait > 0 {
+			timer.Reset(wait)
+			select {
+			case <-n.stopCh:
+				return
+			case <-timer.C:
+			}
+		} else {
+			select {
+			case <-n.stopCh:
+				return
+			default:
+			}
+		}
+		k.Step()
 	}
 }
 
@@ -340,12 +543,24 @@ func (n *Node) Close() error {
 	n.mu.Unlock()
 	close(n.stopCh)
 	n.wg.Wait()
+	if n.gossip != nil {
+		n.gossip.Stop()
+	}
 	err := n.chord.Leave()
 	n.tr.Close()
 	if err != nil && err != chord.ErrLeft {
 		return err
 	}
 	return nil
+}
+
+// Resilience reports the RPC wrapper's retry/breaker counters. ok is
+// false when the node was started with NoResilience.
+func (n *Node) Resilience() (snap transport.ResilienceSnapshot, ok bool) {
+	if n.res == nil {
+		return transport.ResilienceSnapshot{}, false
+	}
+	return n.res.Resilience(), true
 }
 
 // RingInfo reports the node's overlay neighbours and current prefix
